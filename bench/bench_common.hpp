@@ -1,0 +1,38 @@
+#pragma once
+// Shared plumbing of the figure-reproduction binaries: class selection and
+// the standard CLI options.
+
+#include <string>
+#include <vector>
+
+#include "sacpp/common/cli.hpp"
+#include "sacpp/mg/spec.hpp"
+
+namespace sacpp::bench {
+
+// Parse a comma-separated class list ("S,W" / "W,A" / "A").
+inline std::vector<mg::MgSpec> parse_classes(const std::string& list) {
+  std::vector<mg::MgSpec> specs;
+  std::string cur;
+  for (char ch : list + ",") {
+    if (ch == ',') {
+      if (!cur.empty()) specs.push_back(mg::MgSpec::for_class(mg::parse_class(cur)));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  return specs;
+}
+
+// The classes every figure binary accepts.  The paper evaluates W and A;
+// the default keeps the out-of-the-box run laptop-friendly (W), with
+// --classes W,A reproducing the full figure.
+inline void add_standard_options(Cli& cli, const std::string& default_classes) {
+  cli.add_option("classes", default_classes,
+                 "comma-separated NPB classes (S, W, A, B)");
+  cli.add_option("csv", "", "also write the table as CSV to this path");
+  cli.add_option("repeats", "1", "timed repetitions; the minimum is reported");
+}
+
+}  // namespace sacpp::bench

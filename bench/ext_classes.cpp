@@ -1,0 +1,78 @@
+// Extension (paper Sec. 7 future work) — larger problem sizes and larger
+// machines: "This includes larger problem sizes like size classes B and C
+// of the NAS specification but also larger multiprocessor systems to
+// determine scalability limits which have not yet been reached even for
+// size class W."
+//
+// The calibrated E4000 model extended to P = 1..32 over classes W, A, B, C:
+// per class and implementation, the speedup curve and the CPU count where
+// it peaks (the scalability limit the paper could not reach with 10 CPUs).
+// With --real the class B benchmark additionally runs for real through the
+// Fortran-77 port (class C needs ~4 GB and several minutes).
+//
+// Related work context (paper Sec. 6): the ZPL study [Chamberlain et al.,
+// SC'00] reported a maximum speedup of ~5 with 14 processors on classes
+// B/C of a similar Sun Enterprise machine — the modelled SAC curves below
+// land in the same regime.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sacpp/common/table.hpp"
+#include "sacpp/machine/model.hpp"
+#include "sacpp/mg/driver.hpp"
+
+using namespace sacpp;
+using namespace sacpp::mg;
+using namespace sacpp::machine;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  bench::add_standard_options(cli, "W,A,B,C");
+  cli.add_option("cpus", "32", "maximum modelled CPU count");
+  cli.add_flag("real", "also run class B for real (Fortran-77 port)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const int max_cpus = static_cast<int>(cli.get_int("cpus"));
+  SmpModel model;
+
+  Table t({"class", "implementation", "S(4)", "S(8)", "S(16)", "S(32)",
+           "peak speedup", "at P"});
+  for (const MgSpec& spec : bench::parse_classes(cli.get("classes"))) {
+    for (Variant v : {Variant::kSac, Variant::kFortran, Variant::kOpenMp}) {
+      const Trace trace = build_trace(v, spec);
+      const auto s = model.speedups(trace, max_cpus);
+      double peak = 0.0;
+      int peak_p = 1;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] > peak) {
+          peak = s[i];
+          peak_p = static_cast<int>(i) + 1;
+        }
+      }
+      auto at = [&](int p) {
+        return p <= max_cpus ? Table::fmt(s[static_cast<std::size_t>(p - 1)], 2)
+                             : std::string("-");
+      };
+      t.add_row({spec.name(), variant_name(v), at(4), at(8), at(16), at(32),
+                 Table::fmt(peak, 2), std::to_string(peak_p)});
+    }
+  }
+  std::printf("%s\n",
+              t.to_ascii("Future work: modelled scalability limits, "
+                         "classes W/A/B/C, up to " +
+                         std::to_string(max_cpus) + " CPUs (E4000-class "
+                         "bus scaled accordingly)")
+                  .c_str());
+
+  if (cli.get_flag("real")) {
+    const MgSpec spec = MgSpec::for_class(MgClass::B);
+    RunOptions opts;
+    opts.record_norms = false;
+    const MgResult res = run_benchmark(Variant::kFortran, spec, opts);
+    std::printf("Real class B (Fortran-77 port): %.2fs, %.1f nominal "
+                "Mflop/s, final norm %.6e\n",
+                res.seconds, res.mflops, res.final_norm);
+  }
+  return 0;
+}

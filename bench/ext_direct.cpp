@@ -1,0 +1,71 @@
+// Extension (paper Sec. 7 future work) — direct periodic relaxation:
+// what does making the artificial boundary elements obsolete buy?
+//
+//   * real host measurement: ghost-layer SAC vs ghost-free SAC-direct;
+//   * the modelled E4000 account: the border copy-on-write sweeps and
+//     ghost exchanges vanish from the trace, improving both the serial
+//     time and (fewer small serial regions) the scaling.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sacpp/common/table.hpp"
+#include "sacpp/machine/model.hpp"
+#include "sacpp/mg/driver.hpp"
+#include "sacpp/sac/sac.hpp"
+
+using namespace sacpp;
+using namespace sacpp::mg;
+using namespace sacpp::machine;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  bench::add_standard_options(cli, "S,W");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // 1. real host comparison
+  {
+    Table t({"class", "implementation", "host [s]", "allocations",
+             "bytes allocated [MB]", "final norm"});
+    for (const MgSpec& spec : bench::parse_classes(cli.get("classes"))) {
+      for (Variant v : {Variant::kSac, Variant::kSacDirect}) {
+        sac::reset_stats();
+        RunOptions opts;
+        opts.record_norms = false;
+        const MgResult res = run_benchmark(v, spec, opts);
+        t.add_row({spec.name(), variant_name(v), Table::fmt(res.seconds, 3),
+                   std::to_string(sac::stats().allocations),
+                   Table::fmt(static_cast<double>(
+                                  sac::stats().bytes_allocated) / 1e6, 1),
+                   Table::fmt_sci(res.final_norm)});
+      }
+    }
+    std::printf("%s\n",
+                t.to_ascii("Future work: ghost-layer vs direct-periodic SAC "
+                           "on this host (norms must agree)")
+                    .c_str());
+  }
+
+  // 2. modelled E4000 account
+  {
+    SmpModel model;
+    Table t({"class", "implementation", "model T1 [s]", "model S(10)",
+             "regions/iter", "allocs/iter"});
+    for (const MgSpec& spec : bench::parse_classes(cli.get("classes"))) {
+      for (Variant v : {Variant::kSac, Variant::kSacDirect}) {
+        const Trace trace = build_trace(v, spec);
+        const auto s = model.speedups(trace, 10);
+        t.add_row({spec.name(), variant_name(v),
+                   Table::fmt(model.benchmark_time(trace, 1), 2),
+                   Table::fmt(s.back(), 2),
+                   std::to_string(trace.regions.size()),
+                   std::to_string(trace.total_alloc_events())});
+      }
+    }
+    std::printf("%s\n",
+                t.to_ascii("Modelled E4000: removing the artificial "
+                           "boundary elements (paper Sec. 7)")
+                    .c_str());
+  }
+  return 0;
+}

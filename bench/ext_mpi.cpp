@@ -1,0 +1,85 @@
+// Extension (paper Sec. 7 future work) — the MPI-reference comparison:
+// "a direct comparison with the MPI-based parallel reference implementation
+// of NAS-MG would be interesting."
+//
+// This binary produces that comparison:
+//   1. real runs of the message-passing MG on the in-process world
+//      (correctness + measured traffic; real speedup needs multi-core);
+//   2. the calibrated models side by side: message-passing MG vs
+//      shared-memory SAC / OpenMP on the modelled E4000, P = 1..16 —
+//      the figure the paper asks for.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "sacpp/common/table.hpp"
+#include "sacpp/machine/dist_model.hpp"
+#include "sacpp/machine/model.hpp"
+#include "sacpp/mg/mg_mpi.hpp"
+
+using namespace sacpp;
+using namespace sacpp::mg;
+using namespace sacpp::machine;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  bench::add_standard_options(cli, "W,A");
+  cli.add_option("ranks", "4", "max rank count for the real runs");
+  cli.add_option("real-class", "S", "class for the real message-passing runs");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // 1. real runs (class S by default: the thread-backed world on one core
+  //    is about correctness and traffic, not wall-clock speedup)
+  {
+    const MgSpec spec =
+        MgSpec::for_class(parse_class(cli.get("real-class")));
+    Table t({"ranks", "time [s]", "final norm", "messages", "MB moved"});
+    for (int ranks = 1; ranks <= static_cast<int>(cli.get_int("ranks"));
+         ranks *= 2) {
+      if (2 * static_cast<extent_t>(ranks) > spec.nx) break;
+      MgMpi mpi(spec, ranks);
+      const MgMpi::Result res = mpi.run(spec.nit, /*warmup=*/false);
+      t.add_row({std::to_string(ranks), Table::fmt(res.seconds, 3),
+                 Table::fmt_sci(res.final_norm),
+                 std::to_string(res.comm.messages),
+                 Table::fmt(static_cast<double>(res.comm.bytes) / 1e6, 1)});
+    }
+    std::printf("%s\n",
+                t.to_ascii("Real message-passing MG, class " +
+                           cli.get("real-class") +
+                           " (thread-backed ranks; norms must equal the "
+                           "serial reference)")
+                    .c_str());
+  }
+
+  // 2. modelled comparison on the E4000
+  {
+    SmpModel smp;
+    DistModel dist;
+    for (const MgSpec& spec : bench::parse_classes(cli.get("classes"))) {
+      Table t({"P", "MPI ref [s/iter]", "MPI speedup", "SAC shm speedup",
+               "OpenMP shm speedup"});
+      const Trace sac = build_trace(Variant::kSac, spec);
+      const Trace omp = build_trace(Variant::kOpenMp, spec);
+      const auto sac_s = smp.speedups(sac, 16);
+      const auto omp_s = smp.speedups(omp, 16);
+      const double mpi_base = dist.iteration_cost(spec, 1).seconds;
+      for (int p = 1; p <= 16; p *= 2) {
+        if (2 * static_cast<extent_t>(p) > spec.nx) break;
+        const DistCost c = dist.iteration_cost(spec, p);
+        t.add_row({std::to_string(p), Table::fmt(c.seconds, 3),
+                   Table::fmt(mpi_base / c.seconds, 2),
+                   Table::fmt(sac_s[static_cast<std::size_t>(p - 1)], 2),
+                   Table::fmt(omp_s[static_cast<std::size_t>(p - 1)], 2)});
+      }
+      std::printf(
+          "%s\n",
+          t.to_ascii("Modelled E4000, class " + spec.name() +
+                     ": message-passing reference vs shared-memory "
+                     "implementations")
+              .c_str());
+    }
+  }
+  return 0;
+}

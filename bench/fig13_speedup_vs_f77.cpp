@@ -1,0 +1,97 @@
+// Fig. 13 — speedups relative to the fastest sequential implementation in
+// the field, i.e. serial Fortran-77, P = 1..10, classes W and A.
+//
+// The paper's qualitative findings reproduced here:
+//   * SAC overtakes the auto-parallelised Fortran-77 code at four CPUs;
+//   * for class A, SAC's superior sequential base keeps it ahead of the
+//     C/OpenMP code over the whole investigated processor range.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sacpp/common/svg_plot.hpp"
+#include "sacpp/common/table.hpp"
+#include "sacpp/machine/model.hpp"
+#include "sacpp/machine/paper_data.hpp"
+#include "sacpp/mg/driver.hpp"
+
+using namespace sacpp;
+using namespace sacpp::mg;
+using namespace sacpp::machine;
+
+int main(int argc, char** argv) {
+  Cli cli;
+  bench::add_standard_options(cli, "W,A");
+  cli.add_option("cpus", "10", "maximum CPU count");
+  cli.add_option("svg", "", "write the figure as SVG to this path prefix");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const int max_cpus = static_cast<int>(cli.get_int("cpus"));
+  SmpModel model;
+
+  std::vector<std::string> header{"class", "implementation"};
+  for (int p = 1; p <= max_cpus; ++p) header.push_back("P=" + std::to_string(p));
+  Table table(header);
+
+  for (const MgSpec& spec : bench::parse_classes(cli.get("classes"))) {
+    const double f77_serial =
+        model.trace_time(build_trace(Variant::kFortran, spec), 1);
+    int sac_overtakes_f77 = -1;
+    bool sac_ahead_of_omp = true;
+    for (Variant v :
+         {Variant::kSac, Variant::kFortran, Variant::kOpenMp}) {
+      const Trace trace = build_trace(v, spec);
+      std::vector<std::string> row{spec.name(), variant_name(v)};
+      for (int p = 1; p <= max_cpus; ++p) {
+        row.push_back(Table::fmt(f77_serial / model.trace_time(trace, p), 2));
+      }
+      table.add_row(row);
+    }
+    const Trace sac = build_trace(Variant::kSac, spec);
+    const Trace f77 = build_trace(Variant::kFortran, spec);
+    const Trace omp = build_trace(Variant::kOpenMp, spec);
+    for (int p = 1; p <= max_cpus; ++p) {
+      if (sac_overtakes_f77 < 0 &&
+          model.trace_time(sac, p) < model.trace_time(f77, p)) {
+        sac_overtakes_f77 = p;
+      }
+      if (model.trace_time(sac, p) >= model.trace_time(omp, p)) {
+        sac_ahead_of_omp = false;
+      }
+    }
+    std::printf("class %s: SAC overtakes auto-parallelised Fortran-77 at "
+                "P=%d (paper: %d); SAC ahead of OpenMP over the whole "
+                "range: %s%s\n",
+                spec.name().c_str(), sac_overtakes_f77,
+                paper::kSacBeatsF77AtCpus, sac_ahead_of_omp ? "yes" : "no",
+                spec.cls == MgClass::A ? " (paper: yes)" : "");
+  }
+
+  std::printf("\n%s\n",
+              table
+                  .to_ascii("Fig. 13 — modelled speedups relative to "
+                            "sequential Fortran-77 (SUN E4000 model)")
+                  .c_str());
+  table.write_csv(cli.get("csv"));
+
+  if (!cli.get("svg").empty()) {
+    for (const MgSpec& spec : bench::parse_classes(cli.get("classes"))) {
+      const double f77_serial =
+          model.trace_time(build_trace(Variant::kFortran, spec), 1);
+      SvgChart chart("Fig. 13 — class " + spec.name() +
+                         " (modelled SUN E4000)",
+                     "processors", "speedup vs sequential Fortran-77");
+      for (Variant v :
+           {Variant::kSac, Variant::kFortran, Variant::kOpenMp}) {
+        const Trace trace = build_trace(v, spec);
+        std::vector<std::pair<double, double>> pts;
+        for (int p = 1; p <= max_cpus; ++p) {
+          pts.emplace_back(p, f77_serial / model.trace_time(trace, p));
+        }
+        chart.add_series(variant_name(v), std::move(pts));
+      }
+      chart.write(cli.get("svg") + "_" + spec.name() + ".svg");
+    }
+  }
+  return 0;
+}

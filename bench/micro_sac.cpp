@@ -1,0 +1,162 @@
+// Microbenchmarks of the SAC array system: with-loop engine dispatch,
+// array-library operations, reductions, copy-on-write machinery.
+
+#include <benchmark/benchmark.h>
+
+#include "sacpp/sac/sac.hpp"
+
+namespace {
+
+using namespace sacpp;
+using sac::Array;
+
+Array<double> grid2(extent_t n) {
+  return sac::with_genarray<double>(Shape{n, n}, [n](const IndexVec& iv) {
+    return static_cast<double>(iv[0] * n + iv[1]);
+  });
+}
+
+Array<double> grid3(extent_t n) {
+  return sac::with_genarray<double>(
+      cube_shape(3, n), sac::rank3_body([](extent_t i, extent_t j, extent_t k) {
+        return static_cast<double>(i + j + k);
+      }));
+}
+
+void BM_GenarrayRank3Body(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  for (auto _ : state) {
+    auto a = sac::with_genarray<double>(
+        cube_shape(3, n),
+        sac::rank3_body([](extent_t i, extent_t j, extent_t k) {
+          return static_cast<double>(i * j - k);
+        }));
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void BM_GenarrayIndexVectorBody(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  for (auto _ : state) {
+    auto a = sac::with_genarray<double>(
+        cube_shape(3, n), [](const IndexVec& iv) {
+          return static_cast<double>(iv[0] * iv[1] - iv[2]);
+        });
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void BM_ModarrayInterior(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  auto base = grid3(n);
+  for (auto _ : state) {
+    auto a = sac::with_modarray(
+        base, sac::gen_interior(base.shape()),
+        sac::rank3_body(
+            [](extent_t i, extent_t j, extent_t k) {
+              return static_cast<double>(i + j * k);
+            }));
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void BM_FoldSum(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  auto a = grid3(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sac::sum(a));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+
+void BM_StridedGenerator(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  const Shape shp = cube_shape(3, n);
+  for (auto _ : state) {
+    auto a = sac::with_genarray<double>(
+        shp, sac::gen_range({0}, {n}).with_step(2),
+        [](const IndexVec&) { return 1.0; }, 0.0);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n / 8);
+}
+
+void BM_RotateRank2(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  auto a = grid2(n);
+  for (auto _ : state) {
+    auto r = sac::rotate({3, -2}, a);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+void BM_TransposeRank2(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  auto a = grid2(n);
+  for (auto _ : state) {
+    auto r = sac::transpose(a);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+
+void BM_CopyOnWrite(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  auto a = grid3(n);
+  for (auto _ : state) {
+    Array<double> shared = a;  // O(1)
+    shared.mutable_data()[0] = 1.0;  // deep copy
+    benchmark::DoNotOptimize(shared.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n * n * 8);
+}
+
+void BM_SharedCopyIsO1(benchmark::State& state) {
+  auto a = grid3(state.range(0));
+  for (auto _ : state) {
+    Array<double> b = a;
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+
+void BM_BorderExchangeWithLoop(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  auto a = grid3(n);
+  std::vector<sac::ReadingPartition<double>> parts;
+  const Shape shp = a.shape();
+  for (std::size_t d = 0; d < 3; ++d) {
+    IndexVec lo = uniform_vec(3, 0);
+    IndexVec up(shp.extents().begin(), shp.extents().end());
+    up[d] = 1;
+    parts.push_back({sac::gen_range(lo, up),
+                     [d, shp, n](const IndexVec& iv, const double* p) {
+                       IndexVec src(iv.begin(), iv.end());
+                       src[d] = n - 2;
+                       return p[shp.linearize(src)];
+                     }});
+  }
+  for (auto _ : state) {
+    a = sac::with_modarray_reading(std::move(a), parts);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GenarrayRank3Body)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GenarrayIndexVectorBody)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ModarrayInterior)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FoldSum)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StridedGenerator)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RotateRank2)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TransposeRank2)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CopyOnWrite)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SharedCopyIsO1)->Arg(64);
+BENCHMARK(BM_BorderExchangeWithLoop)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

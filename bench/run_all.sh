@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerate every figure and ablation of the reproduction.
+#
+#   bench/run_all.sh [build-dir] [out-dir]
+#
+# Defaults: build directory ./build, output directory ./bench_results.
+# The full paper figures use classes W and A; class A needs ~2 GB RAM and a
+# few minutes per variant on a laptop-class machine.
+
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-bench_results}"
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"; shift
+  echo "== $name =="
+  "$@" | tee "$OUT/$name.txt"
+}
+
+run fig11_serial        "$BUILD/bench/fig11_serial" --classes W,A --csv "$OUT/fig11.csv"
+run fig12_speedup       "$BUILD/bench/fig12_speedup" --classes W,A --csv "$OUT/fig12.csv" --svg "$OUT/fig12"
+run fig13_speedup_vs_f77 "$BUILD/bench/fig13_speedup_vs_f77" --classes W,A --csv "$OUT/fig13.csv" --svg "$OUT/fig13"
+run abl_folding         "$BUILD/bench/abl_folding" --classes S,W
+run abl_memory          "$BUILD/bench/abl_memory" --classes S
+run abl_threshold       "$BUILD/bench/abl_threshold"
+run abl_levels          "$BUILD/bench/abl_levels" --classes W
+run ext_direct          "$BUILD/bench/ext_direct" --classes S,W
+run ext_mpi             "$BUILD/bench/ext_mpi" --classes W,A
+run ext_classes         "$BUILD/bench/ext_classes"
+run ext_rank            "$BUILD/bench/ext_rank"
+run abl_graph           "$BUILD/bench/abl_graph"
+run abl_stencil         "$BUILD/bench/abl_stencil" --benchmark_min_time=0.2
+run abl_specialize      "$BUILD/bench/abl_specialize" --benchmark_min_time=0.2
+run micro_sac           "$BUILD/bench/micro_sac" --benchmark_min_time=0.2
+
+echo
+echo "All outputs in $OUT/"

@@ -1,0 +1,101 @@
+// Heat diffusion: a different stencil application written directly against
+// the WITH-loop API (not the MG machinery) — explicit Euler time stepping
+// of the heat equation on a 2-D plate with fixed boundary temperatures.
+//
+//   $ heat_diffusion [--size 128] [--steps 400] [--alpha 0.2]
+//
+// Demonstrates: modarray with an interior generator, multi-partition border
+// handling, lazy fusion of the update expression, reductions for
+// diagnostics, and the implicit-MT runtime on multi-core hosts.
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "sacpp/common/cli.hpp"
+#include "sacpp/common/timer.hpp"
+#include "sacpp/sac/sac.hpp"
+
+using namespace sacpp;
+using sac::Array;
+
+namespace {
+
+// ASCII rendering of the temperature field.
+void render(const Array<double>& u, extent_t cells) {
+  const Shape& shp = u.shape();
+  const extent_t n = shp.extent(0);
+  const char shades[] = " .:-=+*#%@";
+  for (extent_t r = 0; r < cells; ++r) {
+    for (extent_t c = 0; c < cells; ++c) {
+      const IndexVec iv{r * n / cells, c * n / cells};
+      const double t = u[iv];
+      const int s = std::min(9, std::max(0, static_cast<int>(t * 10.0)));
+      std::putchar(shades[s]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("size", "128", "plate points per side");
+  cli.add_option("steps", "400", "Euler time steps");
+  cli.add_option("alpha", "0.2", "diffusion number (stable < 0.25)");
+  cli.add_flag("mt", "use the implicit multithreading runtime");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const extent_t n = cli.get_int("size");
+  const int steps = static_cast<int>(cli.get_int("steps"));
+  const double alpha = cli.get_double("alpha");
+
+  sac::SacConfig cfg = sac::config();
+  cfg.mt_enabled = cli.get_flag("mt");
+  cfg.mt_threads = std::thread::hardware_concurrency();
+  sac::ScopedConfig guard(cfg);
+
+  const Shape shp{n, n};
+  // cold plate, hot top edge and a hot circular spot
+  Array<double> u = sac::with_genarray<double>(shp, [&](const IndexVec& iv) {
+    if (iv[0] == 0) return 1.0;  // hot boundary row
+    const double dy = static_cast<double>(iv[0]) - 0.7 * static_cast<double>(n);
+    const double dx = static_cast<double>(iv[1]) - 0.5 * static_cast<double>(n);
+    return dx * dx + dy * dy < static_cast<double>(n) ? 1.0 : 0.0;
+  });
+
+  std::printf("heat diffusion on a %lldx%lld plate, %d steps, alpha=%.2f%s\n\n",
+              static_cast<long long>(n), static_cast<long long>(n), steps,
+              alpha, cfg.mt_enabled ? " (multithreaded)" : "");
+  std::printf("t = 0:\n");
+  render(u, 24);
+
+  Timer timer;
+  for (int t = 0; t < steps; ++t) {
+    // one with-loop per step, borders untouched (modarray); `prev` keeps a
+    // shared handle on the old state, so the update reads consistent values
+    // while copy-on-write gives the new state its own buffer
+    Array<double> prev = u;
+    u = sac::with_modarray(
+        std::move(u), sac::gen_interior(shp),
+        [uc = std::move(prev), alpha](const IndexVec& iv) {
+          const IndexVec north{iv[0] - 1, iv[1]};
+          const IndexVec south{iv[0] + 1, iv[1]};
+          const IndexVec west{iv[0], iv[1] - 1};
+          const IndexVec east{iv[0], iv[1] + 1};
+          return uc[iv] + alpha * (uc[north] + uc[south] + uc[west] +
+                                   uc[east] - 4.0 * uc[iv]);
+        });
+  }
+  const double elapsed = timer.elapsed_seconds();
+
+  std::printf("\nt = %d:\n", steps);
+  render(u, 24);
+  std::printf("\ntotal heat: %.2f   max temperature: %.3f\n", sac::sum(u),
+              sac::max_elem(u));
+  std::printf("%d steps in %.3fs (%.1f Mcell-updates/s)\n", steps, elapsed,
+              static_cast<double>(n * n) * steps / elapsed / 1e6);
+  sac::shutdown_runtime();
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+// Minimal command-line option parser for the benchmark and example binaries.
+//
+// Supports `--key value`, `--key=value`, and boolean `--flag` forms.
+// Unknown options are an error so typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sacpp {
+
+class Cli {
+ public:
+  // Declare an option before parse(); `help` is shown by print_help().
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  // Parses argv; returns false (after printing help) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  void print_help(const std::string& program) const;
+
+ private:
+  struct Opt {
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace sacpp

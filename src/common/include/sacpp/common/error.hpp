@@ -1,0 +1,47 @@
+#pragma once
+// Error handling: contract checks that throw, and cheap debug assertions.
+//
+// Library entry points validate user-supplied shapes and indices with
+// SACPP_REQUIRE (always on, throws sacpp::ContractError).  Hot inner loops use
+// SACPP_ASSERT, which compiles away in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sacpp {
+
+// Thrown when a public-API precondition is violated (bad shape, rank
+// mismatch, out-of-range index, ...).
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "sacpp contract violation: " << msg << " [" << expr << "] at " << file
+     << ':' << line;
+  throw ContractError(os.str());
+}
+
+}  // namespace detail
+}  // namespace sacpp
+
+#define SACPP_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::sacpp::detail::contract_failure(#cond, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define SACPP_ASSERT(cond, msg) SACPP_REQUIRE(cond, msg)
+#else
+#define SACPP_ASSERT(cond, msg) \
+  do {                          \
+  } while (0)
+#endif

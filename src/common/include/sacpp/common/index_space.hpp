@@ -1,0 +1,114 @@
+#pragma once
+// Dense and strided index-space iteration (the "odometer").
+//
+// These walkers implement the index set of a WITH-loop generator:
+//
+//   { iv | forall d: lower[d] <= iv[d] < upper[d]
+//          and (iv[d] - lower[d]) mod step[d] < width[d] }
+//
+// for_each_index calls fn(iv) for each member in row-major order.  The
+// odometer mutates a single IndexVec in place, so no per-element allocation
+// happens in the loop.
+
+#include <cstdint>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/common/shape.hpp"
+
+namespace sacpp {
+
+// Number of selected positions along one axis of a strided generator.
+inline extent_t grid_axis_count(extent_t lower, extent_t upper, extent_t step,
+                                extent_t width) {
+  if (upper <= lower) return 0;
+  const extent_t span = upper - lower;
+  const extent_t full = span / step;
+  const extent_t rem = span % step;
+  return full * width + (rem < width ? rem : width);
+}
+
+// Dense rectangular walk: lower <= iv < upper.
+template <typename Fn>
+void for_each_index(const IndexVec& lower, const IndexVec& upper, Fn&& fn) {
+  const std::size_t rank = lower.size();
+  SACPP_REQUIRE(upper.size() == rank, "generator bound ranks differ");
+  for (std::size_t d = 0; d < rank; ++d) {
+    if (upper[d] <= lower[d]) return;  // empty set
+  }
+  if (rank == 0) {
+    // The rank-0 index set contains exactly the empty index vector
+    // (vacuously satisfying the per-axis constraints).
+    fn(IndexVec{});
+    return;
+  }
+  IndexVec iv(lower.begin(), lower.end());
+  for (;;) {
+    fn(static_cast<const IndexVec&>(iv));
+    std::size_t d = rank;
+    while (d-- > 0) {
+      if (++iv[d] < upper[d]) break;
+      iv[d] = lower[d];
+      if (d == 0) return;
+    }
+  }
+}
+
+// Dense walk over a full shape: 0 <= iv < shape.
+template <typename Fn>
+void for_each_index(const Shape& shape, Fn&& fn) {
+  for_each_index(uniform_vec(shape.rank(), 0), shape.extents(),
+                 std::forward<Fn>(fn));
+}
+
+// Strided/filtered walk: lower <= iv < upper with step/width grid filter.
+template <typename Fn>
+void for_each_index_grid(const IndexVec& lower, const IndexVec& upper,
+                         const IndexVec& step, const IndexVec& width,
+                         Fn&& fn) {
+  const std::size_t rank = lower.size();
+  SACPP_REQUIRE(upper.size() == rank && step.size() == rank &&
+                    width.size() == rank,
+                "generator vector ranks differ");
+  for (std::size_t d = 0; d < rank; ++d) {
+    SACPP_REQUIRE(step[d] >= 1, "generator step must be >= 1");
+    SACPP_REQUIRE(width[d] >= 1 && width[d] <= step[d],
+                  "generator width must be in [1, step]");
+    if (grid_axis_count(lower[d], upper[d], step[d], width[d]) == 0) return;
+  }
+  if (rank == 0) {
+    fn(IndexVec{});
+    return;
+  }
+
+  IndexVec iv(lower.begin(), lower.end());
+  // phase[d] = (iv[d] - lower[d]) mod step[d]; maintained incrementally.
+  IndexVec phase(rank, 0);
+  for (;;) {
+    fn(static_cast<const IndexVec&>(iv));
+    std::size_t d = rank;
+    while (d-- > 0) {
+      ++iv[d];
+      if (++phase[d] == width[d]) {
+        // jump over the gap between grid bands
+        iv[d] += step[d] - width[d];
+        phase[d] = 0;
+      }
+      if (iv[d] < upper[d]) break;
+      iv[d] = lower[d];
+      phase[d] = 0;
+      if (d == 0) return;
+    }
+  }
+}
+
+// Total member count of a strided generator index set.
+inline extent_t grid_count(const IndexVec& lower, const IndexVec& upper,
+                           const IndexVec& step, const IndexVec& width) {
+  extent_t n = 1;
+  for (std::size_t d = 0; d < lower.size(); ++d) {
+    n *= grid_axis_count(lower[d], upper[d], step[d], width[d]);
+  }
+  return n;  // rank 0: exactly the empty index vector
+}
+
+}  // namespace sacpp

@@ -1,0 +1,178 @@
+#pragma once
+// Shapes and index vectors.
+//
+// A Shape is the extent vector of an n-dimensional array; an IndexVec is a
+// position inside such an array.  Both are small inline vectors of signed
+// 64-bit extents.  Signed extents keep index arithmetic (iv - pos, shape - 2)
+// free of unsigned wrap-around bugs.
+//
+// The element-wise operators on IndexVec mirror the vector arithmetic the
+// paper's SAC code performs on shapes, e.g. `shape(a) / str`,
+// `shape(rc) + 1`, `0 * shape(rc)`.
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/common/small_vec.hpp"
+
+namespace sacpp {
+
+using extent_t = std::int64_t;
+using IndexVec = SmallVec<extent_t, 4>;
+
+// -- element-wise vector arithmetic ------------------------------------------
+
+namespace detail {
+template <typename Op>
+IndexVec zip(const IndexVec& a, const IndexVec& b, Op op, const char* what) {
+  SACPP_REQUIRE(a.size() == b.size(),
+                std::string("length mismatch in vector ") + what);
+  IndexVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = op(a[i], b[i]);
+  return r;
+}
+}  // namespace detail
+
+inline IndexVec operator+(const IndexVec& a, const IndexVec& b) {
+  return detail::zip(a, b, [](extent_t x, extent_t y) { return x + y; }, "+");
+}
+inline IndexVec operator-(const IndexVec& a, const IndexVec& b) {
+  return detail::zip(a, b, [](extent_t x, extent_t y) { return x - y; }, "-");
+}
+inline IndexVec operator*(const IndexVec& a, const IndexVec& b) {
+  return detail::zip(a, b, [](extent_t x, extent_t y) { return x * y; }, "*");
+}
+inline IndexVec operator+(const IndexVec& a, extent_t s) {
+  IndexVec r(a.begin(), a.end());
+  for (auto& x : r) x += s;
+  return r;
+}
+inline IndexVec operator-(const IndexVec& a, extent_t s) { return a + (-s); }
+inline IndexVec operator*(extent_t s, const IndexVec& a) {
+  IndexVec r(a.begin(), a.end());
+  for (auto& x : r) x *= s;
+  return r;
+}
+inline IndexVec operator*(const IndexVec& a, extent_t s) { return s * a; }
+inline IndexVec operator/(const IndexVec& a, extent_t s) {
+  SACPP_REQUIRE(s != 0, "division of index vector by zero");
+  IndexVec r(a.begin(), a.end());
+  for (auto& x : r) x /= s;
+  return r;
+}
+
+// Uniform vector of a given rank (the scalar-replication rule of WITH-loop
+// generators: a scalar bound is implicitly replicated to the needed rank).
+inline IndexVec uniform_vec(std::size_t rank, extent_t value) {
+  return IndexVec(rank, value);
+}
+
+// -- Shape --------------------------------------------------------------------
+
+// The extent vector of an array.  Immutable after construction; provides
+// row-major linearisation.
+class Shape {
+ public:
+  Shape() = default;
+
+  explicit Shape(IndexVec extents) : extents_(std::move(extents)) {
+    for (extent_t e : extents_) {
+      SACPP_REQUIRE(e >= 0, "array extents must be non-negative");
+    }
+  }
+
+  Shape(std::initializer_list<extent_t> extents) : Shape(IndexVec(extents)) {}
+
+  std::size_t rank() const noexcept { return extents_.size(); }
+
+  extent_t extent(std::size_t axis) const {
+    SACPP_REQUIRE(axis < rank(), "shape axis out of range");
+    return extents_[axis];
+  }
+
+  extent_t operator[](std::size_t axis) const { return extent(axis); }
+
+  const IndexVec& extents() const noexcept { return extents_; }
+
+  // Total number of elements; the empty (rank-0) shape describes a scalar
+  // with exactly one element.
+  extent_t elem_count() const noexcept {
+    extent_t n = 1;
+    for (extent_t e : extents_) n *= e;
+    return n;
+  }
+
+  bool is_scalar() const noexcept { return rank() == 0; }
+
+  // Row-major strides: stride(last) == 1.
+  IndexVec strides() const {
+    IndexVec s(rank());
+    extent_t acc = 1;
+    for (std::size_t i = rank(); i-- > 0;) {
+      s[i] = acc;
+      acc *= extents_[i];
+    }
+    return s;
+  }
+
+  // Row-major linear offset of an index vector.
+  extent_t linearize(const IndexVec& iv) const {
+    SACPP_REQUIRE(iv.size() == rank(), "index rank does not match array rank");
+    extent_t off = 0;
+    for (std::size_t i = 0; i < rank(); ++i) {
+      SACPP_ASSERT(iv[i] >= 0 && iv[i] < extents_[i], "index out of bounds");
+      off = off * extents_[i] + iv[i];
+    }
+    return off;
+  }
+
+  // Inverse of linearize.
+  IndexVec delinearize(extent_t off) const {
+    SACPP_ASSERT(off >= 0 && off < elem_count(), "linear offset out of range");
+    IndexVec iv(rank());
+    for (std::size_t i = rank(); i-- > 0;) {
+      iv[i] = off % extents_[i];
+      off /= extents_[i];
+    }
+    return iv;
+  }
+
+  bool contains(const IndexVec& iv) const {
+    if (iv.size() != rank()) return false;
+    for (std::size_t i = 0; i < rank(); ++i) {
+      if (iv[i] < 0 || iv[i] >= extents_[i]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.extents_ == b.extents_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(extents_[i]);
+    }
+    return s + "]";
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Shape& s) {
+    return os << s.to_string();
+  }
+
+ private:
+  IndexVec extents_;
+};
+
+// Cube shape: rank copies of n (the MG grids are cubes).
+inline Shape cube_shape(std::size_t rank, extent_t n) {
+  return Shape(uniform_vec(rank, n));
+}
+
+}  // namespace sacpp

@@ -1,0 +1,179 @@
+#pragma once
+// Small inline vector used for shapes and index vectors.
+//
+// Array ranks in this library are almost always <= 4, so shape and index
+// vectors are kept inline (no heap allocation) up to `InlineCap` elements and
+// spill to the heap only beyond that.  The container is deliberately minimal:
+// fixed-type, no erase/insert-in-middle, value semantics.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp {
+
+template <typename T, std::size_t InlineCap = 4>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is designed for trivially copyable element types");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(std::size_t n, const T& fill = T{}) {
+    resize(n, fill);
+  }
+
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  template <typename It>
+    requires(!std::is_arithmetic_v<It>)  // do not hijack the fill constructor
+  SmallVec(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  SmallVec(const SmallVec& other) { assign_from(other); }
+
+  SmallVec(SmallVec&& other) noexcept {
+    if (other.on_heap()) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.cap_ = InlineCap;
+      other.size_ = 0;
+    } else {
+      assign_from(other);
+      other.size_ = 0;
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      release();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      if (other.on_heap()) {
+        heap_ = other.heap_;
+        cap_ = other.cap_;
+        size_ = other.size_;
+        other.heap_ = nullptr;
+        other.cap_ = InlineCap;
+        other.size_ = 0;
+      } else {
+        assign_from(other);
+        other.size_ = 0;
+      }
+    }
+    return *this;
+  }
+
+  ~SmallVec() { release(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  T* data() noexcept { return on_heap() ? heap_ : inline_; }
+  const T* data() const noexcept { return on_heap() ? heap_ : inline_; }
+
+  iterator begin() noexcept { return data(); }
+  iterator end() noexcept { return data() + size_; }
+  const_iterator begin() const noexcept { return data(); }
+  const_iterator end() const noexcept { return data() + size_; }
+  const_iterator cbegin() const noexcept { return begin(); }
+  const_iterator cend() const noexcept { return end(); }
+
+  T& operator[](std::size_t i) {
+    SACPP_ASSERT(i < size_, "SmallVec index out of range");
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    SACPP_ASSERT(i < size_, "SmallVec index out of range");
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    grow_to(n);
+  }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data()[i] = fill;
+    size_ = n;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow_to(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  void pop_back() {
+    SACPP_ASSERT(size_ > 0, "pop_back on empty SmallVec");
+    --size_;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  bool on_heap() const noexcept { return heap_ != nullptr; }
+
+  void assign_from(const SmallVec& other) {
+    reserve(other.size_);
+    std::copy(other.begin(), other.end(), data());
+    size_ = other.size_;
+  }
+
+  void grow_to(std::size_t n) {
+    const std::size_t new_cap = std::max<std::size_t>(n, InlineCap * 2);
+    T* fresh = new T[new_cap];
+    std::copy(begin(), end(), fresh);
+    release();
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  void release() noexcept {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = InlineCap;
+  }
+
+  T inline_[InlineCap] = {};
+  T* heap_ = nullptr;
+  std::size_t cap_ = InlineCap;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sacpp

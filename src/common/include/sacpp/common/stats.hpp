@@ -1,0 +1,40 @@
+#pragma once
+// Summary statistics over repeated benchmark measurements.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+inline Summary summarize(std::vector<double> samples) {
+  SACPP_REQUIRE(!samples.empty(), "summarize needs at least one sample");
+  Summary s;
+  s.count = samples.size();
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace sacpp

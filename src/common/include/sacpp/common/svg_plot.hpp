@@ -1,0 +1,42 @@
+#pragma once
+// Minimal SVG line charts — the figure binaries use this to emit actual
+// figure files (speedup curves) next to their ASCII tables and CSVs.
+// No dependencies; output is a self-contained .svg.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sacpp {
+
+class SvgChart {
+ public:
+  SvgChart(std::string title, std::string x_label, std::string y_label,
+           int width = 760, int height = 480);
+
+  // Add one polyline; points are (x, y) in data coordinates.
+  void add_series(std::string name,
+                  std::vector<std::pair<double, double>> points);
+
+  // Optional reference line y = x ("linear speedup").
+  void add_diagonal(std::string name);
+
+  std::string render() const;
+
+  // Write to file; no-op when path is empty.
+  void write(const std::string& path) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+
+  std::string title_, x_label_, y_label_;
+  int width_, height_;
+  std::vector<Series> series_;
+  bool diagonal_ = false;
+  std::string diagonal_name_;
+};
+
+}  // namespace sacpp

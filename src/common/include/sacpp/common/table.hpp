@@ -1,0 +1,41 @@
+#pragma once
+// ASCII table and CSV emission for the figure-reproduction binaries.
+//
+// Each bench binary prints a human-readable table (the "figure") to stdout
+// and, with --csv <path>, the same data as CSV for plotting.
+
+#include <string>
+#include <vector>
+
+namespace sacpp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: format cells from doubles with fixed precision.
+  static std::string fmt(double v, int precision = 3);
+
+  // Scientific notation (for residual norms and similar tiny values).
+  static std::string fmt_sci(double v, int precision = 6);
+
+  // Render as aligned ASCII table.
+  std::string to_ascii(const std::string& title = "") const;
+
+  // Render as CSV (header + rows).
+  std::string to_csv() const;
+
+  // Write CSV to a file path; no-op when path is empty.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Render a horizontal ASCII bar chart line (used for speedup "figures").
+std::string ascii_bar(double value, double max_value, int width = 40);
+
+}  // namespace sacpp

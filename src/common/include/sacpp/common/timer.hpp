@@ -1,0 +1,39 @@
+#pragma once
+// Wall-clock timing helpers for the benchmark harness.
+
+#include <chrono>
+#include <cstdint>
+
+namespace sacpp {
+
+// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Time a callable once and return seconds.
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.elapsed_seconds();
+}
+
+}  // namespace sacpp

@@ -1,0 +1,101 @@
+#include "sacpp/common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp {
+
+void Cli::add_option(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  SACPP_REQUIRE(!opts_.count(name), "duplicate CLI option: " + name);
+  opts_[name] = Opt{default_value, help, /*is_flag=*/false, /*seen=*/false};
+  order_.push_back(name);
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  SACPP_REQUIRE(!opts_.count(name), "duplicate CLI flag: " + name);
+  opts_[name] = Opt{"0", help, /*is_flag=*/true, /*seen=*/false};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   arg.c_str());
+      print_help(argv[0]);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = opts_.find(arg);
+    if (it == opts_.end()) {
+      std::fprintf(stderr, "unknown option: --%s\n", arg.c_str());
+      print_help(argv[0]);
+      return false;
+    }
+    Opt& opt = it->second;
+    if (opt.is_flag) {
+      opt.value = has_value ? value : "1";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "option --%s needs a value\n", arg.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      opt.value = value;
+    }
+    opt.seen = true;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = opts_.find(name);
+  SACPP_REQUIRE(it != opts_.end(), "undeclared CLI option: " + name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes";
+}
+
+void Cli::print_help(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [options]\n", program.c_str());
+  for (const auto& name : order_) {
+    const Opt& o = opts_.at(name);
+    if (o.is_flag) {
+      std::fprintf(stderr, "  --%-22s %s\n", name.c_str(), o.help.c_str());
+    } else {
+      std::fprintf(stderr, "  --%-22s %s (default: %s)\n",
+                   (name + " <v>").c_str(), o.help.c_str(), o.value.c_str());
+    }
+  }
+}
+
+}  // namespace sacpp

@@ -1,0 +1,194 @@
+#include "sacpp/common/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp {
+
+namespace {
+
+const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                          "#9467bd", "#8c564b", "#17becf", "#7f7f7f"};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// A humane tick step: 1, 2 or 5 times a power of ten.
+double tick_step(double span, int target_ticks) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / target_ticks;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  if (norm <= 1.0) return mag;
+  if (norm <= 2.0) return 2.0 * mag;
+  if (norm <= 5.0) return 5.0 * mag;
+  return 10.0 * mag;
+}
+
+std::string fmt_num(double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::abs(v) < 1e7) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+SvgChart::SvgChart(std::string title, std::string x_label,
+                   std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {}
+
+void SvgChart::add_series(std::string name,
+                          std::vector<std::pair<double, double>> points) {
+  SACPP_REQUIRE(!points.empty(), "chart series needs at least one point");
+  series_.push_back(Series{std::move(name), std::move(points)});
+}
+
+void SvgChart::add_diagonal(std::string name) {
+  diagonal_ = true;
+  diagonal_name_ = std::move(name);
+}
+
+std::string SvgChart::render() const {
+  SACPP_REQUIRE(!series_.empty(), "chart needs at least one series");
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (diagonal_) ymax = std::max(ymax, xmax);
+  ymin = std::min(ymin, 0.0);
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const double ml = 64, mr = 170, mt = 48, mb = 56;  // margins
+  const double pw = width_ - ml - mr, ph = height_ - mt - mb;
+  auto X = [&](double x) { return ml + (x - xmin) / (xmax - xmin) * pw; };
+  auto Y = [&](double y) { return mt + ph - (y - ymin) / (ymax - ymin) * ph; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+     << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+     << height_ << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  os << "<text x=\"" << ml + pw / 2 << "\" y=\"24\" text-anchor=\"middle\" "
+        "font-family=\"sans-serif\" font-size=\"15\" font-weight=\"bold\">"
+     << escape(title_) << "</text>\n";
+
+  // axes + grid + ticks
+  os << "<g font-family=\"sans-serif\" font-size=\"11\" fill=\"#333\">\n";
+  const double xstep = tick_step(xmax - xmin, 8);
+  for (double x = std::ceil(xmin / xstep) * xstep; x <= xmax + 1e-9;
+       x += xstep) {
+    os << "<line x1=\"" << X(x) << "\" y1=\"" << mt << "\" x2=\"" << X(x)
+       << "\" y2=\"" << mt + ph << "\" stroke=\"#e0e0e0\"/>\n";
+    os << "<text x=\"" << X(x) << "\" y=\"" << mt + ph + 16
+       << "\" text-anchor=\"middle\">" << fmt_num(x) << "</text>\n";
+  }
+  const double ystep = tick_step(ymax - ymin, 8);
+  for (double y = std::ceil(ymin / ystep) * ystep; y <= ymax + 1e-9;
+       y += ystep) {
+    os << "<line x1=\"" << ml << "\" y1=\"" << Y(y) << "\" x2=\"" << ml + pw
+       << "\" y2=\"" << Y(y) << "\" stroke=\"#e0e0e0\"/>\n";
+    os << "<text x=\"" << ml - 8 << "\" y=\"" << Y(y) + 4
+       << "\" text-anchor=\"end\">" << fmt_num(y) << "</text>\n";
+  }
+  os << "<line x1=\"" << ml << "\" y1=\"" << mt + ph << "\" x2=\"" << ml + pw
+     << "\" y2=\"" << mt + ph << "\" stroke=\"#333\"/>\n";
+  os << "<line x1=\"" << ml << "\" y1=\"" << mt << "\" x2=\"" << ml
+     << "\" y2=\"" << mt + ph << "\" stroke=\"#333\"/>\n";
+  os << "<text x=\"" << ml + pw / 2 << "\" y=\"" << height_ - 12
+     << "\" text-anchor=\"middle\" font-size=\"12\">" << escape(x_label_)
+     << "</text>\n";
+  os << "<text x=\"16\" y=\"" << mt + ph / 2
+     << "\" text-anchor=\"middle\" font-size=\"12\" transform=\"rotate(-90 "
+        "16 "
+     << mt + ph / 2 << ")\">" << escape(y_label_) << "</text>\n";
+  os << "</g>\n";
+
+  if (diagonal_) {
+    const double hi = std::min(xmax, ymax);
+    os << "<line x1=\"" << X(xmin) << "\" y1=\"" << Y(xmin) << "\" x2=\""
+       << X(hi) << "\" y2=\"" << Y(hi)
+       << "\" stroke=\"#999\" stroke-dasharray=\"5,4\"/>\n";
+  }
+
+  // series
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const auto& s = series_[i];
+    const char* color = kPalette[i % (sizeof(kPalette) / sizeof(*kPalette))];
+    os << "<polyline fill=\"none\" stroke=\"" << color
+       << "\" stroke-width=\"2\" points=\"";
+    for (const auto& [x, y] : s.points) {
+      os << X(x) << ',' << Y(y) << ' ';
+    }
+    os << "\"/>\n";
+    for (const auto& [x, y] : s.points) {
+      os << "<circle cx=\"" << X(x) << "\" cy=\"" << Y(y)
+         << "\" r=\"3\" fill=\"" << color << "\"/>\n";
+    }
+  }
+
+  // legend
+  os << "<g font-family=\"sans-serif\" font-size=\"12\">\n";
+  double ly = mt + 8;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const char* color = kPalette[i % (sizeof(kPalette) / sizeof(*kPalette))];
+    os << "<line x1=\"" << ml + pw + 12 << "\" y1=\"" << ly << "\" x2=\""
+       << ml + pw + 34 << "\" y2=\"" << ly << "\" stroke=\"" << color
+       << "\" stroke-width=\"2\"/>\n";
+    os << "<text x=\"" << ml + pw + 40 << "\" y=\"" << ly + 4 << "\">"
+       << escape(series_[i].name) << "</text>\n";
+    ly += 20;
+  }
+  if (diagonal_) {
+    os << "<line x1=\"" << ml + pw + 12 << "\" y1=\"" << ly << "\" x2=\""
+       << ml + pw + 34 << "\" y2=\"" << ly
+       << "\" stroke=\"#999\" stroke-dasharray=\"5,4\"/>\n";
+    os << "<text x=\"" << ml + pw + 40 << "\" y=\"" << ly + 4 << "\">"
+       << escape(diagonal_name_) << "</text>\n";
+  }
+  os << "</g>\n</svg>\n";
+  return os.str();
+}
+
+void SvgChart::write(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  SACPP_REQUIRE(out.good(), "cannot open SVG output file: " + path);
+  out << render();
+}
+
+}  // namespace sacpp

@@ -1,0 +1,55 @@
+#pragma once
+// Analytical model of the message-passing MG (the paper's requested
+// MPI-reference comparison, Sec. 7).
+//
+// Mirrors the slab implementation in src/mg/mg_mpi.cpp exactly: for P
+// ranks, grid levels with at least one plane per rank run distributed
+// (compute divided by P, one halo exchange of two plane messages per rank
+// per kernel), the coarse tail is gathered to rank 0 and executed serially,
+// and each iteration ends with one reduction.  Message counts and byte
+// volumes are exact — the tests verify them against the real
+// implementation's traffic counters — while times come from the same
+// per-CPU compute parameters as the shared-memory model plus a
+// latency/bandwidth link model.  The machine pictured is a cluster of
+// E4000-class uniprocessor nodes: each rank owns its full memory
+// bandwidth (no shared bus), which is exactly why the message-passing
+// curves keep climbing where the shared-memory ones saturate.
+
+#include "sacpp/machine/model.hpp"
+#include "sacpp/machine/trace.hpp"
+
+namespace sacpp::machine {
+
+struct ClusterParams {
+  // Per-message one-way cost and per-link bandwidth of a late-90s
+  // high-speed interconnect (Myrinet class).
+  double latency = 25.0e-6;   // s per point-to-point message
+  double link_bw = 180.0e6;   // B/s per link
+  MachineParams node;         // per-CPU compute (shared with SmpModel)
+};
+
+struct DistCost {
+  double seconds = 0.0;          // one benchmark iteration
+  std::uint64_t messages = 0;    // point-to-point messages per iteration
+  std::uint64_t bytes = 0;       // point-to-point payload bytes per iteration
+};
+
+class DistModel {
+ public:
+  explicit DistModel(const ClusterParams& params = ClusterParams{})
+      : params_(params) {}
+
+  const ClusterParams& params() const { return params_; }
+
+  // Cost of one iteration (mg3p + residual + one reduction) on `ranks`.
+  DistCost iteration_cost(const mg::MgSpec& spec, int ranks) const;
+
+  // Speedup curve T(1)/T(P) for P = 1, 2, 4, ..., <= max_ranks.
+  std::vector<std::pair<int, double>> speedups(const mg::MgSpec& spec,
+                                               int max_ranks) const;
+
+ private:
+  ClusterParams params_;
+};
+
+}  // namespace sacpp::machine

@@ -1,0 +1,85 @@
+#pragma once
+// Analytical model of a bus-based shared-memory multiprocessor.
+//
+// The target machine of the paper — a SUN Ultra Enterprise 4000 (250 MHz
+// UltraSPARC-II CPUs on a shared Gigaplane bus, SOLARIS 7) — is modelled by
+// a handful of machine constants; an MG trace (trace.hpp) is scheduled onto
+// P CPUs region by region:
+//
+//   t(region, P) = max( flops * cost / (rate * p_eff),
+//                       bytes / min(p_eff * core_bw, bus_bw) )
+//                  + (p_eff > 1 ? fork_join + barrier * P : 0)
+//                  + alloc_events * alloc_cost                 (serial)
+//
+// with p_eff = P for parallel regions and 1 otherwise.  The bus term caps
+// scaling for memory-bound sweeps (the Gigaplane saturates well below
+// 10 CPUs of streaming traffic), the fork/join and barrier terms penalise
+// the many small sweeps at the bottom of the V-cycle, and the serial
+// allocation term reproduces SAC's dynamic-memory-management limit from the
+// paper's Sec. 5 analysis.
+//
+// Constants are calibrated once against the paper's published end points
+// (Fig. 11 ratios and the P=10 speedups of Fig. 12) and then *frozen*; all
+// figures are produced by running traces through this one parameter set.
+
+#include <vector>
+
+#include "sacpp/machine/trace.hpp"
+
+namespace sacpp::machine {
+
+struct MachineParams {
+  double flop_rate = 135.0e6;   // per-CPU sustained flop/s on stencil code
+  double core_bw = 245.0e6;     // per-CPU sustainable memory bandwidth, B/s
+  double bus_bw = 1.94e9;       // shared-bus saturation bandwidth, B/s
+  double fork_join = 45.0e-6;   // s per parallel region start/stop
+  double barrier_per_cpu = 3.1e-6;  // s per CPU per region barrier
+  double alloc_cost = 27.0e-6;  // s per dynamic memory-management event
+
+  // The SUN Ultra Enterprise 4000 calibration (the defaults above).  Fitted
+  // once against the ten published end points of Figs. 11/12 (see
+  // EXPERIMENTS.md for the residuals); frozen thereafter.
+  static MachineParams sun_e4000() { return MachineParams{}; }
+};
+
+// Implementation-specific per-flop cost factor relative to the Fortran-77
+// reference (backend code quality).  SAC's extra sweeps and allocations are
+// explicit in its trace; the residual factor covers the generic with-loop
+// body overhead sac2c cannot remove (the paper's missing shared-plane
+// optimisation).  The C factor encodes the observed Fortran/C backend gap
+// the paper reports but could not explain.
+struct VariantProfile {
+  double cost_factor = 1.0;
+  // Multiplier on the per-region fork/join + barrier overhead: hand-placed
+  // OpenMP directives start a team cheaply, SAC's MT runtime adds its
+  // scheduler setup, and the auto-parallelised Fortran code pays the
+  // compiler-generated region prologue on every sweep.
+  double region_overhead = 1.0;
+  static VariantProfile for_variant(mg::Variant v);
+};
+
+class SmpModel {
+ public:
+  explicit SmpModel(const MachineParams& params = MachineParams::sun_e4000())
+      : params_(params) {}
+
+  const MachineParams& params() const { return params_; }
+
+  // Seconds for one region on P CPUs.
+  double region_time(const Region& r, int cpus,
+                     const VariantProfile& profile) const;
+
+  // Seconds for one benchmark iteration (the whole trace) on P CPUs.
+  double trace_time(const Trace& trace, int cpus) const;
+
+  // Seconds for the full benchmark (nit iterations).
+  double benchmark_time(const Trace& trace, int cpus) const;
+
+  // Speedup curve T(1)/T(P) for P = 1..max_cpus.
+  std::vector<double> speedups(const Trace& trace, int max_cpus) const;
+
+ private:
+  MachineParams params_;
+};
+
+}  // namespace sacpp::machine

@@ -1,0 +1,27 @@
+#pragma once
+// The paper's published numbers (Grelck, IPPS 2002, Sec. 5), used as
+// calibration targets and recorded next to our reproduced values in
+// EXPERIMENTS.md.  Fig. 11 is published as ratios; Figs. 12/13 as curves of
+// which the text quotes the P=10 end points.
+
+namespace sacpp::machine::paper {
+
+// Fig. 11 — sequential performance ratios.
+inline constexpr double kF77OverSacW = 1.296;  // F77 faster than SAC, class W
+inline constexpr double kF77OverSacA = 1.230;  // class A
+inline constexpr double kSacOverCW = 1.142;    // SAC faster than C, class W
+inline constexpr double kSacOverCA = 1.225;    // class A
+
+// Fig. 12 — speedups at P = 10 relative to each variant's own serial time.
+inline constexpr double kSacSpeedupW10 = 5.3;
+inline constexpr double kSacSpeedupA10 = 7.6;
+inline constexpr double kF77SpeedupW10 = 2.8;
+inline constexpr double kF77SpeedupA10 = 4.0;
+inline constexpr double kOmpSpeedupW10 = 8.0;
+inline constexpr double kOmpSpeedupA10 = 9.0;
+
+// Fig. 13 — qualitative end points: SAC passes auto-parallelised F77 at
+// four CPUs; for class A SAC stays ahead of OpenMP over P <= 10.
+inline constexpr int kSacBeatsF77AtCpus = 4;
+
+}  // namespace sacpp::machine::paper

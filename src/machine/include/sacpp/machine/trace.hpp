@@ -1,0 +1,89 @@
+#pragma once
+// Parallel-region traces of the MG implementations.
+//
+// The paper's parallel results (Figs. 12/13) were measured on a 12-CPU SUN
+// Ultra Enterprise 4000, which we do not have; DESIGN.md §4 documents the
+// substitution.  The substitute works on an execution *trace*: the exact
+// sequence of grid sweeps one benchmark iteration performs — derived from
+// the same V-cycle schedule the real solvers execute, with per-sweep element
+// counts, flop counts and memory traffic computed from the real grid
+// geometry — annotated with how each implementation runs that sweep:
+//
+//  * SAC        — every with-loop is implicitly parallel, but each array
+//                 operation carries dynamic memory-management events whose
+//                 cost is invariant in grid size (the paper's Sec. 5
+//                 analysis), and sweeps below the sequential threshold run
+//                 on one CPU;
+//  * Fortran-77 — automatic parallelisation covers the simple relaxation
+//                 sweeps but not the loop nests with coupled index
+//                 expressions (rprj3/interp) nor the ghost exchanges;
+//                 static memory layout, no allocation events;
+//  * C/OpenMP   — hand-placed directives parallelise every sweep with small
+//                 constant overhead ("almost static" memory layout).
+//
+// The model (model.hpp) then schedules a trace onto P CPUs.
+
+#include <string>
+#include <vector>
+
+#include "sacpp/mg/driver.hpp"
+#include "sacpp/mg/spec.hpp"
+
+namespace sacpp::machine {
+
+enum class Op {
+  kResid,    // r = v - A u        (27-point stencil + subtraction)
+  kPsinv,    // u += C r           (27-point stencil + addition)
+  kRprj3,    // fine -> coarse restriction
+  kInterp,   // coarse -> fine prolongation (additive)
+  kComm3,    // periodic ghost exchange / border setup
+  kVecOp,    // full-grid element-wise operation (unfused SAC only)
+  kZero,     // grid clear
+};
+
+const char* op_name(Op op);
+
+// Nominal per-element work and unique memory traffic of each sweep kind
+// (shared by the shared-memory trace builder and the distributed model).
+struct OpCost {
+  double flops_per_elem = 0.0;
+  double bytes_per_elem = 0.0;
+};
+
+OpCost op_cost(Op op);
+
+// One grid sweep as one (potential) parallel region.
+struct Region {
+  Op op = Op::kResid;
+  int level = 0;          // V-cycle level (levels() = finest)
+  double elems = 0.0;     // result elements computed
+  double flops = 0.0;     // total floating-point operations
+  double bytes = 0.0;     // total unique memory traffic (read + write)
+  bool parallel = false;  // this implementation runs the sweep in parallel
+  int alloc_events = 0;   // dynamic memory-management operations (serial)
+};
+
+struct Trace {
+  mg::Variant variant = mg::Variant::kSac;
+  mg::MgSpec spec;
+  std::vector<Region> regions;  // one benchmark iteration (V-cycle + resid)
+
+  double total_flops() const;
+  double total_bytes() const;
+  int total_alloc_events() const;
+  // Fraction of flops inside parallel-annotated regions (Amdahl coverage).
+  double parallel_flop_fraction() const;
+};
+
+struct TraceOptions {
+  // SAC: with-loops over fewer elements run sequentially (config D4).
+  double sac_seq_threshold_elems = 4096.0;
+  // SAC: with-loop folding (folded traces have fewer sweeps/allocations).
+  bool sac_folding = true;
+};
+
+// Build the single-iteration trace of one implementation.
+Trace build_trace(mg::Variant variant, const mg::MgSpec& spec,
+                  const TraceOptions& opts = {});
+
+}  // namespace sacpp::machine

@@ -1,0 +1,119 @@
+#include "sacpp/machine/dist_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp::machine {
+
+namespace {
+
+int ceil_log2(int v) {
+  int k = 0;
+  while ((1 << k) < v) ++k;
+  return k;
+}
+
+double interior(int level) {
+  const double n = std::pow(2.0, level);
+  return n * n * n;
+}
+
+double plane_bytes(int level) {
+  const double n = std::pow(2.0, level) + 2.0;
+  return n * n * 8.0;
+}
+
+}  // namespace
+
+DistCost DistModel::iteration_cost(const mg::MgSpec& spec, int ranks) const {
+  SACPP_REQUIRE(ranks >= 1 && (ranks & (ranks - 1)) == 0,
+                "rank count must be a power of two");
+  SACPP_REQUIRE(2 * static_cast<extent_t>(ranks) <= spec.nx,
+                "need at least two grid planes per rank at the top level");
+  const int lt = spec.levels();
+  constexpr int lb = 1;
+  const int kd = std::max(ceil_log2(ranks), lb);
+  const MachineParams& node = params_.node;
+  const double p = static_cast<double>(ranks);
+
+  DistCost cost;
+
+  // One-CPU time for `elems` elements of a sweep kind.
+  auto compute = [&](Op op, double elems) {
+    const OpCost c = op_cost(op);
+    return std::max(c.flops_per_elem * elems / node.flop_rate,
+                    c.bytes_per_elem * elems / node.core_bw);
+  };
+  // Halo exchange of one level: two plane messages per rank, concurrent
+  // across ranks, sequential within a rank.
+  auto exchange = [&](int level) {
+    const double bytes = plane_bytes(level);
+    cost.messages += 2 * static_cast<std::uint64_t>(ranks);
+    cost.bytes += static_cast<std::uint64_t>(2.0 * p * bytes);
+    cost.seconds += 2.0 * (params_.latency + bytes / params_.link_bw);
+  };
+  // Distributed sweep: per-rank share of the level plus the exchange the
+  // kernel performs on its output.
+  auto dist_kernel = [&](Op op, int out_level, bool with_exchange = true) {
+    cost.seconds += compute(op, interior(out_level) / p);
+    if (with_exchange) exchange(out_level);
+  };
+
+  // Downward leg.
+  for (int k = lt; k > kd; --k) dist_kernel(Op::kRprj3, k - 1);
+
+  if (kd > lb) {
+    // Gather to rank 0, serial V-cycle tail, scatter back, halo refresh.
+    const double block = plane_bytes(kd);  // one plane per rank at level kd
+    for (int phase = 0; phase < 2; ++phase) {  // gather then scatter
+      cost.messages += static_cast<std::uint64_t>(ranks - 1);
+      cost.bytes += static_cast<std::uint64_t>((p - 1.0) * block);
+      cost.seconds +=
+          (p - 1.0) * (params_.latency + block / params_.link_bw);
+    }
+    for (int k = kd; k > lb; --k) cost.seconds += compute(Op::kRprj3, interior(k - 1));
+    cost.seconds += compute(Op::kPsinv, interior(lb));
+    for (int k = lb + 1; k <= kd; ++k) {
+      cost.seconds += compute(Op::kZero, interior(k));
+      cost.seconds += compute(Op::kInterp, interior(k));
+      cost.seconds += compute(Op::kResid, interior(k));
+      cost.seconds += compute(Op::kPsinv, interior(k));
+    }
+    exchange(kd);  // scattered correction's halos
+  } else {
+    dist_kernel(Op::kZero, kd, /*with_exchange=*/false);
+    dist_kernel(Op::kPsinv, kd);
+  }
+
+  // Upward leg.
+  for (int k = kd + 1; k <= lt; ++k) {
+    if (k < lt) dist_kernel(Op::kZero, k, /*with_exchange=*/false);
+    dist_kernel(Op::kInterp, k);
+    dist_kernel(Op::kResid, k);
+    dist_kernel(Op::kPsinv, k);
+  }
+  // Iteration-ending residual on the finest level.
+  dist_kernel(Op::kResid, lt);
+
+  // One norm reduction per iteration (tree latency; no point-to-point
+  // traffic in the thread-backed substrate).
+  cost.seconds += 2.0 * params_.latency * std::max(1, ceil_log2(ranks));
+
+  return cost;
+}
+
+std::vector<std::pair<int, double>> DistModel::speedups(const mg::MgSpec& spec,
+                                                        int max_ranks) const {
+  const double base = iteration_cost(spec, 1).seconds;
+  std::vector<std::pair<int, double>> out;
+  for (int p = 1; p <= max_ranks &&
+                  2 * static_cast<extent_t>(p) <= spec.nx;
+       p *= 2) {
+    out.emplace_back(p, base / iteration_cost(spec, p).seconds);
+  }
+  return out;
+}
+
+}  // namespace sacpp::machine

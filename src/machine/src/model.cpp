@@ -1,0 +1,80 @@
+#include "sacpp/machine/model.hpp"
+
+#include <algorithm>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp::machine {
+
+VariantProfile VariantProfile::for_variant(mg::Variant v) {
+  VariantProfile p;
+  switch (v) {
+    case mg::Variant::kFortran:
+      p.cost_factor = 1.0;
+      // The compiler-generated parallel-region prologue of the
+      // auto-parallelised code is far heavier than a hand-placed directive —
+      // the main reason its curves in Fig. 12 flatten early.
+      p.region_overhead = 18.7;
+      break;
+    case mg::Variant::kSacDirect:  // same generated-code quality as SAC
+    case mg::Variant::kSac:
+      // SAC's trace carries its real extra sweeps (Q-stencil prolongation,
+      // copy-on-write border setups) at full nominal volume; the calibrated
+      // per-flop factor < 1 says those extra flops were largely hidden
+      // behind memory traffic on the Gigaplane — the only way the paper's
+      // 23-30 % sequential gap is reachable given the algorithmic extra
+      // work of the high-level formulation.
+      p.cost_factor = 0.40;
+      p.region_overhead = 5.67;  // the SAC MT runtime's scheduler setup
+      break;
+    case mg::Variant::kOpenMp:
+      // The Fortran/C backend gap the paper observes (14-23 % vs SAC,
+      // ~50 % vs Fortran) but cannot explain; encoded as measured.
+      p.cost_factor = 1.64;
+      p.region_overhead = 1.0;
+      break;
+  }
+  return p;
+}
+
+double SmpModel::region_time(const Region& r, int cpus,
+                             const VariantProfile& profile) const {
+  SACPP_REQUIRE(cpus >= 1, "CPU count must be >= 1");
+  const int p_eff = r.parallel ? cpus : 1;
+  const double compute =
+      r.flops * profile.cost_factor / (params_.flop_rate * p_eff);
+  const double bw =
+      std::min(static_cast<double>(p_eff) * params_.core_bw, params_.bus_bw);
+  const double memory = r.bytes / bw;
+  double t = std::max(compute, memory);
+  if (r.parallel && cpus > 1) {
+    t += (params_.fork_join + params_.barrier_per_cpu * cpus) *
+         profile.region_overhead;
+  }
+  t += r.alloc_events * params_.alloc_cost;
+  return t;
+}
+
+double SmpModel::trace_time(const Trace& trace, int cpus) const {
+  const VariantProfile profile = VariantProfile::for_variant(trace.variant);
+  double t = 0.0;
+  for (const auto& r : trace.regions) t += region_time(r, cpus, profile);
+  return t;
+}
+
+double SmpModel::benchmark_time(const Trace& trace, int cpus) const {
+  return trace_time(trace, cpus) * trace.spec.nit;
+}
+
+std::vector<double> SmpModel::speedups(const Trace& trace, int max_cpus) const {
+  SACPP_REQUIRE(max_cpus >= 1, "max CPU count must be >= 1");
+  const double base = trace_time(trace, 1);
+  std::vector<double> s;
+  s.reserve(static_cast<std::size_t>(max_cpus));
+  for (int p = 1; p <= max_cpus; ++p) {
+    s.push_back(base / trace_time(trace, p));
+  }
+  return s;
+}
+
+}  // namespace sacpp::machine

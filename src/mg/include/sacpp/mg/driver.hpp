@@ -1,0 +1,70 @@
+#pragma once
+// Unified benchmark driver for the three MG implementations.
+//
+// Follows the NPB measurement protocol: generate the right-hand side, run
+// one untimed warm-up iteration, re-initialise, then time exactly `nit`
+// iterations of (V-cycle + residual).  Startup and finalisation are excluded
+// from the timing, as the benchmark rules require.
+//
+// Verification: the driver records the residual norm after every iteration
+// and the final norm; tests assert cross-implementation agreement and
+// convergence behaviour, and EXPERIMENTS.md records the regenerated
+// reference values per class.
+
+#include <string>
+#include <vector>
+
+#include "sacpp/mg/spec.hpp"
+
+namespace sacpp::mg {
+
+enum class Variant {
+  kSac,        // the paper's high-level SAC implementation (mg_sac)
+  kFortran,    // serial Fortran-77 reference port (mg_ref)
+  kOpenMp,     // Omni C/OpenMP port (mg_omp)
+  kSacDirect,  // ghost-free direct-periodic SAC (mg_sac_direct; paper Sec. 7)
+};
+
+const char* variant_name(Variant v);
+Variant parse_variant(const std::string& name);
+
+struct MgResult {
+  Variant variant;
+  std::string cls;
+  extent_t nx = 0;
+  int nit = 0;
+  double seconds = 0.0;            // timed section only
+  double final_norm = 0.0;         // rnm2 after the last iteration
+  std::vector<double> norms;       // rnm2 after each iteration
+  double mflops = 0.0;             // NPB's nominal flop-count rate
+};
+
+struct RunOptions {
+  bool warmup = true;       // one untimed iteration before the timed ones
+  bool record_norms = true; // per-iteration norms (costs one resid pass each)
+};
+
+// Run the full benchmark for one variant.
+MgResult run_benchmark(Variant variant, const MgSpec& spec,
+                       const RunOptions& opts = {});
+
+// NPB's nominal operation count for one benchmark run (used for the MFLOPS
+// figure): 58 flops per fine-grid point per iteration is the traditional
+// approximation used by the NPB reports.
+double nominal_flops(const MgSpec& spec);
+
+// Verification: regenerated reference residual norms per standard class
+// (cross-checked between the four implementations; class S additionally
+// matches the official NPB 2.3 constant).  Returns true and writes the
+// reference value when the class has one recorded.
+bool reference_norm(const MgSpec& spec, double* out);
+
+// Did this run reproduce the recorded class norm (NPB's 1e-8 relative
+// verification tolerance)?  Classes without a recorded value return false
+// with `*known = false`.
+bool verify(const MgResult& result, const MgSpec& spec, bool* known);
+
+// Render the official NPB-style result block ("MG Benchmark Completed...").
+std::string npb_report(const MgResult& result, const MgSpec& spec);
+
+}  // namespace sacpp::mg

@@ -1,0 +1,54 @@
+#pragma once
+// Message-passing NAS MG — the paper's second future-work item (Sec. 7):
+// "a direct comparison with the MPI-based parallel reference implementation
+// of NAS-MG would be interesting."
+//
+// Structure follows the NPB 2.x MPI implementation, simplified to a 1-D
+// slab decomposition (documented in DESIGN.md §4): each of P ranks owns a
+// contiguous block of grid planes along the outermost axis, with one halo
+// plane on each side exchanged after every kernel, cyclically (periodic
+// boundaries).  Grid levels with at least one plane per rank run
+// distributed; the coarse tail of the V-cycle is gathered to rank 0 and
+// executed serially with the reference kernels (NPB instead idles
+// processors — same communication pattern, simpler bookkeeping).
+//
+// The kernels are the reference kernels (same arithmetic, same order), so
+// a distributed run reproduces the serial residual norms to roundoff; the
+// tests assert ≤1e-12 relative agreement for 1, 2 and 4 ranks.
+//
+// Runs on the in-process message-passing world (src/msg) — ranks are
+// threads with disjoint data communicating only through Comm.
+
+#include <vector>
+
+#include "sacpp/mg/spec.hpp"
+#include "sacpp/msg/msg.hpp"
+
+namespace sacpp::mg {
+
+class MgMpi {
+ public:
+  struct Result {
+    std::vector<double> norms;  // rnm2 after each iteration
+    double final_norm = 0.0;
+    double seconds = 0.0;       // timed section (iterations only)
+    msg::WorldStats comm;       // point-to-point traffic of the timed part
+  };
+
+  // ranks must be a power of two with 2 * ranks <= nx.
+  MgMpi(const MgSpec& spec, int ranks);
+
+  const MgSpec& spec() const { return spec_; }
+  int ranks() const { return ranks_; }
+
+  // Execute the full benchmark SPMD: setup, optional untimed warm-up
+  // iteration, `nit` timed iterations of (V-cycle + residual), per-
+  // iteration norms via allreduce.
+  Result run(int nit, bool warmup = true) const;
+
+ private:
+  MgSpec spec_;
+  int ranks_;
+};
+
+}  // namespace sacpp::mg

@@ -1,0 +1,109 @@
+#pragma once
+// Port of the serial Fortran-77 NAS 2.3 MG reference implementation.
+//
+// This is the paper's low-level comparison point: static memory layout (one
+// arena allocated up front, zero allocations inside the timed loop) and the
+// hand-tuned stencil optimisation the paper analyses in Sec. 5 — only four
+// distinct coefficients occur per stencil, and partial sums of rows are
+// shared between neighbouring result elements through small line buffers
+// (u1/u2 in the Fortran source), cutting the additions per point to 12-20.
+//
+// Kernels follow the NPB structure: resid (r = v - A u), psinv (u += C r),
+// rprj3 (fine-to-coarse restriction), interp (additive coarse-to-fine
+// prolongation), comm3 (periodic ghost exchange), mg3P (one V-cycle).
+// Index convention: extended cubes of extent n = 2^k + 2, ghosts at 0 and
+// n-1, row-major with the last axis fastest (NPB's i1).
+
+#include <span>
+#include <vector>
+
+#include "sacpp/mg/spec.hpp"
+
+namespace sacpp::mg {
+
+class MgRef {
+ public:
+  explicit MgRef(const MgSpec& spec);
+
+  const MgSpec& spec() const { return spec_; }
+  extent_t top_extent() const { return n_[lt_]; }
+
+  // -- state management -------------------------------------------------
+
+  // Copy an extended (nx+2)^3 right-hand side into v.
+  void set_rhs(std::span<const double> v_ext);
+  // Generate the benchmark right-hand side (zran3 charges).
+  void setup_default_rhs();
+  void zero_u();
+  // r = v - A u on the finest level.
+  void initial_resid();
+  // `count` benchmark iterations: u += M^k r (mg3P), then r = v - A u.
+  void iterate(int count);
+  // rnm2 of the current finest-level residual.
+  double residual_norm() const;
+
+  std::span<const double> u() const;
+  std::span<const double> v() const;
+  std::span<const double> r() const;
+
+  // -- kernels (exposed for unit tests and the OpenMP port) ---------------
+
+  // r = v - A u over the interior of an extended cube of extent n, then
+  // periodic exchange of r.  v and r may alias.
+  void kernel_resid(const double* u_in, const double* v_in, double* r_out,
+                    extent_t n) const;
+  // u += C r over the interior, then periodic exchange of u.
+  void kernel_psinv(const double* r_in, double* u_inout, extent_t n) const;
+  // Coarse = P-weighted restriction of fine (extent nf -> nc), then
+  // periodic exchange of the coarse grid.
+  void kernel_rprj3(const double* fine, extent_t nf, double* coarse,
+                    extent_t nc) const;
+  // Fine += trilinear prolongation of coarse (extent nc -> nf).  No
+  // exchange needed: prolongation of a periodic grid is periodic.
+  void kernel_interp(const double* coarse, extent_t nc, double* fine,
+                     extent_t nf) const;
+
+  // One V-cycle: restrict the residual hierarchy to the bottom, smooth,
+  // then prolongate with residual corrections back to the top (NPB mg3P).
+  void mg3p();
+
+  // Direct access to the per-level grids (extent extended_extent(k)); used
+  // by the distributed implementation to run the coarse tail of the
+  // V-cycle serially on one rank, and by tests.
+  std::span<double> level_u_span(int k) {
+    return {level_u(k), cube(k)};
+  }
+  std::span<double> level_r_span(int k) {
+    return {level_r(k), cube(k)};
+  }
+  int finest_level() const { return lt_; }
+  int coarsest_level() const { return lb_; }
+  extent_t level_extent(int k) const {
+    return n_[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  double* level_u(int k) { return arena_.data() + off_u_[static_cast<std::size_t>(k)]; }
+  double* level_r(int k) { return arena_.data() + off_r_[static_cast<std::size_t>(k)]; }
+  const double* level_u(int k) const { return arena_.data() + off_u_[static_cast<std::size_t>(k)]; }
+  const double* level_r(int k) const { return arena_.data() + off_r_[static_cast<std::size_t>(k)]; }
+  double* top_v() { return arena_.data() + off_v_; }
+  const double* top_v() const { return arena_.data() + off_v_; }
+
+  std::size_t cube(int k) const {
+    const auto n = static_cast<std::size_t>(n_[static_cast<std::size_t>(k)]);
+    return n * n * n;
+  }
+
+  MgSpec spec_;
+  int lt_;                  // finest level
+  static constexpr int lb_ = 1;  // coarsest level
+  std::vector<extent_t> n_;      // extended extent per level (index 1..lt)
+  std::vector<double> arena_;    // single static allocation for all grids
+  std::vector<std::size_t> off_u_, off_r_;
+  std::size_t off_v_ = 0;
+  // Pre-allocated line buffers for the plane-sharing stencil optimisation.
+  mutable std::vector<double> buf1_, buf2_, buf3_;
+};
+
+}  // namespace sacpp::mg

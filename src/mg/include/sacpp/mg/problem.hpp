@@ -1,0 +1,53 @@
+#pragma once
+// MG input generation (NPB's zran3) and the residual norm (norm2u3).
+//
+// The right-hand side v is zero except for +1 at the positions of the ten
+// largest and -1 at the positions of the ten smallest values of an nx^3
+// field of NAS pseudo-random deviates, laid out exactly as NPB generates it
+// (innermost index fastest, one vranlc row per (i2, i3) with multiplicative
+// sequence jumps between rows and planes).
+//
+// All extended grids are cubes of extent nx+2: one artificial periodic
+// boundary layer on each side (paper Fig. 5).  Index convention inside
+// extended grids: 0 and n-1 are the ghost layers, 1 .. n-2 the interior.
+
+#include <span>
+#include <vector>
+
+#include "sacpp/common/shape.hpp"
+
+namespace sacpp::mg {
+
+// The nx^3 interior field of pseudo-random deviates in NPB order
+// (row-major with the last index fastest, i.e. element (i3, i2, i1) of NPB
+// at flat position (i3 * nx + i2) * nx + i1).
+std::vector<double> random_field(extent_t nx);
+
+// Charge positions: 0-based *interior* coordinates (each in [0, nx)).
+struct Charges {
+  std::vector<IndexVec> plus;   // ten largest deviates -> +1
+  std::vector<IndexVec> minus;  // ten smallest deviates -> -1
+};
+
+// The ten largest / ten smallest positions of `field` (size nx^3).  Ties are
+// broken by scan order; the NPB generator never produces ties.
+Charges find_charges(const std::vector<double>& field, extent_t nx);
+
+// Fill the extended (nx+2)^3 right-hand side: zero everywhere, +-1 at the
+// charge positions (shifted by the ghost layer), ghost layers made
+// periodic.  `v_ext` must have size (nx+2)^3.
+void fill_rhs(std::span<double> v_ext, extent_t nx);
+
+// Apply periodic boundary conditions to an extended cube in place: each
+// ghost layer receives the opposite interior layer, one axis after the
+// other (NPB comm3).  `n` is the extended extent; `a` has size n^3.
+void periodic_border_3d(std::span<double> a, extent_t n);
+
+// L2 norm of the interior of an extended cube, normalised by the interior
+// point count: sqrt( sum_{interior} a^2 / nx^3 )  (NPB norm2u3's rnm2).
+double interior_l2_norm(std::span<const double> a, extent_t n);
+
+// Maximum absolute interior value (NPB norm2u3's rnmu).
+double interior_max_abs(std::span<const double> a, extent_t n);
+
+}  // namespace sacpp::mg

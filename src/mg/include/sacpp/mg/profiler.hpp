@@ -1,0 +1,89 @@
+#pragma once
+// Per-level execution profiler.
+//
+// The paper's Sec. 5 analysis is about *where time goes across V-cycle
+// levels* (small grids pay fixed overheads).  The profiler records the
+// wall-clock of each level's work inside the real solvers, so benchmarks
+// can put measured per-level shares next to the machine model's per-level
+// prediction (bench/abl_levels) — a direct validation of the analysis.
+//
+// Disabled (the default) it costs one branch per level per V-cycle.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sacpp/common/shape.hpp"
+#include "sacpp/common/timer.hpp"
+
+namespace sacpp::mg {
+
+class LevelProfiler {
+ public:
+  static LevelProfiler& instance() {
+    static LevelProfiler profiler;
+    return profiler;
+  }
+
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void reset() { buckets_.clear(); }
+
+  void record(int level, double seconds) {
+    auto& b = buckets_[level];
+    b.seconds += seconds;
+    b.count += 1;
+  }
+
+  struct Entry {
+    int level = 0;
+    double seconds = 0.0;
+    std::uint64_t count = 0;  // V-cycle visits of this level
+  };
+
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    for (const auto& [level, b] : buckets_) {
+      out.push_back(Entry{level, b.seconds, b.count});
+    }
+    return out;
+  }
+
+  double total_seconds() const {
+    double t = 0.0;
+    for (const auto& [level, b] : buckets_) t += b.seconds;
+    return t;
+  }
+
+ private:
+  struct Bucket {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  bool enabled_ = false;
+  std::map<int, Bucket> buckets_;
+};
+
+// RAII: times one level's work into the profiler when enabled.
+class LevelScope {
+ public:
+  explicit LevelScope(int level) : level_(level) {
+    active_ = LevelProfiler::instance().enabled();
+    if (active_) timer_.reset();
+  }
+  ~LevelScope() {
+    if (active_) {
+      LevelProfiler::instance().record(level_, timer_.elapsed_seconds());
+    }
+  }
+  LevelScope(const LevelScope&) = delete;
+  LevelScope& operator=(const LevelScope&) = delete;
+
+ private:
+  int level_;
+  bool active_;
+  Timer timer_;
+};
+
+}  // namespace sacpp::mg

@@ -1,0 +1,56 @@
+#pragma once
+// The NAS MG benchmark specification: problem classes, stencil coefficient
+// vectors, and grid-hierarchy geometry.
+//
+// MG approximates the solution u of the discrete Poisson equation
+// del^2 u = v on an nx^3 grid with periodic boundaries, using `nit`
+// iterations of  r = v - A u;  u = u + M^k r  where M^k is the V-cycle
+// operator of Fig. 2 of the paper.  A, P, Q and S are 27-point stencils
+// described by one coefficient per neighbour distance class.
+//
+// Class geometry follows NPB 2.3 (the version the paper benchmarks):
+//   S = 32^3 / 4 it,  W = 64^3 / 40 it,  A = 256^3 / 4 it,
+//   B = 256^3 / 20 it,  C = 512^3 / 20 it.
+// Classes S/W/A use the S(a) smoother coefficients, classes B/C use S(b).
+// (The paper evaluates W and A; B and C appear in its future-work list.)
+
+#include <cstdint>
+#include <string>
+
+#include "sacpp/common/shape.hpp"
+#include "sacpp/sac/stencil.hpp"
+
+namespace sacpp::mg {
+
+enum class MgClass { S, W, A, B, C };
+
+struct MgSpec {
+  MgClass cls = MgClass::S;
+  extent_t nx = 32;  // interior grid points per dimension (power of two)
+  int nit = 4;       // benchmark iterations
+
+  sac::StencilCoeffs a;  // residual operator A
+  sac::StencilCoeffs p;  // fine-to-coarse (restriction) operator P
+  sac::StencilCoeffs q;  // coarse-to-fine (prolongation) operator Q
+  sac::StencilCoeffs s;  // smoother S
+
+  static MgSpec for_class(MgClass cls);
+
+  // Non-standard problem size (powers of two >= 4); used by tests and
+  // sweeps.  `class_b_smoother` selects the S(b) coefficient set.
+  static MgSpec custom(extent_t nx, int nit, bool class_b_smoother = false);
+
+  // Number of grid levels: level k has 2^k interior points per dimension,
+  // k = 1 .. levels().  levels() == log2(nx).
+  int levels() const;
+
+  // Extended extent (interior + 2 ghost layers) at level k in [1, levels()].
+  extent_t extended_extent(int level) const;
+
+  std::string name() const;
+};
+
+// Parse "S" / "W" / "A" / "B" (case-insensitive); throws on anything else.
+MgClass parse_class(const std::string& name);
+
+}  // namespace sacpp::mg

@@ -1,0 +1,278 @@
+#include "sacpp/mg/mg_ref.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/mg/problem.hpp"
+#include "sacpp/mg/profiler.hpp"
+
+namespace sacpp::mg {
+
+MgRef::MgRef(const MgSpec& spec) : spec_(spec), lt_(spec.levels()) {
+  SACPP_REQUIRE(lt_ >= lb_, "MG needs at least one level");
+  n_.assign(static_cast<std::size_t>(lt_) + 1, 0);
+  off_u_.assign(static_cast<std::size_t>(lt_) + 1, 0);
+  off_r_.assign(static_cast<std::size_t>(lt_) + 1, 0);
+  std::size_t total = 0;
+  for (int k = lb_; k <= lt_; ++k) {
+    n_[static_cast<std::size_t>(k)] = (extent_t{1} << k) + 2;
+    off_u_[static_cast<std::size_t>(k)] = total;
+    total += cube(k);
+    off_r_[static_cast<std::size_t>(k)] = total;
+    total += cube(k);
+  }
+  off_v_ = total;
+  total += cube(lt_);
+  arena_.assign(total, 0.0);  // the single static allocation
+  const auto nmax = static_cast<std::size_t>(n_[static_cast<std::size_t>(lt_)]);
+  buf1_.assign(nmax, 0.0);
+  buf2_.assign(nmax, 0.0);
+  buf3_.assign(nmax, 0.0);
+}
+
+void MgRef::set_rhs(std::span<const double> v_ext) {
+  SACPP_REQUIRE(v_ext.size() == cube(lt_), "RHS buffer size mismatch");
+  std::copy(v_ext.begin(), v_ext.end(), top_v());
+}
+
+void MgRef::setup_default_rhs() {
+  fill_rhs(std::span<double>(top_v(), cube(lt_)), spec_.nx);
+}
+
+void MgRef::zero_u() {
+  for (int k = lb_; k <= lt_; ++k) {
+    std::memset(level_u(k), 0, cube(k) * sizeof(double));
+  }
+}
+
+void MgRef::initial_resid() {
+  kernel_resid(level_u(lt_), top_v(), level_r(lt_), n_[static_cast<std::size_t>(lt_)]);
+}
+
+void MgRef::iterate(int count) {
+  for (int it = 0; it < count; ++it) {
+    mg3p();
+    initial_resid();
+  }
+}
+
+double MgRef::residual_norm() const {
+  return interior_l2_norm(r(), n_[static_cast<std::size_t>(lt_)]);
+}
+
+std::span<const double> MgRef::u() const {
+  return {level_u(lt_), cube(lt_)};
+}
+std::span<const double> MgRef::v() const { return {top_v(), cube(lt_)}; }
+std::span<const double> MgRef::r() const {
+  return {level_r(lt_), cube(lt_)};
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+void MgRef::kernel_resid(const double* u_in, const double* v_in, double* r_out,
+                         extent_t n) const {
+  const double a0 = spec_.a[0], a2 = spec_.a[2], a3 = spec_.a[3];
+  // a[1] == 0 for the benchmark operator A; the reference code omits its
+  // term entirely (the "4 multiplications" optimisation).
+  SACPP_ASSERT(spec_.a[1] == 0.0, "reference resid assumes a[1] == 0");
+  double* u1 = buf1_.data();
+  double* u2 = buf2_.data();
+  const std::size_t nn = static_cast<std::size_t>(n);
+  auto at = [nn](const double* p, extent_t i, extent_t j) {
+    return p + (static_cast<std::size_t>(i) * nn + static_cast<std::size_t>(j)) * nn;
+  };
+  for (extent_t i = 1; i < n - 1; ++i) {
+    for (extent_t j = 1; j < n - 1; ++j) {
+      const double* um = at(u_in, i - 1, j);
+      const double* up = at(u_in, i + 1, j);
+      const double* ujm = at(u_in, i, j - 1);
+      const double* ujp = at(u_in, i, j + 1);
+      const double* umm = at(u_in, i - 1, j - 1);
+      const double* ump = at(u_in, i - 1, j + 1);
+      const double* upm = at(u_in, i + 1, j - 1);
+      const double* upp = at(u_in, i + 1, j + 1);
+      for (extent_t k = 0; k < n; ++k) {
+        u1[k] = ujm[k] + ujp[k] + um[k] + up[k];
+        u2[k] = umm[k] + ump[k] + upm[k] + upp[k];
+      }
+      const double* uc = at(u_in, i, j);
+      const double* vc = at(v_in, i, j);
+      double* rrow =
+          r_out +
+          (static_cast<std::size_t>(i) * nn + static_cast<std::size_t>(j)) * nn;
+      for (extent_t k = 1; k < n - 1; ++k) {
+        rrow[k] = vc[k] - a0 * uc[k] - a2 * (u2[k] + u1[k - 1] + u1[k + 1]) -
+                  a3 * (u2[k - 1] + u2[k + 1]);
+      }
+    }
+  }
+  periodic_border_3d(std::span<double>(r_out, nn * nn * nn), n);
+}
+
+void MgRef::kernel_psinv(const double* r_in, double* u_inout,
+                         extent_t n) const {
+  const double c0 = spec_.s[0], c1 = spec_.s[1], c2 = spec_.s[2];
+  // c[3] == 0 for both benchmark smoother coefficient sets.
+  SACPP_ASSERT(spec_.s[3] == 0.0, "reference psinv assumes c[3] == 0");
+  double* r1 = buf1_.data();
+  double* r2 = buf2_.data();
+  const std::size_t nn = static_cast<std::size_t>(n);
+  auto at = [nn](const double* p, extent_t i, extent_t j) {
+    return p + (static_cast<std::size_t>(i) * nn + static_cast<std::size_t>(j)) * nn;
+  };
+  for (extent_t i = 1; i < n - 1; ++i) {
+    for (extent_t j = 1; j < n - 1; ++j) {
+      const double* rjm = at(r_in, i, j - 1);
+      const double* rjp = at(r_in, i, j + 1);
+      const double* rim = at(r_in, i - 1, j);
+      const double* rip = at(r_in, i + 1, j);
+      const double* rmm = at(r_in, i - 1, j - 1);
+      const double* rmp = at(r_in, i - 1, j + 1);
+      const double* rpm = at(r_in, i + 1, j - 1);
+      const double* rpp = at(r_in, i + 1, j + 1);
+      for (extent_t k = 0; k < n; ++k) {
+        r1[k] = rjm[k] + rjp[k] + rim[k] + rip[k];
+        r2[k] = rmm[k] + rmp[k] + rpm[k] + rpp[k];
+      }
+      const double* rrow = at(r_in, i, j);
+      double* urow =
+          u_inout +
+          (static_cast<std::size_t>(i) * nn + static_cast<std::size_t>(j)) * nn;
+      for (extent_t k = 1; k < n - 1; ++k) {
+        urow[k] += c0 * rrow[k] + c1 * (rrow[k - 1] + rrow[k + 1] + r1[k]) +
+                   c2 * (r2[k] + r1[k - 1] + r1[k + 1]);
+      }
+    }
+  }
+  periodic_border_3d(std::span<double>(u_inout, nn * nn * nn), n);
+}
+
+void MgRef::kernel_rprj3(const double* fine, extent_t nf, double* coarse,
+                         extent_t nc) const {
+  SACPP_REQUIRE(nf - 2 == 2 * (nc - 2), "rprj3 level extent mismatch");
+  const double p0 = spec_.p[0], p1 = spec_.p[1], p2 = spec_.p[2],
+               p3 = spec_.p[3];
+  double* x1 = buf1_.data();  // both of i/j offset (edge/corner partials)
+  double* y1 = buf2_.data();  // exactly one of i/j offset
+  const std::size_t nnf = static_cast<std::size_t>(nf);
+  const std::size_t nnc = static_cast<std::size_t>(nc);
+  auto fat = [nnf, fine](extent_t i, extent_t j) {
+    return fine + (static_cast<std::size_t>(i) * nnf + static_cast<std::size_t>(j)) * nnf;
+  };
+  for (extent_t jc = 1; jc < nc - 1; ++jc) {
+    const extent_t i = 2 * jc;
+    for (extent_t kc = 1; kc < nc - 1; ++kc) {
+      const extent_t j = 2 * kc;
+      const double* fmm = fat(i - 1, j - 1);
+      const double* fmp = fat(i - 1, j + 1);
+      const double* fpm = fat(i + 1, j - 1);
+      const double* fpp = fat(i + 1, j + 1);
+      const double* fjm = fat(i, j - 1);
+      const double* fjp = fat(i, j + 1);
+      const double* fim = fat(i - 1, j);
+      const double* fip = fat(i + 1, j);
+      // Plane sums must extend into the ghost columns: the last interior
+      // coarse point reads x1/y1 at fine index nf-1.
+      for (extent_t k = 1; k < nf; ++k) {
+        x1[k] = fmm[k] + fmp[k] + fpm[k] + fpp[k];
+        y1[k] = fjm[k] + fjp[k] + fim[k] + fip[k];
+      }
+      const double* fc = fat(i, j);
+      double* crow =
+          coarse + (static_cast<std::size_t>(jc) * nnc + static_cast<std::size_t>(kc)) * nnc;
+      for (extent_t mc = 1; mc < nc - 1; ++mc) {
+        const extent_t k = 2 * mc;
+        crow[mc] = p0 * fc[k] + p1 * (fc[k - 1] + fc[k + 1] + y1[k]) +
+                   p2 * (x1[k] + y1[k - 1] + y1[k + 1]) +
+                   p3 * (x1[k - 1] + x1[k + 1]);
+      }
+    }
+  }
+  periodic_border_3d(std::span<double>(coarse, nnc * nnc * nnc), nc);
+}
+
+void MgRef::kernel_interp(const double* coarse, extent_t nc, double* fine,
+                          extent_t nf) const {
+  SACPP_REQUIRE(nf - 2 == 2 * (nc - 2), "interp level extent mismatch");
+  const double q1 = spec_.q[1], q2 = spec_.q[2], q3 = spec_.q[3];
+  SACPP_ASSERT(spec_.q[0] == 1.0, "reference interp assumes q[0] == 1");
+  double* z1 = buf1_.data();  // j-pair sums
+  double* z2 = buf2_.data();  // i-pair sums
+  double* z3 = buf3_.data();  // (i, j) quad sums
+  const std::size_t nnf = static_cast<std::size_t>(nf);
+  const std::size_t nnc = static_cast<std::size_t>(nc);
+  auto cat = [nnc, coarse](extent_t i, extent_t j) {
+    return coarse + (static_cast<std::size_t>(i) * nnc + static_cast<std::size_t>(j)) * nnc;
+  };
+  auto fat = [nnf, fine](extent_t i, extent_t j) {
+    return fine + (static_cast<std::size_t>(i) * nnf + static_cast<std::size_t>(j)) * nnf;
+  };
+  for (extent_t ci = 0; ci < nc - 1; ++ci) {
+    for (extent_t cj = 0; cj < nc - 1; ++cj) {
+      const double* zc = cat(ci, cj);
+      const double* zcj = cat(ci, cj + 1);
+      const double* zci = cat(ci + 1, cj);
+      const double* zcc = cat(ci + 1, cj + 1);
+      for (extent_t k = 0; k < nc; ++k) {
+        z1[k] = zcj[k] + zc[k];
+        z2[k] = zci[k] + zc[k];
+        z3[k] = zcc[k] + zci[k] + z1[k];
+      }
+      double* f00 = fat(2 * ci, 2 * cj);
+      double* f01 = fat(2 * ci, 2 * cj + 1);
+      double* f10 = fat(2 * ci + 1, 2 * cj);
+      double* f11 = fat(2 * ci + 1, 2 * cj + 1);
+      for (extent_t ck = 0; ck < nc - 1; ++ck) {
+        const extent_t k = 2 * ck;
+        f00[k] += zc[ck];
+        f00[k + 1] += q1 * (zc[ck + 1] + zc[ck]);
+        f01[k] += q1 * z1[ck];
+        f01[k + 1] += q2 * (z1[ck] + z1[ck + 1]);
+        f10[k] += q1 * z2[ck];
+        f10[k + 1] += q2 * (z2[ck] + z2[ck + 1]);
+        f11[k] += q2 * z3[ck];
+        f11[k + 1] += q3 * (z3[ck] + z3[ck + 1]);
+      }
+    }
+  }
+}
+
+void MgRef::mg3p() {
+  // Downward: restrict the residual hierarchy to the coarsest level.
+  for (int k = lt_; k > lb_; --k) {
+    LevelScope scope(k);
+    kernel_rprj3(level_r(k), n_[static_cast<std::size_t>(k)], level_r(k - 1),
+                 n_[static_cast<std::size_t>(k - 1)]);
+  }
+  // Bottom: one smoothing step from a zero correction.
+  {
+    LevelScope scope(lb_);
+    std::memset(level_u(lb_), 0, cube(lb_) * sizeof(double));
+    kernel_psinv(level_r(lb_), level_u(lb_),
+                 n_[static_cast<std::size_t>(lb_)]);
+  }
+  // Upward: prolongate, correct the residual, smooth.
+  for (int k = lb_ + 1; k < lt_; ++k) {
+    LevelScope scope(k);
+    std::memset(level_u(k), 0, cube(k) * sizeof(double));
+    kernel_interp(level_u(k - 1), n_[static_cast<std::size_t>(k - 1)],
+                  level_u(k), n_[static_cast<std::size_t>(k)]);
+    kernel_resid(level_u(k), level_r(k), level_r(k),
+                 n_[static_cast<std::size_t>(k)]);
+    kernel_psinv(level_r(k), level_u(k), n_[static_cast<std::size_t>(k)]);
+  }
+  if (lt_ > lb_) {
+    LevelScope scope(lt_);
+    const extent_t nt = n_[static_cast<std::size_t>(lt_)];
+    kernel_interp(level_u(lt_ - 1), n_[static_cast<std::size_t>(lt_ - 1)],
+                  level_u(lt_), nt);
+    kernel_resid(level_u(lt_), top_v(), level_r(lt_), nt);
+    kernel_psinv(level_r(lt_), level_u(lt_), nt);
+  }
+}
+
+}  // namespace sacpp::mg

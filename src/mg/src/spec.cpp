@@ -1,0 +1,126 @@
+#include "sacpp/mg/spec.hpp"
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp::mg {
+
+namespace {
+
+constexpr sac::StencilCoeffs kA{{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}};
+constexpr sac::StencilCoeffs kP{{1.0 / 2.0, 1.0 / 4.0, 1.0 / 8.0, 1.0 / 16.0}};
+constexpr sac::StencilCoeffs kQ{{1.0, 1.0 / 2.0, 1.0 / 4.0, 1.0 / 8.0}};
+// S(a): classes S, W, A.  S(b): classes B and C.
+constexpr sac::StencilCoeffs kSa{{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0}};
+constexpr sac::StencilCoeffs kSb{{-3.0 / 17.0, 1.0 / 33.0, -1.0 / 61.0, 0.0}};
+
+bool is_power_of_two(extent_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+MgSpec MgSpec::for_class(MgClass cls) {
+  MgSpec spec;
+  spec.cls = cls;
+  spec.a = kA;
+  spec.p = kP;
+  spec.q = kQ;
+  spec.s = kSa;
+  switch (cls) {
+    case MgClass::S:
+      spec.nx = 32;
+      spec.nit = 4;
+      break;
+    case MgClass::W:
+      spec.nx = 64;
+      spec.nit = 40;
+      break;
+    case MgClass::A:
+      spec.nx = 256;
+      spec.nit = 4;
+      break;
+    case MgClass::B:
+      spec.nx = 256;
+      spec.nit = 20;
+      spec.s = kSb;
+      break;
+    case MgClass::C:
+      spec.nx = 512;
+      spec.nit = 20;
+      spec.s = kSb;
+      break;
+  }
+  return spec;
+}
+
+MgSpec MgSpec::custom(extent_t nx, int nit, bool class_b_smoother) {
+  SACPP_REQUIRE(is_power_of_two(nx) && nx >= 4,
+                "MG grid size must be a power of two >= 4");
+  SACPP_REQUIRE(nit >= 0, "MG iteration count must be non-negative");
+  MgSpec spec;
+  spec.cls = MgClass::S;  // nominal; name() reports the custom size
+  spec.nx = nx;
+  spec.nit = nit;
+  spec.a = kA;
+  spec.p = kP;
+  spec.q = kQ;
+  spec.s = class_b_smoother ? kSb : kSa;
+  return spec;
+}
+
+int MgSpec::levels() const {
+  int k = 0;
+  extent_t n = nx;
+  while (n > 1) {
+    n /= 2;
+    ++k;
+  }
+  return k;
+}
+
+extent_t MgSpec::extended_extent(int level) const {
+  SACPP_REQUIRE(level >= 1 && level <= levels(), "MG level out of range");
+  return (extent_t{1} << level) + 2;
+}
+
+std::string MgSpec::name() const {
+  switch (cls) {
+    case MgClass::S:
+      if (nx == 32 && nit == 4) return "S";
+      return "custom(" + std::to_string(nx) + "^3 x " + std::to_string(nit) +
+             ")";
+    case MgClass::W:
+      return "W";
+    case MgClass::A:
+      return "A";
+    case MgClass::B:
+      return "B";
+    case MgClass::C:
+      return "C";
+  }
+  return "?";
+}
+
+MgClass parse_class(const std::string& name) {
+  SACPP_REQUIRE(name.size() == 1, "benchmark class must be one letter");
+  switch (name[0]) {
+    case 'S':
+    case 's':
+      return MgClass::S;
+    case 'W':
+    case 'w':
+      return MgClass::W;
+    case 'A':
+    case 'a':
+      return MgClass::A;
+    case 'B':
+    case 'b':
+      return MgClass::B;
+    case 'C':
+    case 'c':
+      return MgClass::C;
+    default:
+      SACPP_REQUIRE(false, "unknown benchmark class: " + name);
+  }
+  return MgClass::S;  // unreachable
+}
+
+}  // namespace sacpp::mg

@@ -1,0 +1,155 @@
+#pragma once
+// An in-process message-passing world: the MPI subset NPB's MG-MPI needs.
+//
+// The paper's second future-work item asks for "a direct comparison with
+// the MPI-based parallel reference implementation of NAS-MG".  We have no
+// cluster (or MPI installation) in this environment, so the substrate is an
+// SPMD runtime over threads: World spawns one thread per rank, each running
+// the same program, communicating exclusively through the Comm handle —
+// blocking tagged point-to-point messages and the collectives MG needs
+// (barrier, allreduce, broadcast, gather/scatter to a root).  The
+// programming model is message passing with disjoint address spaces by
+// convention: ranks share no data except through Comm.
+//
+// Message counts and byte volumes are tallied per world; the distributed
+// machine model uses the same communication structure analytically.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp::msg {
+
+class World;
+
+// Per-rank communicator handle (only valid inside World::run).
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  // Blocking tagged point-to-point.  Matching is by (source, tag); message
+  // order between the same (source, tag) pair is preserved.  The received
+  // message must have exactly out.size() elements.
+  void send(int dest, int tag, std::span<const double> data);
+  void recv(int source, int tag, std::span<double> out);
+
+  // Exchange with two (possibly equal) partners without deadlock.
+  void sendrecv(int dest, std::span<const double> out_data, int source,
+                std::span<double> in_data, int tag);
+
+  // Non-blocking receive: returns immediately with a request handle; the
+  // message is copied into `out` when it arrives (possibly inside wait()).
+  // `out` must stay alive until the request completes.  Sends are buffered
+  // and complete immediately in this substrate, so isend == send.
+  class Request {
+   public:
+    // Block until the message has been delivered into the buffer.
+    void wait();
+    // True once delivered (non-blocking probe).
+    bool test();
+
+   private:
+    friend class Comm;
+    Request(World* world, int self, int source, int tag,
+            std::span<double> out)
+        : world_(world), self_(self), source_(source), tag_(tag), out_(out) {}
+    World* world_;
+    int self_;
+    int source_;
+    int tag_;
+    std::span<double> out_;
+    bool done_ = false;
+  };
+
+  Request irecv(int source, int tag, std::span<double> out);
+
+  // Collectives over all ranks.
+  void barrier();
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  void broadcast(int root, std::span<double> data);
+
+  // Root collects equally sized blocks from every rank (rank order); the
+  // inverse scatters them.  `block` is this rank's contribution / slot;
+  // `all` (root only) must hold size() * block.size() elements.
+  void gather(int root, std::span<const double> block, std::span<double> all);
+  void scatter(int root, std::span<const double> all, std::span<double> block);
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+struct WorldStats {
+  std::uint64_t messages = 0;  // point-to-point sends
+  std::uint64_t bytes = 0;     // point-to-point payload bytes
+  std::uint64_t barriers = 0;
+  std::uint64_t reductions = 0;
+};
+
+// The shared SPMD world.  Construct with the rank count, then run() one or
+// more SPMD programs; each run spawns `ranks` threads and joins them.
+class World {
+ public:
+  explicit World(int ranks);
+
+  int size() const noexcept { return ranks_; }
+
+  // Execute fn(comm) on every rank concurrently; rethrows the first rank
+  // failure after all threads joined.
+  void run(const std::function<void(Comm&)>& fn);
+
+  const WorldStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = WorldStats{}; }
+
+  // Internal (used by Comm and Comm::Request): blocking and non-blocking
+  // message matching for rank `self`.
+  void receive(int self, int source, int tag, std::span<double> out);
+  bool try_receive(int self, int source, int tag, std::span<double> out);
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    int source;
+    int tag;
+    std::vector<double> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::list<Message> messages;
+  };
+
+  void deliver(int source, int dest, int tag, std::span<const double> data);
+  void barrier_wait();
+  double reduce(int rank, double value, bool maximum);
+
+  int ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // barrier state (central, generation-counted)
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // reduction state (contribute-then-read with two internal barriers)
+  std::vector<double> reduce_slots_;
+
+  WorldStats stats_;
+  std::mutex stats_mutex_;
+};
+
+}  // namespace sacpp::msg

@@ -1,0 +1,225 @@
+#include "sacpp/msg/msg.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace sacpp::msg {
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(int ranks) : ranks_(ranks) {
+  SACPP_REQUIRE(ranks >= 1, "message-passing world needs >= 1 rank");
+  mailboxes_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  reduce_slots_.assign(static_cast<std::size_t>(ranks), 0.0);
+}
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
+  threads.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      Comm comm(this, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void World::deliver(int source, int dest, int tag,
+                    std::span<const double> data) {
+  SACPP_REQUIRE(dest >= 0 && dest < ranks_, "send destination out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(
+        Message{source, tag, std::vector<double>(data.begin(), data.end())});
+  }
+  box.arrived.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.messages += 1;
+    stats_.bytes += data.size() * sizeof(double);
+  }
+}
+
+void World::receive(int self, int source, int tag, std::span<double> out) {
+  SACPP_REQUIRE(source >= 0 && source < ranks_, "recv source out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != box.messages.end()) {
+      SACPP_REQUIRE(it->payload.size() == out.size(),
+                    "message length does not match receive buffer");
+      std::copy(it->payload.begin(), it->payload.end(), out.begin());
+      box.messages.erase(it);
+      return;
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+bool World::try_receive(int self, int source, int tag,
+                        std::span<double> out) {
+  SACPP_REQUIRE(source >= 0 && source < ranks_, "recv source out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  const auto it = std::find_if(
+      box.messages.begin(), box.messages.end(), [&](const Message& m) {
+        return m.source == source && m.tag == tag;
+      });
+  if (it == box.messages.end()) return false;
+  SACPP_REQUIRE(it->payload.size() == out.size(),
+                "message length does not match receive buffer");
+  std::copy(it->payload.begin(), it->payload.end(), out.begin());
+  box.messages.erase(it);
+  return true;
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_waiting_ == ranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      stats_.barriers += 1;
+    }
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+}
+
+double World::reduce(int rank, double value, bool maximum) {
+  reduce_slots_[static_cast<std::size_t>(rank)] = value;
+  barrier_wait();  // all contributions visible
+  double acc = maximum ? reduce_slots_[0] : 0.0;
+  for (int r = 0; r < ranks_; ++r) {
+    const double v = reduce_slots_[static_cast<std::size_t>(r)];
+    acc = maximum ? std::max(acc, v) : acc + v;
+  }
+  barrier_wait();  // slots free for the next reduction
+  if (rank == 0) {
+    std::lock_guard<std::mutex> slock(stats_mutex_);
+    stats_.reductions += 1;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
+
+int Comm::size() const noexcept { return world_->size(); }
+
+void Comm::send(int dest, int tag, std::span<const double> data) {
+  world_->deliver(rank_, dest, tag, data);
+}
+
+void Comm::recv(int source, int tag, std::span<double> out) {
+  world_->receive(rank_, source, tag, out);
+}
+
+void Comm::sendrecv(int dest, std::span<const double> out_data, int source,
+                    std::span<double> in_data, int tag) {
+  // Sends are buffered and never block, so send-then-recv cannot deadlock.
+  send(dest, tag, out_data);
+  recv(source, tag, in_data);
+}
+
+Comm::Request Comm::irecv(int source, int tag, std::span<double> out) {
+  return Request(world_, rank_, source, tag, out);
+}
+
+void Comm::Request::wait() {
+  if (done_) return;
+  world_->receive(self_, source_, tag_, out_);
+  done_ = true;
+}
+
+bool Comm::Request::test() {
+  if (done_) return true;
+  done_ = world_->try_receive(self_, source_, tag_, out_);
+  return done_;
+}
+
+void Comm::barrier() { world_->barrier_wait(); }
+
+double Comm::allreduce_sum(double value) {
+  return world_->reduce(rank_, value, /*maximum=*/false);
+}
+
+double Comm::allreduce_max(double value) {
+  return world_->reduce(rank_, value, /*maximum=*/true);
+}
+
+void Comm::broadcast(int root, std::span<double> data) {
+  constexpr int kTag = -1000;  // reserved collective tag
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kTag, data);
+    }
+  } else {
+    recv(root, kTag, data);
+  }
+}
+
+void Comm::gather(int root, std::span<const double> block,
+                  std::span<double> all) {
+  constexpr int kTag = -1001;
+  if (rank_ == root) {
+    SACPP_REQUIRE(all.size() == block.size() * static_cast<std::size_t>(size()),
+                  "gather root buffer size mismatch");
+    std::copy(block.begin(), block.end(),
+              all.begin() + static_cast<std::ptrdiff_t>(block.size()) * root);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv(r, kTag,
+           all.subspan(block.size() * static_cast<std::size_t>(r),
+                       block.size()));
+    }
+  } else {
+    send(root, kTag, block);
+  }
+}
+
+void Comm::scatter(int root, std::span<const double> all,
+                   std::span<double> block) {
+  constexpr int kTag = -1002;
+  if (rank_ == root) {
+    SACPP_REQUIRE(all.size() == block.size() * static_cast<std::size_t>(size()),
+                  "scatter root buffer size mismatch");
+    for (int r = 0; r < size(); ++r) {
+      const auto piece = all.subspan(
+          block.size() * static_cast<std::size_t>(r), block.size());
+      if (r == root) {
+        std::copy(piece.begin(), piece.end(), block.begin());
+      } else {
+        send(r, kTag, piece);
+      }
+    }
+  } else {
+    recv(root, kTag, block);
+  }
+}
+
+}  // namespace sacpp::msg

@@ -1,0 +1,138 @@
+#pragma once
+// Array<T>: the SAC array value.
+//
+// Arrays are immutable values with O(1) copies (shared buffers).  The only
+// mutation paths are the with-loop engine and the `mutable_data()` escape
+// hatch, both of which first call `ensure_unique()`, giving copy-on-write
+// semantics exactly like SAC's reference-counting scheme: writes to a
+// uniquely owned array happen in place, writes to a shared array first deep
+// copy.
+//
+// Element types are restricted to arithmetic types — matching SAC's numeric
+// array universe and keeping buffers memcpy-able.
+
+#include <algorithm>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/common/shape.hpp"
+#include "sacpp/sac/buffer.hpp"
+#include "sacpp/sac/config.hpp"
+
+namespace sacpp::sac {
+
+template <typename T>
+class Array {
+  static_assert(std::is_arithmetic_v<T>,
+                "sacpp arrays hold arithmetic element types");
+
+ public:
+  using value_type = T;
+
+  // The default array is the scalar 0 (rank-0).
+  Array() : Array(Shape{}, T{}) {}
+
+  // Scalar (rank-0) array.
+  /* implicit */ Array(T scalar) : shape_(Shape{}), buf_(1) {
+    buf_.data()[0] = scalar;
+  }
+
+  // Uninitialised array of a given shape (with-loop engine fills it).
+  static Array uninitialized(const Shape& shape) { return Array(shape); }
+
+  // Constant array of a given shape.
+  Array(const Shape& shape, T fill) : Array(shape) {
+    std::fill_n(buf_.data(), static_cast<std::size_t>(shape.elem_count()),
+                fill);
+  }
+
+  // Rank-1 array from an initializer list.
+  static Array vector(std::initializer_list<T> values) {
+    Array a(Shape{static_cast<extent_t>(values.size())});
+    std::copy(values.begin(), values.end(), a.buf_.data());
+    return a;
+  }
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.rank(); }
+  extent_t elem_count() const noexcept { return shape_.elem_count(); }
+  bool is_scalar() const noexcept { return shape_.is_scalar(); }
+
+  // Element selection (SAC's array[index-vector]).
+  T operator[](const IndexVec& iv) const {
+    return buf_.data()[shape_.linearize(iv)];
+  }
+
+  // Linear (row-major) element access.
+  T at_linear(extent_t i) const {
+    SACPP_ASSERT(i >= 0 && i < elem_count(), "linear index out of range");
+    return buf_.data()[i];
+  }
+
+  // Scalar value of a rank-0 array.
+  T scalar() const {
+    SACPP_REQUIRE(is_scalar(), "scalar() on non-scalar array");
+    return buf_.data()[0];
+  }
+
+  const T* data() const noexcept { return buf_.data(); }
+
+  // Expression-template protocol: arrays are the leaf expressions.
+  T operator()(const IndexVec& iv) const { return (*this)[iv]; }
+  T operator()(extent_t i, extent_t j, extent_t k) const {
+    SACPP_ASSERT(rank() == 3, "rank-3 access on non-rank-3 array");
+    const auto& e = shape_.extents();
+    return buf_.data()[(i * e[1] + j) * e[2] + k];
+  }
+
+  // True when this value is the sole owner of its buffer (reuse condition).
+  bool unique() const noexcept { return buf_.unique(); }
+  std::uint32_t use_count() const noexcept { return buf_.use_count(); }
+
+  // Copy-on-write: after this call the buffer is uniquely owned.  Honours
+  // the reuse ablation switch — with reuse disabled a fresh buffer is always
+  // taken, modelling a SAC runtime without reference-counting reuse.
+  void ensure_unique() {
+    if (buf_.unique() && config().reuse) {
+      stats().reuses += 1;
+      return;
+    }
+    Buffer<T> fresh(static_cast<std::size_t>(elem_count()));
+    std::memcpy(fresh.data(), buf_.data(),
+                static_cast<std::size_t>(elem_count()) * sizeof(T));
+    if (!buf_.unique()) stats().copies_on_write += 1;
+    buf_ = std::move(fresh);
+  }
+
+  // Mutable access for the with-loop engine; triggers copy-on-write.
+  T* mutable_data() {
+    ensure_unique();
+    return buf_.data();
+  }
+
+  // Mutable access WITHOUT the copy-on-write check; only the with-loop
+  // engine uses this, on arrays it just created.
+  T* raw_data_unchecked() noexcept { return buf_.data(); }
+
+ private:
+  explicit Array(const Shape& shape)
+      : shape_(shape), buf_(static_cast<std::size_t>(shape.elem_count())) {}
+
+  Shape shape_;
+  Buffer<T> buf_;
+};
+
+// SAC's built-in structural primitives: dim(), shape() as free functions.
+template <typename T>
+std::size_t dim(const Array<T>& a) {
+  return a.rank();
+}
+
+template <typename T>
+const Shape& shape_of(const Array<T>& a) {
+  return a.shape();
+}
+
+}  // namespace sacpp::sac

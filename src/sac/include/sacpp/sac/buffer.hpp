@@ -1,0 +1,102 @@
+#pragma once
+// Reference-counted, cache-line aligned element buffers.
+//
+// SAC manages array memory implicitly through reference counting; the
+// compiler reuses a buffer in place when its reference count is one.  Buffer
+// mirrors that: copying is O(1) (shared ownership), `unique()` exposes the
+// reference count, and allocation/release feed the RuntimeStats counters the
+// memory-management analysis relies on.
+//
+// Buffers are intentionally NOT thread-safe for ownership changes; arrays are
+// created and retired on the coordinating thread, while worker threads only
+// read/write elements (disjoint ranges) during with-loop execution.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/sac/stats.hpp"
+
+namespace sacpp::sac {
+
+inline constexpr std::size_t kBufferAlignment = 64;  // one cache line
+
+template <typename T>
+class Buffer {
+ public:
+  Buffer() = default;
+
+  explicit Buffer(std::size_t count) {
+    if (count == 0) count = 1;  // rank-0 arrays still hold one element
+    ctrl_ = new Control(count);
+    stats().allocations += 1;
+    stats().bytes_allocated += count * sizeof(T);
+  }
+
+  Buffer(const Buffer& other) noexcept : ctrl_(other.ctrl_) { retain(); }
+
+  Buffer(Buffer&& other) noexcept : ctrl_(std::exchange(other.ctrl_, nullptr)) {}
+
+  Buffer& operator=(const Buffer& other) noexcept {
+    if (this != &other) {
+      release();
+      ctrl_ = other.ctrl_;
+      retain();
+    }
+    return *this;
+  }
+
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      ctrl_ = std::exchange(other.ctrl_, nullptr);
+    }
+    return *this;
+  }
+
+  ~Buffer() { release(); }
+
+  bool valid() const noexcept { return ctrl_ != nullptr; }
+
+  T* data() noexcept { return ctrl_ ? ctrl_->elems : nullptr; }
+  const T* data() const noexcept { return ctrl_ ? ctrl_->elems : nullptr; }
+
+  std::size_t count() const noexcept { return ctrl_ ? ctrl_->count : 0; }
+
+  // True when this handle is the only owner — the SAC reuse condition.
+  bool unique() const noexcept { return ctrl_ && ctrl_->refs == 1; }
+
+  std::uint32_t use_count() const noexcept { return ctrl_ ? ctrl_->refs : 0; }
+
+ private:
+  struct Control {
+    explicit Control(std::size_t n) : count(n) {
+      void* raw = std::aligned_alloc(
+          kBufferAlignment,
+          ((n * sizeof(T) + kBufferAlignment - 1) / kBufferAlignment) *
+              kBufferAlignment);
+      SACPP_REQUIRE(raw != nullptr, "array buffer allocation failed");
+      elems = static_cast<T*>(raw);
+    }
+    ~Control() { std::free(elems); }
+    T* elems = nullptr;
+    std::size_t count = 0;
+    std::uint32_t refs = 1;
+  };
+
+  void retain() noexcept {
+    if (ctrl_) ++ctrl_->refs;
+  }
+
+  void release() noexcept {
+    if (ctrl_ && --ctrl_->refs == 0) delete ctrl_;
+    ctrl_ = nullptr;
+  }
+
+  Control* ctrl_ = nullptr;
+};
+
+}  // namespace sacpp::sac

@@ -1,0 +1,61 @@
+#pragma once
+// Runtime configuration of the SAC-style array system.
+//
+// sac2c applies its optimisations (with-loop folding, reference-counting
+// memory reuse, with-loop scalarisation / index-vector elimination, implicit
+// multithreading) at compile time.  In this embedded reproduction they are
+// runtime-selectable strategies so that the ablation benchmarks (DESIGN.md
+// D1-D4) can quantify each one's contribution.
+
+#include <cstdint>
+
+namespace sacpp::sac {
+
+struct SacConfig {
+  // D1: with-loop folding.  When true, the high-level MG code composes lazy
+  // array expressions that fuse into a single traversal; when false every
+  // array-library operation materialises its result.
+  bool folding = true;
+
+  // D2: uniqueness-based in-place reuse.  When true, modarray and
+  // element-wise updates steal the argument buffer if its reference count is
+  // one (SAC's reference-counting reuse); when false every operation
+  // allocates a fresh buffer.
+  bool reuse = true;
+
+  // D3: rank specialisation.  When true, dense rank-3 with-loops run through
+  // an unrolled triple loop nest (modelling with-loop scalarisation and
+  // index-vector elimination); when false everything goes through the
+  // rank-generic odometer walker.
+  bool specialize = true;
+
+  // Implicit multithreading (SAC's MT backend).
+  bool mt_enabled = false;
+
+  // Number of worker threads when mt_enabled (0 = hardware concurrency).
+  unsigned mt_threads = 0;
+
+  // D4: sequential small-grid threshold: with-loops over fewer elements than
+  // this run sequentially even when mt_enabled (the paper's
+  // bottom-of-the-V-cycle analysis).
+  std::int64_t mt_threshold = 4096;
+};
+
+// Process-global configuration used by all with-loop executions.
+SacConfig& config();
+
+// RAII override of the global configuration (restores on destruction).
+// Used by tests and ablation benches to run the same code under different
+// optimisation settings.
+class ScopedConfig {
+ public:
+  explicit ScopedConfig(const SacConfig& cfg);
+  ~ScopedConfig();
+  ScopedConfig(const ScopedConfig&) = delete;
+  ScopedConfig& operator=(const ScopedConfig&) = delete;
+
+ private:
+  SacConfig saved_;
+};
+
+}  // namespace sacpp::sac

@@ -1,0 +1,244 @@
+#pragma once
+// Lazy array expressions: WITH-loop folding (DESIGN.md D1).
+//
+// sac2c's with-loop folding fuses chains of with-loops so intermediate
+// arrays are never materialised; `condense(2, RelaxKernel(r, P))` evaluates
+// the stencil only at the condensed points.  Here the same fusion is
+// expressed with expression templates: array-library operations build
+// expression nodes (shape + element function), composition composes the
+// element functions, and `force()` runs exactly one with-loop.
+//
+// Expression nodes hold their child arrays by value — an O(1) ref-counted
+// copy — so expressions can safely outlive the names they were built from.
+//
+// Like the compiler optimisation, folding has a profitability constraint:
+// a stencil reads 3^rank neighbours, so folding a stencil over another
+// unmaterialised stencil would multiply work.  The API mirrors sac2c's
+// heuristic by allowing StencilExpr only over concrete arrays.
+
+#include <concepts>
+#include <utility>
+
+#include "sacpp/common/shape.hpp"
+#include "sacpp/sac/array.hpp"
+#include "sacpp/sac/with_loop.hpp"
+
+namespace sacpp::sac {
+
+// Anything with a shape and an element function over index vectors.
+template <typename E>
+concept ArrayExpr = requires(const E& e, const IndexVec& iv) {
+  { e.shape() } -> std::convertible_to<Shape>;
+  { e(iv) };
+};
+
+// Expressions additionally offering unpacked rank-3 access get the
+// specialised execution path when forced.
+template <typename E>
+concept Rank3Expr = ArrayExpr<E> && requires(const E& e, extent_t i) {
+  { e(i, i, i) };
+};
+
+template <typename E>
+using expr_value_t = std::remove_cvref_t<decltype(std::declval<const E&>()(
+    std::declval<const IndexVec&>()))>;
+
+// ---------------------------------------------------------------------------
+// Nodes
+// ---------------------------------------------------------------------------
+
+// Element-wise combination of two equally shaped expressions.
+template <typename L, typename R, typename Op>
+struct EwiseBinaryExpr {
+  L lhs;
+  R rhs;
+  Op op;
+
+  const Shape& shape() const { return lhs.shape(); }
+
+  auto operator()(const IndexVec& iv) const { return op(lhs(iv), rhs(iv)); }
+
+  auto operator()(extent_t i, extent_t j, extent_t k) const
+    requires(Rank3Expr<L> && Rank3Expr<R>)
+  {
+    return op(lhs(i, j, k), rhs(i, j, k));
+  }
+};
+
+// Element-wise transformation of one expression.
+template <typename E, typename Op>
+struct EwiseUnaryExpr {
+  E inner;
+  Op op;
+
+  const Shape& shape() const { return inner.shape(); }
+
+  auto operator()(const IndexVec& iv) const { return op(inner(iv)); }
+
+  auto operator()(extent_t i, extent_t j, extent_t k) const
+    requires Rank3Expr<E>
+  {
+    return op(inner(i, j, k));
+  }
+};
+
+// Expression broadcasting one scalar over a shape.
+template <typename T>
+struct ScalarExpr {
+  Shape shp;
+  T value;
+
+  const Shape& shape() const { return shp; }
+  T operator()(const IndexVec&) const { return value; }
+  T operator()(extent_t, extent_t, extent_t) const { return value; }
+};
+
+// Index-remapped view: result[iv] = inner(map(iv)) where `map` is the
+// affine index transform (iv * scale_num + pre) / scale_den + offset, with
+// non-divisible positions ("scatter gaps") and elements mapped outside the
+// source defaulting to `dflt`.  This one node fuses condense, scatter,
+// take, embed and shift — also their phase-shifted forms on ghost-free
+// grids — and any composition of them.
+template <typename E>
+struct GatherExpr {
+  using T = expr_value_t<E>;
+
+  E inner;
+  Shape shp;            // result shape
+  extent_t scale_num;   // see the transform above
+  extent_t scale_den;   //   (per-axis uniform, matching the SAC library ops)
+  extent_t pre;         // added before dividing (sampling phase)
+  IndexVec offset;
+  T dflt;
+
+  const Shape& shape() const { return shp; }
+
+  T operator()(const IndexVec& iv) const {
+    IndexVec src(iv.size());
+    for (std::size_t d = 0; d < iv.size(); ++d) {
+      const extent_t scaled = iv[d] * scale_num + pre;
+      if (scale_den != 1 && (scaled % scale_den != 0 || scaled < 0)) {
+        return dflt;  // scatter gap
+      }
+      src[d] = scaled / scale_den + offset[d];
+    }
+    if (!inner.shape().contains(src)) return dflt;
+    return inner(src);
+  }
+
+  T operator()(extent_t i, extent_t j, extent_t k) const
+    requires Rank3Expr<E>
+  {
+    extent_t s[3] = {i * scale_num + pre, j * scale_num + pre,
+                     k * scale_num + pre};
+    if (scale_den != 1) {
+      if (s[0] % scale_den || s[1] % scale_den || s[2] % scale_den ||
+          s[0] < 0 || s[1] < 0 || s[2] < 0)
+        return dflt;
+      s[0] /= scale_den;
+      s[1] /= scale_den;
+      s[2] /= scale_den;
+    }
+    s[0] += offset[0];
+    s[1] += offset[1];
+    s[2] += offset[2];
+    const Shape& ish = inner.shape();
+    if (s[0] < 0 || s[0] >= ish[0] || s[1] < 0 || s[1] >= ish[1] ||
+        s[2] < 0 || s[2] >= ish[2])
+      return dflt;
+    return inner(s[0], s[1], s[2]);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+template <ArrayExpr L, ArrayExpr R, typename Op>
+auto ewise(L lhs, R rhs, Op op) {
+  SACPP_REQUIRE(lhs.shape() == rhs.shape(),
+                "element-wise expression needs equal shapes");
+  return EwiseBinaryExpr<L, R, Op>{std::move(lhs), std::move(rhs),
+                                   std::move(op)};
+}
+
+template <ArrayExpr E, typename Op>
+auto ewise1(E inner, Op op) {
+  return EwiseUnaryExpr<E, Op>{std::move(inner), std::move(op)};
+}
+
+template <typename T>
+ScalarExpr<T> scalar_expr(const Shape& shp, T value) {
+  return ScalarExpr<T>{shp, value};
+}
+
+// lazy condense: result[iv] = inner[str * iv + phase]; shape / str.
+template <ArrayExpr E>
+auto lazy_condense(extent_t str, E inner, extent_t phase = 0) {
+  SACPP_REQUIRE(str >= 1, "condense stride must be >= 1");
+  SACPP_REQUIRE(phase >= 0 && phase < str, "condense phase must be in [0, str)");
+  const Shape out_shape(inner.shape().extents() / str);
+  IndexVec zero = uniform_vec(out_shape.rank(), 0);
+  return GatherExpr<E>{std::move(inner), out_shape,     str,
+                       1,                phase,         std::move(zero),
+                       expr_value_t<E>{}};
+}
+
+// lazy scatter: result[str*iv + phase] = inner[iv], zeros elsewhere;
+// shape * str.
+template <ArrayExpr E>
+auto lazy_scatter(extent_t str, E inner, extent_t phase = 0) {
+  SACPP_REQUIRE(str >= 1, "scatter stride must be >= 1");
+  SACPP_REQUIRE(phase >= 0 && phase < str, "scatter phase must be in [0, str)");
+  const Shape out_shape(str * inner.shape().extents());
+  IndexVec zero = uniform_vec(out_shape.rank(), 0);
+  return GatherExpr<E>{std::move(inner), out_shape,     1,
+                       str,              -phase,        std::move(zero),
+                       expr_value_t<E>{}};
+}
+
+// lazy take: result[iv] = inner[iv] for iv < shp (prefix box).
+template <ArrayExpr E>
+auto lazy_take(const IndexVec& shp, E inner) {
+  IndexVec zero = uniform_vec(shp.size(), 0);
+  return GatherExpr<E>{std::move(inner), Shape(shp), 1, 1, 0,
+                       std::move(zero),  expr_value_t<E>{}};
+}
+
+// lazy embed: result of shape shp with inner placed at pos, zeros elsewhere.
+template <ArrayExpr E>
+auto lazy_embed(const IndexVec& shp, const IndexVec& pos, E inner) {
+  IndexVec neg(pos.size());
+  for (std::size_t d = 0; d < pos.size(); ++d) neg[d] = -pos[d];
+  return GatherExpr<E>{std::move(inner), Shape(shp), 1, 1, 0,
+                       std::move(neg),   expr_value_t<E>{}};
+}
+
+// ---------------------------------------------------------------------------
+// Forcing
+// ---------------------------------------------------------------------------
+
+// Materialise an expression with a single with-loop over its full shape.
+template <ArrayExpr E>
+Array<expr_value_t<E>> force(const E& e) {
+  using T = expr_value_t<E>;
+  if constexpr (Rank3Expr<E>) {
+    if (e.shape().rank() == 3) {
+      return with_genarray<T>(
+          e.shape(), gen_all(),
+          rank3_body([&e](extent_t i, extent_t j, extent_t k) {
+            return e(i, j, k);
+          }));
+    }
+  }
+  return with_genarray<T>(e.shape(),
+                          [&e](const IndexVec& iv) { return e(iv); });
+}
+
+// Arrays force to themselves (useful in generic code).
+template <typename T>
+Array<T> force(const Array<T>& a) {
+  return a;
+}
+
+}  // namespace sacpp::sac

@@ -1,0 +1,34 @@
+#pragma once
+// Array formatting and serialisation.
+//
+// to_text renders small arrays for humans (examples, debugging, golden
+// tests); save/load give a simple portable binary format for checkpointing
+// grids between benchmark runs:
+//
+//   bytes 0..7   magic "SACPPAR\0"
+//   8..15        rank (little-endian u64)
+//   16..         rank extents (u64 each)
+//   then         row-major float64 payload
+//
+// load validates magic, rank bounds, extent/payload consistency, so a
+// truncated or corrupted file fails loudly instead of yielding garbage.
+
+#include <string>
+
+#include "sacpp/sac/array.hpp"
+
+namespace sacpp::sac {
+
+// Human-readable rendering.  Rank 0: the scalar.  Rank 1: one line.
+// Rank 2: one line per row.  Rank >= 3: blocks per leading index.
+// Arrays larger than `max_elems` are elided with an ellipsis summary.
+std::string to_text(const Array<double>& a, int precision = 4,
+                    extent_t max_elems = 4096);
+
+// Write `a` to `path` in the binary format above (overwrites).
+void save(const std::string& path, const Array<double>& a);
+
+// Read an array written by save().
+Array<double> load(const std::string& path);
+
+}  // namespace sacpp::sac

@@ -1,0 +1,31 @@
+#pragma once
+// Runtime counters of the SAC array system.
+//
+// The paper's scalability analysis hinges on the cost of dynamic memory
+// management on small grids; these counters make that cost observable
+// (tests assert on them, bench/abl_memory reports them, and the machine
+// model's per-operation overhead constant is motivated by them).
+
+#include <cstdint>
+
+namespace sacpp::sac {
+
+struct RuntimeStats {
+  std::uint64_t allocations = 0;       // fresh buffers allocated
+  std::uint64_t bytes_allocated = 0;   // total bytes of fresh buffers
+  std::uint64_t reuses = 0;            // buffers stolen via uniqueness reuse
+  std::uint64_t copies_on_write = 0;   // deep copies forced by shared buffers
+  std::uint64_t with_loops = 0;        // with-loop executions
+  std::uint64_t elements = 0;          // generator elements processed
+  std::uint64_t parallel_regions = 0;  // with-loops run multithreaded
+};
+
+// Mutable access to the process-global counters.  The counters are plain
+// (non-atomic) because all mutation happens on the coordinating thread:
+// workers only execute loop bodies.
+RuntimeStats& stats();
+
+// Reset all counters to zero (benchmark phases call this between sections).
+void reset_stats();
+
+}  // namespace sacpp::sac

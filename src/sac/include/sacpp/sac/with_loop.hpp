@@ -1,0 +1,376 @@
+#pragma once
+// The WITH-loop: SAC's single array-comprehension construct.
+//
+//   with ( lower <= iv < upper [step s [width w]] )
+//     genarray( shp, expr )   |  modarray( array, expr )  |
+//     fold( op, neutral, expr )
+//
+// Gen describes the generator.  Empty bound vectors play the role of the
+// paper's "dots" (smallest / largest legal index vector for the result
+// shape); length-1 bounds against a higher-rank result are replicated, the
+// paper's scalar-replication shorthand.
+//
+// Execution applies the optimisation strategies selected in SacConfig:
+// dense rank-3 generators can run through an unrolled loop nest
+// (specialisation, D3), and large generators run multithreaded over the
+// outermost axis through the persistent thread pool (implicit MT), with
+// strided generators chunk-aligned to their step so the grid phase is
+// preserved.
+//
+// Loop bodies receive the index vector (`T body(const IndexVec&)`); bodies
+// that additionally accept unpacked rank-3 indices (`T body(i, j, k)`) get
+// the index-vector-elimination fast path.
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/common/index_space.hpp"
+#include "sacpp/common/shape.hpp"
+#include "sacpp/sac/array.hpp"
+#include "sacpp/sac/config.hpp"
+#include "sacpp/sac/runtime.hpp"
+#include "sacpp/sac/stats.hpp"
+
+namespace sacpp::sac {
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+struct Gen {
+  IndexVec lower;  // empty: ". <=" (zero vector)
+  IndexVec upper;  // empty: "<= ." (result shape, exclusive)
+  IndexVec step;   // empty: dense
+  IndexVec width;  // empty: width 1
+
+  Gen&& with_step(IndexVec s) && {
+    step = std::move(s);
+    return std::move(*this);
+  }
+  Gen&& with_width(IndexVec w) && {
+    width = std::move(w);
+    return std::move(*this);
+  }
+  Gen&& with_step(extent_t s) && { return std::move(*this).with_step(IndexVec{s}); }
+  Gen&& with_width(extent_t w) && {
+    return std::move(*this).with_width(IndexVec{w});
+  }
+};
+
+// The full index space of the result: "with (. <= iv <= .)".
+inline Gen gen_all() { return Gen{}; }
+
+// Explicit rectangular range.
+inline Gen gen_range(IndexVec lower, IndexVec upper) {
+  return Gen{std::move(lower), std::move(upper), {}, {}};
+}
+
+// Interior of a shape with a margin on every side (common stencil pattern).
+inline Gen gen_interior(const Shape& shp, extent_t margin = 1) {
+  return gen_range(uniform_vec(shp.rank(), margin), shp.extents() - margin);
+}
+
+namespace detail {
+
+struct ResolvedGen {
+  IndexVec lower, upper, step, width;
+  bool dense = true;       // no step/width filter
+  bool full = false;       // covers the entire result shape densely
+  extent_t count = 0;      // number of generator elements
+};
+
+// Replicate a length-1 vector to the target rank (scalar shorthand).
+inline IndexVec replicate(const IndexVec& v, std::size_t rank,
+                          extent_t dflt) {
+  if (v.empty()) return uniform_vec(rank, dflt);
+  if (v.size() == 1 && rank != 1) return uniform_vec(rank, v[0]);
+  SACPP_REQUIRE(v.size() == rank,
+                "generator vector rank does not match result rank");
+  return IndexVec(v.begin(), v.end());
+}
+
+inline ResolvedGen resolve(const Gen& g, const Shape& result_shape) {
+  const std::size_t rank = result_shape.rank();
+  ResolvedGen r;
+  r.lower = replicate(g.lower, rank, 0);
+  r.upper = g.upper.empty() ? IndexVec(result_shape.extents().begin(),
+                                       result_shape.extents().end())
+                            : replicate(g.upper, rank, 0);
+  r.step = replicate(g.step, rank, 1);
+  r.width = g.width.empty() ? IndexVec(rank, 1)
+                            : replicate(g.width, rank, 1);
+  if (g.step.empty() && !g.width.empty()) {
+    // width without step is meaningless; SAC forbids it.
+    SACPP_REQUIRE(false, "generator width given without step");
+  }
+  r.dense = true;
+  for (std::size_t d = 0; d < rank; ++d) {
+    SACPP_REQUIRE(r.lower[d] >= 0, "generator lower bound negative");
+    SACPP_REQUIRE(r.upper[d] <= result_shape.extent(d),
+                  "generator upper bound exceeds result shape");
+    SACPP_REQUIRE(r.step[d] >= 1, "generator step must be >= 1");
+    SACPP_REQUIRE(r.width[d] >= 1 && r.width[d] <= r.step[d],
+                  "generator width must be in [1, step]");
+    if (r.step[d] != 1) r.dense = false;
+  }
+  r.count = grid_count(r.lower, r.upper, r.step, r.width);
+  r.full = r.dense && r.count == result_shape.elem_count();
+  return r;
+}
+
+// -- body invocation ---------------------------------------------------------
+
+template <typename Body>
+concept TripleIndexBody = requires(const Body& b, extent_t i) { b(i, i, i); };
+
+// -- element walkers ---------------------------------------------------------
+
+// Walk one generator over a sub-range of the outermost axis, calling
+// visit(linear_offset, iv) for each member.  `strides` are the row-major
+// strides of the result array.
+template <typename Visit>
+void walk_range(const ResolvedGen& g, const IndexVec& strides,
+                extent_t axis0_lo, extent_t axis0_hi, Visit&& visit) {
+  IndexVec lo(g.lower.begin(), g.lower.end());
+  IndexVec hi(g.upper.begin(), g.upper.end());
+  lo[0] = axis0_lo;
+  hi[0] = axis0_hi;
+  if (g.dense) {
+    for_each_index(lo, hi, [&](const IndexVec& iv) {
+      extent_t off = 0;
+      for (std::size_t d = 0; d < iv.size(); ++d) off += iv[d] * strides[d];
+      visit(off, iv);
+    });
+  } else {
+    for_each_index_grid(lo, hi, g.step, g.width, [&](const IndexVec& iv) {
+      extent_t off = 0;
+      for (std::size_t d = 0; d < iv.size(); ++d) off += iv[d] * strides[d];
+      visit(off, iv);
+    });
+  }
+}
+
+// Decide whether this generator runs multithreaded under the current config.
+inline bool run_parallel(const ResolvedGen& g) {
+  const SacConfig& cfg = config();
+  if (!cfg.mt_enabled) return false;
+  if (g.count < cfg.mt_threshold) return false;
+  if (g.lower.empty()) return false;  // rank-0
+  return g.upper[0] - g.lower[0] >= 2;
+}
+
+// Assign body values into `out` over the generator set.  This is the heart
+// of every with-loop variant.
+template <typename T, typename Body>
+void execute_assign(T* out, const Shape& shape, const ResolvedGen& g,
+                    const Body& body) {
+  stats().with_loops += 1;
+  stats().elements += static_cast<std::uint64_t>(g.count);
+  const IndexVec strides = shape.strides();
+  const std::size_t rank = shape.rank();
+
+  // Rank-3 dense specialised path (with-loop scalarisation + IVE).
+  if constexpr (TripleIndexBody<Body>) {
+    if (rank == 3 && g.dense && config().specialize) {
+      const extent_t s0 = strides[0], s1 = strides[1];
+      auto chunk = [&](extent_t lo0, extent_t hi0, unsigned) {
+        for (extent_t i = lo0; i < hi0; ++i) {
+          for (extent_t j = g.lower[1]; j < g.upper[1]; ++j) {
+            T* row = out + i * s0 + j * s1;
+            for (extent_t k = g.lower[2]; k < g.upper[2]; ++k) {
+              row[k] = body(i, j, k);
+            }
+          }
+        }
+      };
+      if (run_parallel(g)) {
+        stats().parallel_regions += 1;
+        runtime().parallel_for(g.lower[0], g.upper[0], 1, chunk);
+      } else {
+        chunk(g.lower[0], g.upper[0], 0);
+      }
+      return;
+    }
+  }
+
+  // Generic path.
+  auto chunk = [&](extent_t lo0, extent_t hi0, unsigned) {
+    walk_range(g, strides, lo0, hi0,
+               [&](extent_t off, const IndexVec& iv) { out[off] = body(iv); });
+  };
+  if (rank > 0 && run_parallel(g)) {
+    stats().parallel_regions += 1;
+    runtime().parallel_for(g.lower[0], g.upper[0], g.step[0], chunk);
+  } else if (rank == 0) {
+    out[0] = body(IndexVec{});
+  } else {
+    chunk(g.lower[0], g.upper[0], 0);
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// genarray / modarray / fold
+// ---------------------------------------------------------------------------
+
+// with (gen) genarray(shp, body(iv)); elements outside the generator are
+// `dflt` (SAC default: 0).
+template <typename T, typename Body>
+Array<T> with_genarray(const Shape& shp, const Gen& gen, const Body& body,
+                       T dflt = T{}) {
+  const auto g = detail::resolve(gen, shp);
+  Array<T> out = Array<T>::uninitialized(shp);
+  T* data = out.raw_data_unchecked();
+  if (!g.full) {
+    std::fill_n(data, static_cast<std::size_t>(shp.elem_count()), dflt);
+  }
+  detail::execute_assign(data, shp, g, body);
+  return out;
+}
+
+// Dense full-shape genarray: with (. <= iv <= .) genarray(shp, body).
+template <typename T, typename Body>
+Array<T> with_genarray(const Shape& shp, const Body& body) {
+  return with_genarray<T>(shp, gen_all(), body);
+}
+
+// with (gen) modarray(base, body(iv)); elements outside the generator keep
+// their value from `base`.  Takes `base` by value: when the caller's value
+// was the last reference, the buffer is reused in place (SAC's
+// reference-counting reuse); otherwise copy-on-write makes a private copy.
+template <typename T, typename Body>
+Array<T> with_modarray(Array<T> base, const Gen& gen, const Body& body) {
+  const auto g = detail::resolve(gen, base.shape());
+  T* data = base.mutable_data();
+  detail::execute_assign(data, base.shape(), g, body);
+  return base;
+}
+
+// with (gen) fold(op, neutral, body(iv)).  `op` must be associative and
+// commutative (SAC's fold requirement); partial results of parallel chunks
+// are combined with the same op.
+template <typename T, typename FoldOp, typename Body>
+T with_fold(const FoldOp& op, T neutral, const Shape& space, const Gen& gen,
+            const Body& body) {
+  const auto g = detail::resolve(gen, space);
+  stats().with_loops += 1;
+  stats().elements += static_cast<std::uint64_t>(g.count);
+  const IndexVec strides = space.strides();
+
+  if (space.rank() == 0) {
+    return op(neutral, body(IndexVec{}));
+  }
+
+  if (detail::run_parallel(g)) {
+    stats().parallel_regions += 1;
+    const unsigned participants = runtime().thread_count();
+    std::vector<T> partial(participants, neutral);
+    runtime().parallel_for(
+        g.lower[0], g.upper[0], g.step[0],
+        [&](extent_t lo0, extent_t hi0, unsigned who) {
+          T acc = neutral;
+          detail::walk_range(g, strides, lo0, hi0,
+                             [&](extent_t, const IndexVec& iv) {
+                               acc = op(acc, body(iv));
+                             });
+          partial[who] = acc;
+        });
+    T acc = neutral;
+    for (const T& p : partial) acc = op(acc, p);
+    return acc;
+  }
+
+  T acc = neutral;
+  detail::walk_range(g, strides, g.lower[0], g.upper[0],
+                     [&](extent_t, const IndexVec& iv) {
+                       acc = op(acc, body(iv));
+                     });
+  return acc;
+}
+
+// Wrap a rank-3 element function f(i, j, k) into a body usable on both the
+// specialised and the generic execution path (the generic path unpacks the
+// index vector).
+template <typename F>
+struct Rank3Body {
+  F f;
+  auto operator()(extent_t i, extent_t j, extent_t k) const {
+    return f(i, j, k);
+  }
+  auto operator()(const IndexVec& iv) const {
+    SACPP_ASSERT(iv.size() == 3, "rank-3 body applied to non-rank-3 index");
+    return f(iv[0], iv[1], iv[2]);
+  }
+};
+
+template <typename F>
+Rank3Body<F> rank3_body(F f) {
+  return Rank3Body<F>{std::move(f)};
+}
+
+// ---------------------------------------------------------------------------
+// Multi-partition with-loops
+// ---------------------------------------------------------------------------
+//
+// SAC with-loops may carry several (generator, expression) partitions; the
+// border-setup code uses one partition per grid face.  Partitions must be
+// disjoint (unchecked, like SAC).
+
+template <typename T>
+struct Partition {
+  Gen gen;
+  std::function<T(const IndexVec&)> body;
+};
+
+template <typename T>
+Array<T> with_modarray_parts(Array<T> base,
+                             const std::vector<Partition<T>>& parts) {
+  const Shape shp = base.shape();
+  T* data = base.mutable_data();
+  for (const auto& p : parts) {
+    const auto g = detail::resolve(p.gen, shp);
+    detail::execute_assign(data, shp, g, p.body);
+  }
+  return base;
+}
+
+template <typename T>
+Array<T> with_genarray_parts(const Shape& shp,
+                             const std::vector<Partition<T>>& parts,
+                             T dflt = T{}) {
+  Array<T> out(shp, dflt);
+  return with_modarray_parts(std::move(out), parts);
+}
+
+// Multi-partition modarray whose bodies read the array being modified
+// (through the data pointer handed to the body).  Partitions execute in
+// order, each seeing the writes of the previous ones.  The caller must
+// guarantee that, within one partition, no generator element reads a
+// position written by another element of the same partition — the property
+// sac2c's reuse analysis proves for border-exchange with-loops, which is
+// exactly what this variant exists for.
+template <typename T>
+struct ReadingPartition {
+  Gen gen;
+  std::function<T(const IndexVec&, const T*)> body;
+};
+
+template <typename T>
+Array<T> with_modarray_reading(Array<T> base,
+                               const std::vector<ReadingPartition<T>>& parts) {
+  const Shape shp = base.shape();
+  T* data = base.mutable_data();
+  for (const auto& p : parts) {
+    const auto g = detail::resolve(p.gen, shp);
+    detail::execute_assign(
+        data, shp, g,
+        [&](const IndexVec& iv) { return p.body(iv, data); });
+  }
+  return base;
+}
+
+}  // namespace sacpp::sac

@@ -1,0 +1,150 @@
+#pragma once
+// With-loop computation graphs: sac2c's with-loop folding as explicit,
+// inspectable rewrite passes.
+//
+// The template layer (expr.hpp) fuses when the *programmer* composes lazy
+// nodes.  This module is the compiler's view of the same optimisation: an
+// array computation is built as a small DAG of symbolic operations, an
+// optimiser rewrites it — collapsing affine index-remap chains, marking
+// element-wise trees and stencil consumers as fused — and an evaluator
+// executes the optimised graph with one with-loop per remaining
+// materialisation point.  Rewrite statistics (nodes fused, materialisations
+// eliminated) are first-class, so tests can assert exactly what the
+// optimiser did, and the ablation bench can quantify each pass.
+//
+// The op algebra is the SAC array library's: element-wise maps/zips,
+// coefficient-class stencils, and the affine structural family
+// (condense / scatter / take / embed / shift), which is closed under
+// composition: every chain collapses to a single
+//   source index = (iv * num + pre) / den + offset
+// gather — the same transform GatherExpr executes.
+//
+// Scope note: this is a runtime optimiser over a fixed op algebra, not a
+// compiler; it exists to make the paper's folding story testable and
+// measurable pass by pass.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sacpp/common/shape.hpp"
+#include "sacpp/sac/array.hpp"
+#include "sacpp/sac/stencil.hpp"
+
+namespace sacpp::sac::wl {
+
+// ---------------------------------------------------------------------------
+// Graph representation
+// ---------------------------------------------------------------------------
+
+enum class OpKind {
+  kInput,    // named placeholder bound at evaluation time
+  kConst,    // broadcast scalar
+  kEwise,    // element-wise combination of 1..n children (same shape)
+  kStencil,  // coefficient-class relaxation, zero boundary ring
+  kGather,   // affine index remap (condense/scatter/take/embed/shift)
+};
+
+enum class EwiseFn { kAdd, kSub, kMul, kNeg, kAbs, kScale };
+
+// The affine index transform of a gather node:
+//   src = (iv * num + pre) / den + offset;  non-divisible -> default value.
+struct AffineMap {
+  extent_t num = 1;
+  extent_t den = 1;
+  extent_t pre = 0;
+  IndexVec offset;  // per-axis
+
+  bool is_identity(std::size_t rank) const;
+};
+
+class Node;
+using NodeRef = std::shared_ptr<const Node>;
+
+class Node {
+ public:
+  OpKind kind = OpKind::kInput;
+  Shape shape;
+
+  // kInput
+  std::string name;
+  // kConst / kEwise(kScale)
+  double value = 0.0;
+  // kEwise
+  EwiseFn fn = EwiseFn::kAdd;
+  // kStencil
+  StencilCoeffs coeffs{};
+  // kGather
+  AffineMap map;
+  double dflt = 0.0;
+
+  std::vector<NodeRef> args;
+
+  // Number of nodes in this DAG (shared subgraphs counted once).
+  std::size_t node_count() const;
+  // Nodes that would materialise an intermediate array under naive
+  // (one-with-loop-per-node) evaluation: everything except inputs/consts.
+  std::size_t materialisation_count() const;
+  // Human-readable one-line structure (for tests and debugging).
+  std::string to_string() const;
+};
+
+// -- builders -----------------------------------------------------------------
+
+NodeRef input(std::string name, const Shape& shape);
+NodeRef constant(const Shape& shape, double value);
+NodeRef add(NodeRef a, NodeRef b);
+NodeRef sub(NodeRef a, NodeRef b);
+NodeRef mul(NodeRef a, NodeRef b);
+NodeRef neg(NodeRef a);
+NodeRef abs(NodeRef a);
+NodeRef scale(NodeRef a, double s);
+NodeRef stencil(NodeRef a, const StencilCoeffs& coeffs);
+NodeRef condense(extent_t stride, NodeRef a, extent_t phase = 0);
+NodeRef scatter(extent_t stride, NodeRef a, extent_t phase = 0);
+NodeRef take(const IndexVec& shp, NodeRef a);
+NodeRef embed(const IndexVec& shp, const IndexVec& pos, NodeRef a);
+NodeRef shift(const IndexVec& offset, NodeRef a);
+
+// ---------------------------------------------------------------------------
+// Optimiser
+// ---------------------------------------------------------------------------
+
+struct RewriteStats {
+  std::uint64_t gathers_collapsed = 0;   // gather∘gather -> gather
+  std::uint64_t identities_removed = 0;  // identity gathers dropped
+  std::uint64_t ewise_fused = 0;         // ewise trees marked fusible
+  std::uint64_t stencils_folded = 0;     // gather/ewise folded over stencils
+  std::uint64_t materialisations_before = 0;
+  std::uint64_t materialisations_after = 0;
+};
+
+// Run the folding passes to a fixed point; `stats` (optional) reports what
+// happened.  Passes:
+//   1. collapse-gathers:  Gather(Gather(x)) -> Gather(x) (affine closure);
+//      identity gathers vanish.
+//   2. fuse-ewise:        element-wise trees evaluate in one traversal.
+//   3. fold-stencil-consumers: gathers and element-wise ops over a stencil
+//      evaluate the stencil per consumed point (profitable because the
+//      consumers read each stencil value at most once — the same rule
+//      sac2c's with-loop folding applies).
+NodeRef optimise(const NodeRef& root, RewriteStats* stats = nullptr);
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+using Bindings = std::map<std::string, Array<double>>;
+
+// Naive evaluation: one with-loop (one materialised array) per node —
+// what the unoptimised program would do.
+Array<double> evaluate_naive(const NodeRef& root, const Bindings& bindings);
+
+// Optimised evaluation: materialises only at fusion barriers (stencil
+// arguments and the root); fused regions run as one with-loop.  Equal
+// values to evaluate_naive for every graph (tests assert this).
+Array<double> evaluate(const NodeRef& root, const Bindings& bindings);
+
+}  // namespace sacpp::sac::wl

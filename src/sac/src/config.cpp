@@ -1,0 +1,25 @@
+#include "sacpp/sac/config.hpp"
+
+#include "sacpp/sac/stats.hpp"
+
+namespace sacpp::sac {
+
+SacConfig& config() {
+  static SacConfig cfg;
+  return cfg;
+}
+
+ScopedConfig::ScopedConfig(const SacConfig& cfg) : saved_(config()) {
+  config() = cfg;
+}
+
+ScopedConfig::~ScopedConfig() { config() = saved_; }
+
+RuntimeStats& stats() {
+  static RuntimeStats s;
+  return s;
+}
+
+void reset_stats() { stats() = RuntimeStats{}; }
+
+}  // namespace sacpp::sac

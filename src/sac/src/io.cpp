@@ -1,0 +1,129 @@
+#include "sacpp/sac/io.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/sac/array_lib.hpp"
+
+namespace sacpp::sac {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'C', 'P', 'P', 'A', 'R', '\0'};
+constexpr std::size_t kMaxRank = 16;
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(bytes), 8);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  unsigned char bytes[8];
+  is.read(reinterpret_cast<char*>(bytes), 8);
+  SACPP_REQUIRE(is.good(), "array file truncated");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[i];
+  return v;
+}
+
+}  // namespace
+
+std::string to_text(const Array<double>& a, int precision,
+                    extent_t max_elems) {
+  std::ostringstream os;
+  char buf[64];
+  auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    return std::string(buf);
+  };
+  if (a.elem_count() > max_elems) {
+    os << "Array" << a.shape().to_string() << " (" << a.elem_count()
+       << " elements elided)";
+    return os.str();
+  }
+  switch (a.rank()) {
+    case 0:
+      os << num(a.scalar());
+      break;
+    case 1: {
+      os << '[';
+      for (extent_t i = 0; i < a.shape()[0]; ++i) {
+        if (i) os << ' ';
+        os << num(a[IndexVec{i}]);
+      }
+      os << ']';
+      break;
+    }
+    case 2: {
+      for (extent_t i = 0; i < a.shape()[0]; ++i) {
+        os << (i ? "\n[" : "[");
+        for (extent_t j = 0; j < a.shape()[1]; ++j) {
+          if (j) os << ' ';
+          os << num(a[IndexVec{i, j}]);
+        }
+        os << ']';
+      }
+      break;
+    }
+    default: {
+      // one rank-(r-1) block per leading index
+      for (extent_t i = 0; i < a.shape()[0]; ++i) {
+        if (i) os << "\n";
+        os << "[" << i << ", ...] =\n";
+        os << to_text(sel(IndexVec{i}, a), precision, max_elems);
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+void save(const std::string& path, const Array<double>& a) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SACPP_REQUIRE(out.good(), "cannot open array file for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  put_u64(out, a.rank());
+  for (std::size_t d = 0; d < a.rank(); ++d) {
+    put_u64(out, static_cast<std::uint64_t>(a.shape().extent(d)));
+  }
+  out.write(reinterpret_cast<const char*>(a.data()),
+            static_cast<std::streamsize>(a.elem_count() *
+                                         static_cast<extent_t>(sizeof(double))));
+  SACPP_REQUIRE(out.good(), "write failed for array file: " + path);
+}
+
+Array<double> load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SACPP_REQUIRE(in.good(), "cannot open array file: " + path);
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  SACPP_REQUIRE(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not a sacpp array file: " + path);
+  const std::uint64_t rank = get_u64(in);
+  SACPP_REQUIRE(rank <= kMaxRank, "array file rank out of bounds");
+  IndexVec extents(static_cast<std::size_t>(rank));
+  for (std::size_t d = 0; d < rank; ++d) {
+    const std::uint64_t e = get_u64(in);
+    SACPP_REQUIRE(e <= static_cast<std::uint64_t>(1) << 40,
+                  "array file extent out of bounds");
+    extents[d] = static_cast<extent_t>(e);
+  }
+  const Shape shape(extents);
+  Array<double> a = Array<double>::uninitialized(shape);
+  in.read(reinterpret_cast<char*>(a.raw_data_unchecked()),
+          static_cast<std::streamsize>(shape.elem_count() *
+                                       static_cast<extent_t>(sizeof(double))));
+  SACPP_REQUIRE(in.gcount() ==
+                    static_cast<std::streamsize>(shape.elem_count() *
+                                                 static_cast<extent_t>(
+                                                     sizeof(double))),
+                "array file payload truncated: " + path);
+  return a;
+}
+
+}  // namespace sacpp::sac

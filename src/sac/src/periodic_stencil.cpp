@@ -1,0 +1,20 @@
+#include "sacpp/sac/periodic_stencil.hpp"
+
+namespace sacpp::sac {
+
+Array<double> relax_kernel_periodic(const Array<double>& a,
+                                    const StencilCoeffs& coeffs) {
+  const PeriodicStencilExpr st(a, coeffs);
+  const Shape& shp = a.shape();
+  if (shp.rank() == 3) {
+    return with_genarray<double>(
+        shp, gen_all(),
+        rank3_body([&st](extent_t i, extent_t j, extent_t k) {
+          return st(i, j, k);
+        }));
+  }
+  return with_genarray<double>(shp,
+                               [&st](const IndexVec& iv) { return st(iv); });
+}
+
+}  // namespace sacpp::sac

@@ -1,0 +1,132 @@
+#include "sacpp/sac/runtime.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/sac/config.hpp"
+
+namespace sacpp::sac {
+
+struct ThreadPool::Impl {
+  explicit Impl(unsigned workers) {
+    for (unsigned w = 0; w < workers; ++w) {
+      threads.emplace_back([this, w] { worker_loop(w + 1); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      stop = true;
+    }
+    work_ready.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void worker_loop(unsigned worker_id) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stop || epoch != seen_epoch; });
+        if (stop) return;
+        seen_epoch = epoch;
+      }
+      run_my_chunk(worker_id);
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_done.notify_all();
+      }
+    }
+  }
+
+  void run_my_chunk(unsigned worker_id) {
+    const extent_t lo = chunk_bounds[worker_id];
+    const extent_t hi = chunk_bounds[worker_id + 1];
+    if (lo < hi) (*task)(lo, hi, worker_id);
+  }
+
+  std::vector<std::thread> threads;
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  bool stop = false;
+  std::uint64_t epoch = 0;
+  std::atomic<int> pending{0};
+  const std::function<void(extent_t, extent_t, unsigned)>* task = nullptr;
+  std::vector<extent_t> chunk_bounds;  // size = participants + 1
+};
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  // The coordinating thread is participant 0; spawn threads_ - 1 workers.
+  impl_ = new Impl(threads_ - 1);
+}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+void ThreadPool::parallel_for(
+    extent_t begin, extent_t end, extent_t align,
+    const std::function<void(extent_t, extent_t, unsigned)>& fn) {
+  SACPP_REQUIRE(align >= 1, "chunk alignment must be >= 1");
+  if (end <= begin) return;
+
+  const extent_t span = end - begin;
+  const unsigned participants = threads_;
+  if (participants == 1 || span < 2) {
+    fn(begin, end, 0);
+    return;
+  }
+
+  // Contiguous chunks with starts aligned down to `align` relative to
+  // `begin`, so strided generators keep their step phase inside each chunk.
+  std::vector<extent_t>& bounds = impl_->chunk_bounds;
+  bounds.assign(participants + 1, end);
+  bounds[0] = begin;
+  for (unsigned p = 1; p < participants; ++p) {
+    extent_t cut = begin + span * static_cast<extent_t>(p) /
+                               static_cast<extent_t>(participants);
+    cut = begin + (cut - begin) / align * align;
+    bounds[p] = std::max(cut, bounds[p - 1]);
+  }
+  bounds[participants] = end;
+
+  impl_->task = &fn;
+  impl_->pending.store(static_cast<int>(participants - 1),
+                       std::memory_order_release);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    ++impl_->epoch;
+  }
+  impl_->work_ready.notify_all();
+
+  // Participant 0 (this thread) runs the first chunk.
+  if (bounds[0] < bounds[1]) fn(bounds[0], bounds[1], 0);
+
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->work_done.wait(
+      lock, [&] { return impl_->pending.load(std::memory_order_acquire) == 0; });
+  impl_->task = nullptr;
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;
+}
+
+ThreadPool& runtime() {
+  unsigned want = config().mt_threads;
+  if (want == 0) want = std::max(1u, std::thread::hardware_concurrency());
+  if (!config().mt_enabled) want = 1;
+  if (!g_pool || g_pool->thread_count() != want) {
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return *g_pool;
+}
+
+void shutdown_runtime() { g_pool.reset(); }
+
+}  // namespace sacpp::sac

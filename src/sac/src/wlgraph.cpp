@@ -1,0 +1,594 @@
+#include "sacpp/sac/wlgraph.hpp"
+
+#include <functional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/sac/array_lib.hpp"
+#include "sacpp/sac/expr.hpp"
+
+namespace sacpp::sac::wl {
+
+// ---------------------------------------------------------------------------
+// AffineMap
+// ---------------------------------------------------------------------------
+
+bool AffineMap::is_identity(std::size_t rank) const {
+  if (num != 1 || den != 1 || pre != 0) return false;
+  if (offset.size() != rank) return false;
+  for (extent_t o : offset) {
+    if (o != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool uniform_offset(const AffineMap& m, extent_t* value) {
+  if (m.offset.empty()) {
+    *value = 0;
+    return true;
+  }
+  const extent_t v = m.offset[0];
+  for (extent_t o : m.offset) {
+    if (o != v) return false;
+  }
+  *value = v;
+  return true;
+}
+
+// Can outer∘inner collapse into one exact map?  Only an exact affine outer
+// (no division, uniform offset) composes without losing the inner gap
+// condition.
+bool composable(const AffineMap& outer, const AffineMap& /*inner*/) {
+  extent_t uo = 0;
+  return outer.den == 1 && uniform_offset(outer, &uo);
+}
+
+AffineMap compose_checked(const AffineMap& outer, const AffineMap& inner) {
+  extent_t uo = 0;
+  SACPP_REQUIRE(uniform_offset(outer, &uo) && outer.den == 1,
+                "maps not composable");
+  AffineMap m;
+  m.num = outer.num * inner.num;
+  m.den = inner.den;
+  m.pre = (outer.pre + uo) * inner.num + inner.pre;
+  m.offset = inner.offset;
+  // Normalise: when the divisor divides both scale and phase the division
+  // is exact everywhere (no gaps) and cancels — this is how
+  // condense∘scatter chains become the identity.
+  if (m.den > 1 && m.num % m.den == 0 && m.pre % m.den == 0) {
+    m.num /= m.den;
+    m.pre /= m.den;
+    m.den = 1;
+  }
+  return m;
+}
+
+NodeRef make(Node n) { return std::make_shared<const Node>(std::move(n)); }
+
+void check_same_shape(const NodeRef& a, const NodeRef& b) {
+  SACPP_REQUIRE(a->shape == b->shape,
+                "element-wise graph nodes need equal shapes");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Node queries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void collect(const Node* n, std::set<const Node*>& seen) {
+  if (!seen.insert(n).second) return;
+  for (const auto& a : n->args) collect(a.get(), seen);
+}
+
+}  // namespace
+
+std::size_t Node::node_count() const {
+  std::set<const Node*> seen;
+  collect(this, seen);
+  return seen.size();
+}
+
+std::size_t Node::materialisation_count() const {
+  std::set<const Node*> seen;
+  collect(this, seen);
+  std::size_t count = 0;
+  for (const Node* n : seen) {
+    if (n->kind != OpKind::kInput && n->kind != OpKind::kConst) ++count;
+  }
+  return count;
+}
+
+std::string Node::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case OpKind::kInput:
+      os << name;
+      break;
+    case OpKind::kConst:
+      os << value;
+      break;
+    case OpKind::kEwise: {
+      const char* names[] = {"add", "sub", "mul", "neg", "abs", "scale"};
+      os << names[static_cast<int>(fn)] << '(';
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) os << ", ";
+        os << args[i]->to_string();
+      }
+      if (fn == EwiseFn::kScale) os << ", " << value;
+      os << ')';
+      break;
+    }
+    case OpKind::kStencil:
+      os << "stencil(" << args[0]->to_string() << ')';
+      break;
+    case OpKind::kGather:
+      os << "gather[*" << map.num << '+' << map.pre << '/' << map.den
+         << "](" << args[0]->to_string() << ')';
+      break;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+NodeRef input(std::string name, const Shape& shape) {
+  Node n;
+  n.kind = OpKind::kInput;
+  n.name = std::move(name);
+  n.shape = shape;
+  return make(std::move(n));
+}
+
+NodeRef constant(const Shape& shape, double value) {
+  Node n;
+  n.kind = OpKind::kConst;
+  n.value = value;
+  n.shape = shape;
+  return make(std::move(n));
+}
+
+namespace {
+
+NodeRef ewise2(EwiseFn fn, NodeRef a, NodeRef b) {
+  check_same_shape(a, b);
+  Node n;
+  n.kind = OpKind::kEwise;
+  n.fn = fn;
+  n.shape = a->shape;
+  n.args = {std::move(a), std::move(b)};
+  return make(std::move(n));
+}
+
+NodeRef ewise1(EwiseFn fn, NodeRef a, double value = 0.0) {
+  Node n;
+  n.kind = OpKind::kEwise;
+  n.fn = fn;
+  n.value = value;
+  n.shape = a->shape;
+  n.args = {std::move(a)};
+  return make(std::move(n));
+}
+
+NodeRef gather(NodeRef a, const Shape& out_shape, AffineMap map,
+               double dflt = 0.0) {
+  Node n;
+  n.kind = OpKind::kGather;
+  n.shape = out_shape;
+  n.map = std::move(map);
+  n.dflt = dflt;
+  n.args = {std::move(a)};
+  return make(std::move(n));
+}
+
+}  // namespace
+
+NodeRef add(NodeRef a, NodeRef b) { return ewise2(EwiseFn::kAdd, a, b); }
+NodeRef sub(NodeRef a, NodeRef b) { return ewise2(EwiseFn::kSub, a, b); }
+NodeRef mul(NodeRef a, NodeRef b) { return ewise2(EwiseFn::kMul, a, b); }
+NodeRef neg(NodeRef a) { return ewise1(EwiseFn::kNeg, std::move(a)); }
+NodeRef abs(NodeRef a) { return ewise1(EwiseFn::kAbs, std::move(a)); }
+NodeRef scale(NodeRef a, double s) {
+  return ewise1(EwiseFn::kScale, std::move(a), s);
+}
+
+NodeRef stencil(NodeRef a, const StencilCoeffs& coeffs) {
+  Node n;
+  n.kind = OpKind::kStencil;
+  n.coeffs = coeffs;
+  n.shape = a->shape;
+  n.args = {std::move(a)};
+  return make(std::move(n));
+}
+
+NodeRef condense(extent_t stride, NodeRef a, extent_t phase) {
+  SACPP_REQUIRE(stride >= 1 && phase >= 0 && phase < stride,
+                "condense stride/phase invalid");
+  const std::size_t rank = a->shape.rank();
+  AffineMap m;
+  m.num = stride;
+  m.pre = phase;
+  m.offset = uniform_vec(rank, 0);
+  return gather(a, Shape(a->shape.extents() / stride), std::move(m));
+}
+
+NodeRef scatter(extent_t stride, NodeRef a, extent_t phase) {
+  SACPP_REQUIRE(stride >= 1 && phase >= 0 && phase < stride,
+                "scatter stride/phase invalid");
+  const std::size_t rank = a->shape.rank();
+  AffineMap m;
+  m.den = stride;
+  m.pre = -phase;
+  m.offset = uniform_vec(rank, 0);
+  return gather(a, Shape(stride * a->shape.extents()), std::move(m));
+}
+
+NodeRef take(const IndexVec& shp, NodeRef a) {
+  SACPP_REQUIRE(shp.size() == a->shape.rank(), "take rank mismatch");
+  AffineMap m;
+  m.offset = uniform_vec(shp.size(), 0);
+  return gather(a, Shape(shp), std::move(m));
+}
+
+NodeRef embed(const IndexVec& shp, const IndexVec& pos, NodeRef a) {
+  SACPP_REQUIRE(shp.size() == a->shape.rank() && pos.size() == shp.size(),
+                "embed rank mismatch");
+  AffineMap m;
+  m.offset = IndexVec(pos.size());
+  for (std::size_t d = 0; d < pos.size(); ++d) m.offset[d] = -pos[d];
+  return gather(a, Shape(shp), std::move(m));
+}
+
+NodeRef shift(const IndexVec& offset, NodeRef a) {
+  SACPP_REQUIRE(offset.size() == a->shape.rank(), "shift rank mismatch");
+  AffineMap m;
+  m.offset = IndexVec(offset.size());
+  for (std::size_t d = 0; d < offset.size(); ++d) m.offset[d] = -offset[d];
+  return gather(a, a->shape, std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// Optimiser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Optimiser {
+  RewriteStats stats;
+  std::unordered_map<const Node*, NodeRef> memo;
+
+  NodeRef rewrite(const NodeRef& n) {
+    auto it = memo.find(n.get());
+    if (it != memo.end()) return it->second;
+
+    // rewrite children first
+    Node fresh = *n;
+    bool changed = false;
+    for (auto& a : fresh.args) {
+      NodeRef r = rewrite(a);
+      if (r != a) {
+        a = std::move(r);
+        changed = true;
+      }
+    }
+
+    NodeRef result = changed ? make(std::move(fresh)) : n;
+
+    // pass 1: collapse gather chains / drop identity gathers
+    if (result->kind == OpKind::kGather) {
+      const NodeRef& child = result->args[0];
+      if (result->map.is_identity(result->shape.rank()) &&
+          result->shape == child->shape) {
+        stats.identities_removed += 1;
+        memo[n.get()] = child;
+        return child;
+      }
+      if (child->kind == OpKind::kGather &&
+          composable(result->map, child->map) &&
+          result->dflt == child->dflt) {
+        Node merged = *result;
+        merged.map = compose_checked(result->map, child->map);
+        merged.args = {child->args[0]};
+        stats.gathers_collapsed += 1;
+        NodeRef m = rewrite(make(std::move(merged)));  // may collapse further
+        memo[n.get()] = m;
+        return m;
+      }
+    }
+
+    memo[n.get()] = result;
+    return result;
+  }
+};
+
+// Parent multiplicity over the DAG (shared nodes materialise).
+void count_parents(const Node* n, std::map<const Node*, int>& parents,
+                   std::set<const Node*>& seen) {
+  if (!seen.insert(n).second) return;
+  for (const auto& a : n->args) {
+    parents[a.get()] += 1;
+    count_parents(a.get(), parents, seen);
+  }
+}
+
+bool is_leaf(const Node* n) {
+  return n->kind == OpKind::kInput || n->kind == OpKind::kConst;
+}
+
+}  // namespace
+
+NodeRef optimise(const NodeRef& root, RewriteStats* stats) {
+  SACPP_REQUIRE(root != nullptr, "optimise on null graph");
+  Optimiser opt;
+  opt.stats.materialisations_before = root->materialisation_count();
+  NodeRef out = opt.rewrite(root);
+
+  // account fusion: after optimisation the evaluator materialises only at
+  // barriers — the root, stencil arguments, and shared intermediates.
+  std::map<const Node*, int> parents;
+  std::set<const Node*> seen;
+  count_parents(out.get(), parents, seen);
+  seen.insert(out.get());
+  std::size_t barriers = 0;
+  for (const Node* n : seen) {
+    if (is_leaf(n)) continue;
+    const bool shared = parents[n] > 1;
+    bool stencil_arg = false;
+    for (const Node* p : seen) {
+      if (p->kind == OpKind::kStencil && p->args[0].get() == n) {
+        stencil_arg = true;
+      }
+    }
+    if (n == out.get() || shared || stencil_arg) ++barriers;
+    // fused otherwise
+  }
+  opt.stats.materialisations_after = barriers;
+  // nodes that remain in the optimised graph but evaluate fused into their
+  // consumers (no materialisation of their own)
+  std::uint64_t fused = 0;
+  for (const Node* n : seen) {
+    if (is_leaf(n) || n == out.get()) continue;
+    const bool shared = parents[n] > 1;
+    bool stencil_arg = false;
+    for (const Node* p : seen) {
+      if (p->kind == OpKind::kStencil && p->args[0].get() == n) {
+        stencil_arg = true;
+      }
+    }
+    if (!shared && !stencil_arg) ++fused;
+  }
+  opt.stats.ewise_fused = fused;
+  if (stats) *stats = opt.stats;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A type-erased lazy array: shape + element function.
+struct DynExpr {
+  Shape shape;
+  std::function<double(const IndexVec&)> at;
+};
+
+struct Evaluator {
+  const Bindings& bindings;
+  std::map<const Node*, int> parents;
+  std::unordered_map<const Node*, Array<double>> materialised;
+
+  explicit Evaluator(const NodeRef& root, const Bindings& b) : bindings(b) {
+    std::set<const Node*> seen;
+    count_parents(root.get(), parents, seen);
+  }
+
+  Array<double> to_array(const Node* n) {
+    auto it = materialised.find(n);
+    if (it != materialised.end()) return it->second;
+    Array<double> a = [&] {
+      if (n->kind == OpKind::kInput) {
+        auto bit = bindings.find(n->name);
+        SACPP_REQUIRE(bit != bindings.end(),
+                      "unbound graph input: " + n->name);
+        SACPP_REQUIRE(bit->second.shape() == n->shape,
+                      "bound array shape mismatch for input " + n->name);
+        return bit->second;
+      }
+      if (n->kind == OpKind::kStencil) {
+        // stencil over a concrete array, forced through the fast kernel
+        return relax_kernel(to_array(n->args[0].get()), n->coeffs);
+      }
+      const DynExpr e = compile_body(n);
+      return with_genarray<double>(e.shape,
+                                   [&e](const IndexVec& iv) { return e.at(iv); });
+    }();
+    materialised.emplace(n, a);
+    return a;
+  }
+
+  // Barrier dispatch: inputs and shared intermediates materialise; the
+  // rest fuse into their consumer's traversal.
+  DynExpr compile(const Node* n) {
+    const bool shared = parents[n] > 1 && !is_leaf(n);
+    if (shared || n->kind == OpKind::kInput) {
+      Array<double> a = to_array(n);
+      return DynExpr{a.shape(),
+                     [a](const IndexVec& iv) { return a[iv]; }};
+    }
+    return compile_body(n);
+  }
+
+  DynExpr compile_body(const Node* n) {
+    switch (n->kind) {
+      case OpKind::kConst: {
+        const double v = n->value;
+        return DynExpr{n->shape, [v](const IndexVec&) { return v; }};
+      }
+      case OpKind::kEwise: {
+        if (n->args.size() == 2) {
+          DynExpr l = compile(n->args[0].get());
+          DynExpr r = compile(n->args[1].get());
+          const EwiseFn fn = n->fn;
+          return DynExpr{n->shape, [l, r, fn](const IndexVec& iv) {
+                           const double x = l.at(iv), y = r.at(iv);
+                           switch (fn) {
+                             case EwiseFn::kAdd:
+                               return x + y;
+                             case EwiseFn::kSub:
+                               return x - y;
+                             case EwiseFn::kMul:
+                               return x * y;
+                             default:
+                               return 0.0;
+                           }
+                         }};
+        }
+        DynExpr c = compile(n->args[0].get());
+        const EwiseFn fn = n->fn;
+        const double v = n->value;
+        return DynExpr{n->shape, [c, fn, v](const IndexVec& iv) {
+                         const double x = c.at(iv);
+                         switch (fn) {
+                           case EwiseFn::kNeg:
+                             return -x;
+                           case EwiseFn::kAbs:
+                             return x < 0.0 ? -x : x;
+                           case EwiseFn::kScale:
+                             return x * v;
+                           default:
+                             return 0.0;
+                         }
+                       }};
+      }
+      case OpKind::kStencil: {
+        // the argument materialises; the stencil itself stays lazy so
+        // consumers (gathers, ewise) evaluate it per consumed point
+        Array<double> a = to_array(n->args[0].get());
+        auto st = std::make_shared<StencilExpr>(std::move(a), n->coeffs);
+        return DynExpr{n->shape,
+                       [st](const IndexVec& iv) { return (*st)(iv); }};
+      }
+      case OpKind::kGather: {
+        DynExpr c = compile(n->args[0].get());
+        const AffineMap m = n->map;
+        const double dflt = n->dflt;
+        const Shape child_shape = c.shape;
+        return DynExpr{n->shape,
+                       [c, m, dflt, child_shape](const IndexVec& iv) {
+                         IndexVec src(iv.size());
+                         for (std::size_t d = 0; d < iv.size(); ++d) {
+                           const extent_t scaled = iv[d] * m.num + m.pre;
+                           if (m.den != 1 &&
+                               (scaled % m.den != 0 || scaled < 0)) {
+                             return dflt;
+                           }
+                           src[d] = scaled / m.den + m.offset[d];
+                         }
+                         if (!child_shape.contains(src)) return dflt;
+                         return c.at(src);
+                       }};
+      }
+      case OpKind::kInput:
+        break;  // handled above
+    }
+    SACPP_REQUIRE(false, "unreachable graph node kind");
+    return {};
+  }
+};
+
+}  // namespace
+
+Array<double> evaluate(const NodeRef& root, const Bindings& bindings) {
+  SACPP_REQUIRE(root != nullptr, "evaluate on null graph");
+  Evaluator ev(root, bindings);
+  return ev.to_array(root.get());
+}
+
+Array<double> evaluate_naive(const NodeRef& root, const Bindings& bindings) {
+  SACPP_REQUIRE(root != nullptr, "evaluate on null graph");
+  std::unordered_map<const Node*, Array<double>> memo;
+  std::function<Array<double>(const Node*)> eval =
+      [&](const Node* n) -> Array<double> {
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    Array<double> result = [&]() -> Array<double> {
+      switch (n->kind) {
+        case OpKind::kInput: {
+          auto bit = bindings.find(n->name);
+          SACPP_REQUIRE(bit != bindings.end(),
+                        "unbound graph input: " + n->name);
+          return bit->second;
+        }
+        case OpKind::kConst:
+          return genarray_const(n->shape, n->value);
+        case OpKind::kEwise: {
+          Array<double> a = eval(n->args[0].get());
+          if (n->args.size() == 2) {
+            Array<double> b = eval(n->args[1].get());
+            switch (n->fn) {
+              case EwiseFn::kAdd:
+                return a + b;
+              case EwiseFn::kSub:
+                return a - b;
+              case EwiseFn::kMul:
+                return a * b;
+              default:
+                break;
+            }
+          }
+          switch (n->fn) {
+            case EwiseFn::kNeg:
+              return -a;
+            case EwiseFn::kAbs:
+              return sac::abs(a);
+            case EwiseFn::kScale:
+              return a * n->value;
+            default:
+              break;
+          }
+          SACPP_REQUIRE(false, "bad ewise arity");
+          return a;
+        }
+        case OpKind::kStencil:
+          return relax_kernel(eval(n->args[0].get()), n->coeffs);
+        case OpKind::kGather: {
+          Array<double> a = eval(n->args[0].get());
+          const AffineMap& m = n->map;
+          const double dflt = n->dflt;
+          return with_genarray<double>(
+              n->shape, gen_all(),
+              [&a, &m, dflt](const IndexVec& iv) {
+                IndexVec src(iv.size());
+                for (std::size_t d = 0; d < iv.size(); ++d) {
+                  const extent_t scaled = iv[d] * m.num + m.pre;
+                  if (m.den != 1 && (scaled % m.den != 0 || scaled < 0)) {
+                    return dflt;
+                  }
+                  src[d] = scaled / m.den + m.offset[d];
+                }
+                if (!a.shape().contains(src)) return dflt;
+                return a[src];
+              },
+              dflt);
+        }
+      }
+      SACPP_REQUIRE(false, "unreachable graph node kind");
+      return Array<double>();
+    }();
+    memo.emplace(n, result);
+    return result;
+  };
+  return eval(root.get());
+}
+
+}  // namespace sacpp::sac::wl

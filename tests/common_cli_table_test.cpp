@@ -1,0 +1,133 @@
+// CLI parser and table/CSV rendering used by the bench harness.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/common/cli.hpp"
+#include "sacpp/common/stats.hpp"
+#include "sacpp/common/table.hpp"
+
+namespace sacpp {
+namespace {
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  Cli cli;
+  cli.add_option("size", "32", "grid size");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("size"), 32);
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli;
+  cli.add_option("size", "32", "grid size");
+  const char* argv[] = {"prog", "--size", "64"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("size"), 64);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  Cli cli;
+  cli.add_option("class", "S", "benchmark class");
+  const char* argv[] = {"prog", "--class=A"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get("class"), "A");
+}
+
+TEST(Cli, FlagDefaultsFalseSetsTrue) {
+  Cli cli;
+  cli.add_flag("verbose", "talk more");
+  const char* argv0[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv0));
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  const char* argv1[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv1));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionFailsParse) {
+  Cli cli;
+  cli.add_option("size", "32", "grid size");
+  const char* argv[] = {"prog", "--oops", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, MissingValueFailsParse) {
+  Cli cli;
+  cli.add_option("size", "32", "grid size");
+  const char* argv[] = {"prog", "--size"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpRequestsReturnFalse) {
+  Cli cli;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, DoubleValues) {
+  Cli cli;
+  cli.add_option("tol", "0.5", "tolerance");
+  const char* argv[] = {"prog", "--tol", "1.25"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("tol"), 1.25);
+}
+
+TEST(Cli, UndeclaredGetThrows) {
+  Cli cli;
+  EXPECT_THROW(cli.get("nope"), ContractError);
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_ascii("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), ContractError);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(AsciiBar, ProportionalAndClamped) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10), "          ");
+}
+
+TEST(Stats, SummaryOfKnownSamples) {
+  const Summary s = summarize({3.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, SingleSample) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, EmptyThrows) { EXPECT_THROW(summarize({}), ContractError); }
+
+}  // namespace
+}  // namespace sacpp

@@ -1,0 +1,145 @@
+// Index-space walkers: dense and strided (step/width) odometers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sacpp/common/index_space.hpp"
+
+namespace sacpp {
+namespace {
+
+std::vector<IndexVec> collect_dense(const IndexVec& lo, const IndexVec& up) {
+  std::vector<IndexVec> out;
+  for_each_index(lo, up, [&](const IndexVec& iv) { out.push_back(iv); });
+  return out;
+}
+
+std::vector<IndexVec> collect_grid(const IndexVec& lo, const IndexVec& up,
+                                   const IndexVec& st, const IndexVec& wi) {
+  std::vector<IndexVec> out;
+  for_each_index_grid(lo, up, st, wi,
+                      [&](const IndexVec& iv) { out.push_back(iv); });
+  return out;
+}
+
+TEST(DenseWalk, RowMajorOrder) {
+  auto got = collect_dense({0, 0}, {2, 3});
+  std::vector<IndexVec> expect{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(DenseWalk, NonZeroLowerBound) {
+  auto got = collect_dense({1, 2}, {3, 4});
+  std::vector<IndexVec> expect{{1, 2}, {1, 3}, {2, 2}, {2, 3}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(DenseWalk, EmptyWhenUpperNotAboveLower) {
+  EXPECT_TRUE(collect_dense({2, 0}, {2, 5}).empty());
+  EXPECT_TRUE(collect_dense({3, 0}, {2, 5}).empty());
+}
+
+TEST(DenseWalk, RankZeroVisitsExactlyTheEmptyIndex) {
+  auto got = collect_dense({}, {});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].empty());
+}
+
+TEST(DenseWalk, ShapeOverload) {
+  std::size_t count = 0;
+  for_each_index(Shape{3, 4, 5}, [&](const IndexVec&) { ++count; });
+  EXPECT_EQ(count, 60u);
+}
+
+TEST(DenseWalk, Rank1) {
+  auto got = collect_dense({5}, {8});
+  std::vector<IndexVec> expect{{5}, {6}, {7}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(GridWalk, StepSelectsEveryNth) {
+  auto got = collect_grid({0}, {10}, {3}, {1});
+  std::vector<IndexVec> expect{{0}, {3}, {6}, {9}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(GridWalk, WidthSelectsBands) {
+  auto got = collect_grid({0}, {10}, {4}, {2});
+  std::vector<IndexVec> expect{{0}, {1}, {4}, {5}, {8}, {9}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(GridWalk, PhaseAnchorsAtLowerBound) {
+  auto got = collect_grid({1}, {8}, {3}, {1});
+  std::vector<IndexVec> expect{{1}, {4}, {7}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(GridWalk, MultiDimensionalGrid) {
+  auto got = collect_grid({0, 0}, {4, 4}, {2, 2}, {1, 1});
+  std::vector<IndexVec> expect{{0, 0}, {0, 2}, {2, 0}, {2, 2}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(GridWalk, StepOneWidthOneIsDense) {
+  auto dense = collect_dense({1, 1}, {4, 5});
+  auto grid = collect_grid({1, 1}, {4, 5}, {1, 1}, {1, 1});
+  EXPECT_EQ(dense, grid);
+}
+
+TEST(GridWalk, InvalidStepOrWidthThrows) {
+  EXPECT_THROW(collect_grid({0}, {4}, {0}, {1}), ContractError);
+  EXPECT_THROW(collect_grid({0}, {4}, {2}, {0}), ContractError);
+  EXPECT_THROW(collect_grid({0}, {4}, {2}, {3}), ContractError);
+}
+
+// Property: the walker enumerates exactly the generator's defining set.
+class GridProperty
+    : public ::testing::TestWithParam<std::tuple<extent_t, extent_t, extent_t>> {
+};
+
+TEST_P(GridProperty, MatchesDefiningSetAndCount) {
+  const auto [upper, step, width] = GetParam();
+  const IndexVec lo{1, 0};
+  const IndexVec up{upper, upper + 1};
+  const IndexVec st{step, step};
+  const IndexVec wi{width, width};
+  if (width > step) GTEST_SKIP();
+
+  std::set<std::pair<extent_t, extent_t>> got;
+  for_each_index_grid(lo, up, st, wi, [&](const IndexVec& iv) {
+    got.insert({iv[0], iv[1]});
+  });
+
+  std::set<std::pair<extent_t, extent_t>> expect;
+  for (extent_t i = lo[0]; i < up[0]; ++i) {
+    for (extent_t j = lo[1]; j < up[1]; ++j) {
+      if ((i - lo[0]) % step < width && (j - lo[1]) % step < width) {
+        expect.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(static_cast<extent_t>(got.size()), grid_count(lo, up, st, wi));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridProperty,
+                         ::testing::Combine(::testing::Values<extent_t>(1, 2,
+                                                                        5, 9),
+                                            ::testing::Values<extent_t>(1, 2,
+                                                                        3),
+                                            ::testing::Values<extent_t>(1, 2,
+                                                                        3)));
+
+TEST(GridCount, AxisCountFormula) {
+  EXPECT_EQ(grid_axis_count(0, 10, 3, 1), 4);
+  EXPECT_EQ(grid_axis_count(0, 10, 4, 2), 6);
+  EXPECT_EQ(grid_axis_count(0, 0, 1, 1), 0);
+  EXPECT_EQ(grid_axis_count(5, 5, 2, 1), 0);
+  EXPECT_EQ(grid_axis_count(0, 1, 8, 8), 1);
+}
+
+}  // namespace
+}  // namespace sacpp

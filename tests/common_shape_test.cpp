@@ -1,0 +1,119 @@
+// Shape algebra, row-major layout, and index-vector arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/common/shape.hpp"
+
+namespace sacpp {
+namespace {
+
+TEST(Shape, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_EQ(s.elem_count(), 1);
+}
+
+TEST(Shape, RankAndExtents) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.elem_count(), 24);
+}
+
+TEST(Shape, ZeroExtentMeansEmptyArray) {
+  Shape s{3, 0, 4};
+  EXPECT_EQ(s.elem_count(), 0);
+}
+
+TEST(Shape, NegativeExtentRejected) {
+  EXPECT_THROW(Shape({-1, 2}), ContractError);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s{2, 3, 4};
+  IndexVec expect{12, 4, 1};
+  EXPECT_EQ(s.strides(), expect);
+}
+
+TEST(Shape, LinearizeMatchesStrides) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.linearize({0, 0, 0}), 0);
+  EXPECT_EQ(s.linearize({0, 0, 3}), 3);
+  EXPECT_EQ(s.linearize({0, 1, 0}), 4);
+  EXPECT_EQ(s.linearize({1, 2, 3}), 23);
+}
+
+TEST(Shape, DelinearizeIsInverseOfLinearize) {
+  Shape s{3, 5, 7};
+  for (extent_t off = 0; off < s.elem_count(); ++off) {
+    EXPECT_EQ(s.linearize(s.delinearize(off)), off);
+  }
+}
+
+TEST(Shape, LinearizeWrongRankThrows) {
+  Shape s{2, 2};
+  EXPECT_THROW(s.linearize({1}), ContractError);
+}
+
+TEST(Shape, Contains) {
+  Shape s{2, 3};
+  EXPECT_TRUE(s.contains({0, 0}));
+  EXPECT_TRUE(s.contains({1, 2}));
+  EXPECT_FALSE(s.contains({2, 0}));
+  EXPECT_FALSE(s.contains({0, -1}));
+  EXPECT_FALSE(s.contains({0}));  // rank mismatch
+}
+
+TEST(Shape, EqualityAndToString) {
+  Shape a{2, 3};
+  Shape b{2, 3};
+  Shape c{3, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.to_string(), "[2, 3]");
+}
+
+TEST(Shape, CubeShapeHelper) {
+  const Shape s = cube_shape(3, 5);
+  EXPECT_EQ(s, (Shape{5, 5, 5}));
+}
+
+// -- index-vector arithmetic (the SAC shape algebra: shape(a)/2 etc.) --------
+
+TEST(IndexVecArithmetic, ElementWiseAddSub) {
+  IndexVec a{1, 2, 3};
+  IndexVec b{10, 20, 30};
+  EXPECT_EQ(a + b, (IndexVec{11, 22, 33}));
+  EXPECT_EQ(b - a, (IndexVec{9, 18, 27}));
+}
+
+TEST(IndexVecArithmetic, LengthMismatchThrows) {
+  IndexVec a{1, 2};
+  IndexVec b{1, 2, 3};
+  EXPECT_THROW(a + b, ContractError);
+}
+
+TEST(IndexVecArithmetic, ScalarOps) {
+  IndexVec a{2, 4, 6};
+  EXPECT_EQ(a + 1, (IndexVec{3, 5, 7}));
+  EXPECT_EQ(a - 2, (IndexVec{0, 2, 4}));
+  EXPECT_EQ(2 * a, (IndexVec{4, 8, 12}));
+  EXPECT_EQ(a / 2, (IndexVec{1, 2, 3}));
+  EXPECT_EQ(0 * a, (IndexVec{0, 0, 0}));
+}
+
+TEST(IndexVecArithmetic, DivisionByZeroThrows) {
+  IndexVec a{2};
+  EXPECT_THROW(a / 0, ContractError);
+}
+
+TEST(IndexVecArithmetic, UniformVec) {
+  EXPECT_EQ(uniform_vec(3, 7), (IndexVec{7, 7, 7}));
+  EXPECT_EQ(uniform_vec(0, 7), IndexVec{});
+}
+
+}  // namespace
+}  // namespace sacpp

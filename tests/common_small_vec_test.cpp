@@ -1,0 +1,137 @@
+// SmallVec: inline storage, heap spill, value semantics.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sacpp/common/small_vec.hpp"
+
+namespace sacpp {
+namespace {
+
+TEST(SmallVec, DefaultIsEmpty) {
+  SmallVec<int> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVec, InitializerList) {
+  SmallVec<int> v{1, 2, 3};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(SmallVec, FillConstructor) {
+  SmallVec<int> v(5, 7);
+  ASSERT_EQ(v.size(), 5u);
+  for (int x : v) EXPECT_EQ(x, 7);
+}
+
+TEST(SmallVec, IteratorRangeConstructor) {
+  std::vector<int> src{4, 5, 6, 7, 8, 9};
+  SmallVec<int> v(src.begin(), src.end());
+  ASSERT_EQ(v.size(), src.size());
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), src.begin()));
+}
+
+TEST(SmallVec, PushBackSpillsToHeapBeyondInlineCapacity) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, CopyIsDeep) {
+  SmallVec<int> a{1, 2, 3, 4, 5, 6};  // spilled
+  SmallVec<int> b = a;
+  b[0] = 99;
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 99);
+}
+
+TEST(SmallVec, CopyAssignReplacesContents) {
+  SmallVec<int> a{1, 2, 3};
+  SmallVec<int> b{9, 9, 9, 9, 9, 9, 9};
+  b = a;
+  EXPECT_EQ(b, a);
+}
+
+TEST(SmallVec, SelfAssignmentIsNoop) {
+  SmallVec<int> a{1, 2, 3, 4, 5};
+  auto* p = &a;
+  a = *p;
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[4], 5);
+}
+
+TEST(SmallVec, MoveStealsHeapBuffer) {
+  SmallVec<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  const int* data = a.data();
+  SmallVec<int, 2> b = std::move(a);
+  EXPECT_EQ(b.data(), data);  // heap buffer moved, not copied
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVec, MoveOfInlineCopiesElements) {
+  SmallVec<int, 4> a{1, 2};
+  SmallVec<int, 4> b = std::move(a);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], 2);
+}
+
+TEST(SmallVec, ResizeGrowsWithFill) {
+  SmallVec<int> v{1};
+  v.resize(4, 9);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[3], 9);
+}
+
+TEST(SmallVec, ResizeShrinkKeepsPrefix) {
+  SmallVec<int> v{1, 2, 3, 4};
+  v.resize(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], 2);
+}
+
+TEST(SmallVec, PopBack) {
+  SmallVec<int> v{1, 2};
+  v.pop_back();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(SmallVec, EqualityComparesElements) {
+  SmallVec<int> a{1, 2, 3};
+  SmallVec<int> b{1, 2, 3};
+  SmallVec<int> c{1, 2, 4};
+  SmallVec<int> d{1, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(SmallVec, OutOfRangeIndexThrowsInDebug) {
+#ifndef NDEBUG
+  SmallVec<int> v{1};
+  EXPECT_THROW((void)v[1], ContractError);
+#else
+  GTEST_SKIP() << "bounds assertions compiled out in release";
+#endif
+}
+
+TEST(SmallVec, ReserveKeepsSizeAndContents) {
+  SmallVec<int> v{1, 2, 3};
+  v.reserve(100);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_GE(v.capacity(), 100u);
+  EXPECT_EQ(v[2], 3);
+}
+
+}  // namespace
+}  // namespace sacpp

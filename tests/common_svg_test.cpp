@@ -1,0 +1,82 @@
+// SVG chart rendering: structure, scaling, escaping, file output.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/common/svg_plot.hpp"
+
+namespace sacpp {
+namespace {
+
+TEST(SvgChart, RenderContainsStructure) {
+  SvgChart c("Speedups", "processors", "speedup");
+  c.add_series("SAC", {{1, 1.0}, {2, 1.9}, {4, 3.4}});
+  c.add_series("Fortran-77", {{1, 1.0}, {2, 1.5}, {4, 2.2}});
+  c.add_diagonal("linear");
+  const std::string svg = c.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Speedups"), std::string::npos);
+  EXPECT_NE(svg.find("SAC"), std::string::npos);
+  EXPECT_NE(svg.find("Fortran-77"), std::string::npos);
+  EXPECT_NE(svg.find("linear"), std::string::npos);
+  EXPECT_NE(svg.find("processors"), std::string::npos);
+  // two polylines (one per series)
+  std::size_t count = 0, pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SvgChart, EscapesMarkupInLabels) {
+  SvgChart c("a < b & c", "x", "y");
+  c.add_series("s<1>", {{0, 0}, {1, 1}});
+  const std::string svg = c.render();
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(SvgChart, EmptyChartRejected) {
+  SvgChart c("t", "x", "y");
+  EXPECT_THROW(c.render(), ContractError);
+  EXPECT_THROW(c.add_series("s", {}), ContractError);
+}
+
+TEST(SvgChart, DegenerateRangesStillRender) {
+  SvgChart c("flat", "x", "y");
+  c.add_series("s", {{1, 5.0}, {2, 5.0}, {3, 5.0}});  // zero y-span
+  const std::string svg = c.render();
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  SvgChart p("point", "x", "y");
+  p.add_series("s", {{2, 3}});  // single point
+  EXPECT_NE(p.render().find("<circle"), std::string::npos);
+}
+
+TEST(SvgChart, WritesFile) {
+  char buf[] = "/tmp/sacpp_svg_XXXXXX";
+  const int fd = mkstemp(buf);
+  if (fd >= 0) close(fd);
+  SvgChart c("t", "x", "y");
+  c.add_series("s", {{0, 0}, {1, 1}});
+  c.write(buf);
+  std::ifstream in(buf);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("</svg>"), std::string::npos);
+  std::remove(buf);
+}
+
+TEST(SvgChart, EmptyPathIsNoop) {
+  SvgChart c("t", "x", "y");
+  c.add_series("s", {{0, 0}});
+  c.write("");  // must not throw
+}
+
+}  // namespace
+}  // namespace sacpp

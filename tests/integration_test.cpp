@@ -1,0 +1,149 @@
+// End-to-end integration: the full benchmark protocol through the public
+// driver for every implementation, plus ablation settings end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sacpp/machine/model.hpp"
+#include "sacpp/mg/driver.hpp"
+#include "sacpp/sac/sac.hpp"
+
+namespace sacpp::mg {
+namespace {
+
+TEST(Integration, FullClassSThroughDriverAllVariants) {
+  const MgSpec spec = MgSpec::for_class(MgClass::S);
+  RunOptions opts;
+  opts.warmup = true;  // the full NPB protocol, warm-up included
+  double norms[3];
+  int i = 0;
+  for (auto v : {Variant::kSac, Variant::kFortran, Variant::kOpenMp}) {
+    const MgResult res = run_benchmark(v, spec, opts);
+    EXPECT_EQ(res.nx, 32);
+    EXPECT_EQ(res.nit, 4);
+    EXPECT_EQ(res.cls, "S");
+    EXPECT_GT(res.seconds, 0.0);
+    EXPECT_GT(res.mflops, 0.0);
+    ASSERT_EQ(res.norms.size(), 4u);
+    norms[i++] = res.final_norm;
+  }
+  EXPECT_NEAR(norms[0], norms[1], 1e-15);
+  EXPECT_NEAR(norms[2], norms[1], 1e-15);
+  EXPECT_NEAR(norms[1], 0.530770700573e-04, 1e-14);
+}
+
+TEST(Integration, SacDirectVariantThroughDriverMatchesReference) {
+  const MgSpec spec = MgSpec::for_class(MgClass::S);
+  RunOptions opts;
+  opts.warmup = false;
+  const MgResult direct = run_benchmark(Variant::kSacDirect, spec, opts);
+  const MgResult ref = run_benchmark(Variant::kFortran, spec, opts);
+  ASSERT_EQ(direct.norms.size(), ref.norms.size());
+  for (std::size_t i = 0; i < ref.norms.size(); ++i) {
+    EXPECT_NEAR(direct.norms[i], ref.norms[i], ref.norms[i] * 1e-11)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(parse_variant("direct"), Variant::kSacDirect);
+  EXPECT_STREQ(variant_name(Variant::kSacDirect), "SAC-direct");
+}
+
+TEST(Integration, WarmupDoesNotChangeResults) {
+  const MgSpec spec = MgSpec::custom(16, 2);
+  RunOptions with, without;
+  with.warmup = true;
+  without.warmup = false;
+  const MgResult a = run_benchmark(Variant::kFortran, spec, with);
+  const MgResult b = run_benchmark(Variant::kFortran, spec, without);
+  EXPECT_DOUBLE_EQ(a.final_norm, b.final_norm);
+}
+
+TEST(Integration, AblationSettingsAllProduceIdenticalNorms) {
+  // Every combination of the optimisation switches must leave the computed
+  // values unchanged — they are performance knobs, not semantics knobs.
+  const MgSpec spec = MgSpec::custom(16, 2);
+  RunOptions opts;
+  opts.warmup = false;
+  double reference = 0.0;
+  bool first = true;
+  for (bool folding : {false, true}) {
+    for (bool reuse : {false, true}) {
+      for (bool specialize : {false, true}) {
+        sac::SacConfig cfg = sac::config();
+        cfg.folding = folding;
+        cfg.reuse = reuse;
+        cfg.specialize = specialize;
+        sac::ScopedConfig guard(cfg);
+        const MgResult res = run_benchmark(Variant::kSac, spec, opts);
+        if (first) {
+          reference = res.final_norm;
+          first = false;
+        } else {
+          EXPECT_NEAR(res.final_norm, reference, 1e-15)
+              << "folding=" << folding << " reuse=" << reuse
+              << " specialize=" << specialize;
+        }
+      }
+    }
+  }
+}
+
+TEST(Integration, MultithreadedSacRunMatchesSequential) {
+  const MgSpec spec = MgSpec::custom(16, 2);
+  RunOptions opts;
+  opts.warmup = false;
+  const MgResult seq = run_benchmark(Variant::kSac, spec, opts);
+
+  sac::SacConfig cfg = sac::config();
+  cfg.mt_enabled = true;
+  cfg.mt_threads = 4;
+  cfg.mt_threshold = 256;
+  sac::ScopedConfig guard(cfg);
+  const MgResult par = run_benchmark(Variant::kSac, spec, opts);
+  sac::shutdown_runtime();
+
+  ASSERT_EQ(par.norms.size(), seq.norms.size());
+  for (std::size_t i = 0; i < par.norms.size(); ++i) {
+    // per-chunk reduction order may differ in the norm itself; values of
+    // the grids are bitwise equal, so norms agree to roundoff
+    EXPECT_NEAR(par.norms[i], seq.norms[i], 1e-15 + seq.norms[i] * 1e-12);
+  }
+}
+
+TEST(Integration, TraceModelAndRealRunCoverSameWork) {
+  // The machine model's trace must carry the same nominal flop volume that
+  // NPB attributes to the benchmark, within a factor accounting for the
+  // V-cycle's extra sweeps (the 58 flops/point figure counts top-level
+  // passes only).
+  const MgSpec spec = MgSpec::for_class(MgClass::S);
+  const machine::Trace t =
+      machine::build_trace(Variant::kFortran, spec);
+  const double per_iter_flops = t.total_flops();
+  const double nominal_per_iter = nominal_flops(spec) / spec.nit;
+  EXPECT_GT(per_iter_flops, nominal_per_iter * 0.8);
+  EXPECT_LT(per_iter_flops, nominal_per_iter * 4.0);
+}
+
+TEST(Integration, RuntimeStatsAccumulateDuringSacRun) {
+  sac::reset_stats();
+  const MgSpec spec = MgSpec::custom(8, 1);
+  RunOptions opts;
+  opts.warmup = false;
+  (void)run_benchmark(Variant::kSac, spec, opts);
+  EXPECT_GT(sac::stats().with_loops, 0u);
+  EXPECT_GT(sac::stats().allocations, 0u);
+  EXPECT_GT(sac::stats().elements, 0u);
+}
+
+TEST(Integration, RecordNormsOffSkipsPerIterationNorms) {
+  const MgSpec spec = MgSpec::custom(8, 2);
+  RunOptions opts;
+  opts.warmup = false;
+  opts.record_norms = false;
+  const MgResult res = run_benchmark(Variant::kFortran, spec, opts);
+  EXPECT_TRUE(res.norms.empty());
+  EXPECT_GT(res.final_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace sacpp::mg

@@ -1,0 +1,87 @@
+// The distributed-memory model: its analytical message counts and byte
+// volumes must match the real message-passing implementation's traffic
+// counters exactly, and its times must obey the expected structural laws.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/machine/dist_model.hpp"
+#include "sacpp/mg/mg_mpi.hpp"
+
+namespace sacpp::machine {
+namespace {
+
+class DistParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistParity, MessageAndByteCountsMatchRealImplementation) {
+  const int ranks = GetParam();
+  const mg::MgSpec spec = mg::MgSpec::custom(16, 2);
+  // real traffic (2 iterations, no warm-up)
+  mg::MgMpi mpi(spec, ranks);
+  const auto real = mpi.run(2, /*warmup=*/false);
+  // modelled traffic for the same two iterations
+  DistModel model;
+  const DistCost it = model.iteration_cost(spec, ranks);
+  EXPECT_EQ(it.messages * 2, real.comm.messages) << "ranks=" << ranks;
+  EXPECT_EQ(it.bytes * 2, real.comm.bytes) << "ranks=" << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistParity, ::testing::Values(1, 2, 4, 8));
+
+TEST(DistModel, SpeedupCurveStartsAtOneAndIsBounded) {
+  DistModel model;
+  const mg::MgSpec spec = mg::MgSpec::for_class(mg::MgClass::A);
+  const auto s = model.speedups(spec, 16);
+  ASSERT_FALSE(s.empty());
+  EXPECT_EQ(s.front().first, 1);
+  EXPECT_DOUBLE_EQ(s.front().second, 1.0);
+  for (const auto& [p, sp] : s) {
+    EXPECT_LE(sp, static_cast<double>(p) + 1e-9);
+    EXPECT_GT(sp, 0.5);
+  }
+}
+
+TEST(DistModel, LargerClassScalesBetter) {
+  DistModel model;
+  const auto w = model.speedups(mg::MgSpec::for_class(mg::MgClass::W), 16);
+  const auto a = model.speedups(mg::MgSpec::for_class(mg::MgClass::A), 16);
+  // compare at the largest common rank count
+  const std::size_t n = std::min(w.size(), a.size());
+  EXPECT_GT(a[n - 1].second, w[n - 1].second);
+}
+
+TEST(DistModel, LatencyFreeNetworkApproachesCompute) {
+  ClusterParams fast;
+  fast.latency = 0.0;
+  fast.link_bw = 1e18;
+  DistModel model(fast);
+  const mg::MgSpec spec = mg::MgSpec::for_class(mg::MgClass::A);
+  const auto s = model.speedups(spec, 8);
+  // with free communication, only the serial coarse tail limits scaling
+  EXPECT_GT(s.back().second, 6.0);
+}
+
+TEST(DistModel, HighLatencyKillsSmallProblems) {
+  ClusterParams slow;
+  slow.latency = 5e-3;  // 5 ms per message
+  DistModel model(slow);
+  const mg::MgSpec spec = mg::MgSpec::custom(32, 4);
+  const auto s = model.speedups(spec, 8);
+  EXPECT_LT(s.back().second, 2.0);
+}
+
+TEST(DistModel, InvalidConfigurationsRejected) {
+  DistModel model;
+  const mg::MgSpec spec = mg::MgSpec::custom(8, 1);
+  EXPECT_THROW(model.iteration_cost(spec, 3), ContractError);
+  EXPECT_THROW(model.iteration_cost(spec, 8), ContractError);
+}
+
+TEST(DistModel, SpeedupsStopAtTheDecompositionLimit) {
+  DistModel model;
+  const auto s = model.speedups(mg::MgSpec::custom(16, 1), 64);
+  // 2 * ranks <= 16 limits the curve to 8 ranks
+  EXPECT_EQ(s.back().first, 8);
+}
+
+}  // namespace
+}  // namespace sacpp::machine

@@ -1,0 +1,232 @@
+// The SMP model: structural laws (monotonicity, Amdahl bounds, overhead
+// limits) and the calibration against the paper's published end points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sacpp/machine/model.hpp"
+#include "sacpp/machine/paper_data.hpp"
+
+namespace sacpp::machine {
+namespace {
+
+const mg::MgSpec kW = mg::MgSpec::for_class(mg::MgClass::W);
+const mg::MgSpec kA = mg::MgSpec::for_class(mg::MgClass::A);
+
+Trace trace_of(mg::Variant v, const mg::MgSpec& spec) {
+  return build_trace(v, spec);
+}
+
+TEST(Model, SpeedupStartsAtOne) {
+  SmpModel m;
+  for (auto v : {mg::Variant::kSac, mg::Variant::kFortran,
+                 mg::Variant::kOpenMp}) {
+    const auto s = m.speedups(trace_of(v, kW), 10);
+    ASSERT_EQ(s.size(), 10u);
+    EXPECT_DOUBLE_EQ(s[0], 1.0);
+  }
+}
+
+TEST(Model, SpeedupsNeverExceedCpuCount) {
+  SmpModel m;
+  for (auto v : {mg::Variant::kSac, mg::Variant::kFortran,
+                 mg::Variant::kOpenMp}) {
+    for (const auto& spec : {kW, kA}) {
+      const auto s = m.speedups(trace_of(v, spec), 10);
+      for (std::size_t p = 0; p < s.size(); ++p) {
+        EXPECT_LE(s[p], static_cast<double>(p + 1) + 1e-9);
+        EXPECT_GE(s[p], 0.9);  // parallelism never makes it catastrophically worse
+      }
+    }
+  }
+}
+
+TEST(Model, TimeDecreasesWithCpus) {
+  SmpModel m;
+  const Trace t = trace_of(mg::Variant::kOpenMp, kA);
+  double prev = m.trace_time(t, 1);
+  for (int p = 2; p <= 10; ++p) {
+    const double now = m.trace_time(t, p);
+    EXPECT_LE(now, prev * 1.001) << "P=" << p;
+    prev = now;
+  }
+}
+
+TEST(Model, ZeroOverheadFullyParallelTraceScalesLinearly) {
+  MachineParams params;
+  params.fork_join = 0.0;
+  params.barrier_per_cpu = 0.0;
+  params.alloc_cost = 0.0;
+  params.core_bw = 1e18;  // memory never binds
+  params.bus_bw = 1e18;
+  SmpModel m(params);
+  Trace t;
+  t.variant = mg::Variant::kOpenMp;
+  t.spec = kW;
+  Region r;
+  r.op = Op::kResid;
+  r.flops = 1e9;
+  r.bytes = 0.0;
+  r.elems = 1e6;
+  r.parallel = true;
+  t.regions.push_back(r);
+  const auto s = m.speedups(t, 10);
+  EXPECT_NEAR(s[9], 10.0, 1e-9);
+}
+
+TEST(Model, SerialRegionObeysAmdahl) {
+  MachineParams params;
+  params.fork_join = 0.0;
+  params.barrier_per_cpu = 0.0;
+  params.core_bw = 1e18;
+  params.bus_bw = 1e18;
+  SmpModel m(params);
+  Trace t;
+  t.variant = mg::Variant::kFortran;
+  t.spec = kW;
+  Region par;
+  par.flops = 0.9e9;
+  par.parallel = true;
+  Region ser;
+  ser.flops = 0.1e9;
+  ser.parallel = false;
+  t.regions = {par, ser};
+  const auto s = m.speedups(t, 10);
+  const double amdahl = 1.0 / (0.1 + 0.9 / 10.0);
+  EXPECT_NEAR(s[9], amdahl, 1e-6);
+}
+
+TEST(Model, BusSaturationCapsMemoryBoundScaling) {
+  MachineParams params;
+  params.fork_join = 0.0;
+  params.barrier_per_cpu = 0.0;
+  params.flop_rate = 1e18;  // compute never binds
+  params.core_bw = 100.0;
+  params.bus_bw = 300.0;  // saturates at three CPUs of streaming
+  SmpModel m(params);
+  Trace t;
+  t.variant = mg::Variant::kOpenMp;
+  t.spec = kW;
+  Region r;
+  r.bytes = 3000.0;
+  r.parallel = true;
+  t.regions = {r};
+  const auto s = m.speedups(t, 10);
+  EXPECT_NEAR(s[2], 3.0, 1e-9);   // scales to the bus limit
+  EXPECT_NEAR(s[9], 3.0, 1e-9);   // then flat
+}
+
+TEST(Model, AllocationEventsAreSerialCost) {
+  MachineParams params;
+  params.alloc_cost = 1.0;
+  SmpModel m(params);
+  Region r;
+  r.flops = 0.0;
+  r.bytes = 0.0;
+  r.alloc_events = 5;
+  r.parallel = true;
+  EXPECT_NEAR(m.region_time(r, 10, VariantProfile{}), 5.0,
+              params.fork_join + params.barrier_per_cpu * 10 + 1e-9);
+}
+
+// -- calibration against the paper (DESIGN.md experiment index) --------------
+
+double rel_err(double got, double want) {
+  return std::abs(got - want) / want;
+}
+
+TEST(Calibration, SequentialRatiosNearFig11) {
+  SmpModel m;
+  const double sac_w = m.trace_time(trace_of(mg::Variant::kSac, kW), 1);
+  const double f77_w = m.trace_time(trace_of(mg::Variant::kFortran, kW), 1);
+  const double omp_w = m.trace_time(trace_of(mg::Variant::kOpenMp, kW), 1);
+  const double sac_a = m.trace_time(trace_of(mg::Variant::kSac, kA), 1);
+  const double f77_a = m.trace_time(trace_of(mg::Variant::kFortran, kA), 1);
+  const double omp_a = m.trace_time(trace_of(mg::Variant::kOpenMp, kA), 1);
+
+  EXPECT_LT(rel_err(sac_w / f77_w, paper::kF77OverSacW), 0.15)
+      << "SAC/F77 class W: " << sac_w / f77_w;
+  EXPECT_LT(rel_err(sac_a / f77_a, paper::kF77OverSacA), 0.15)
+      << "SAC/F77 class A: " << sac_a / f77_a;
+  EXPECT_LT(rel_err(omp_w / sac_w, paper::kSacOverCW), 0.15)
+      << "C/SAC class W: " << omp_w / sac_w;
+  EXPECT_LT(rel_err(omp_a / sac_a, paper::kSacOverCA), 0.15)
+      << "C/SAC class A: " << omp_a / sac_a;
+}
+
+TEST(Calibration, TenCpuSpeedupsNearFig12) {
+  SmpModel m;
+  struct Case {
+    mg::Variant v;
+    const mg::MgSpec* spec;
+    double target;
+  };
+  const Case cases[] = {
+      {mg::Variant::kSac, &kW, paper::kSacSpeedupW10},
+      {mg::Variant::kSac, &kA, paper::kSacSpeedupA10},
+      {mg::Variant::kFortran, &kW, paper::kF77SpeedupW10},
+      {mg::Variant::kFortran, &kA, paper::kF77SpeedupA10},
+      {mg::Variant::kOpenMp, &kW, paper::kOmpSpeedupW10},
+      {mg::Variant::kOpenMp, &kA, paper::kOmpSpeedupA10},
+  };
+  for (const auto& c : cases) {
+    const auto s = m.speedups(trace_of(c.v, *c.spec), 10);
+    EXPECT_LT(rel_err(s[9], c.target), 0.25)
+        << mg::variant_name(c.v) << " class " << c.spec->name()
+        << ": model " << s[9] << " vs paper " << c.target;
+  }
+}
+
+TEST(Calibration, Fig12Ordering) {
+  // OpenMP scales best, SAC second, auto-parallelised Fortran worst; class A
+  // scales better than class W for every implementation.
+  SmpModel m;
+  for (const auto& spec : {kW, kA}) {
+    const double sac = m.speedups(trace_of(mg::Variant::kSac, spec), 10)[9];
+    const double f77 =
+        m.speedups(trace_of(mg::Variant::kFortran, spec), 10)[9];
+    const double omp = m.speedups(trace_of(mg::Variant::kOpenMp, spec), 10)[9];
+    EXPECT_GT(omp, sac);
+    EXPECT_GT(sac, f77);
+  }
+  for (auto v : {mg::Variant::kSac, mg::Variant::kFortran,
+                 mg::Variant::kOpenMp}) {
+    EXPECT_GT(m.speedups(trace_of(v, kA), 10)[9],
+              m.speedups(trace_of(v, kW), 10)[9]);
+  }
+}
+
+TEST(Calibration, Fig13SacOvertakesFortranByFourCpus) {
+  // Speedups relative to the *sequential Fortran-77* time: SAC must pass
+  // the auto-parallelised Fortran at four CPUs (paper Sec. 5).
+  SmpModel m;
+  for (const auto& spec : {kW, kA}) {
+    const Trace sac = trace_of(mg::Variant::kSac, spec);
+    const Trace f77 = trace_of(mg::Variant::kFortran, spec);
+    const int p = paper::kSacBeatsF77AtCpus;
+    EXPECT_LT(m.trace_time(sac, p), m.trace_time(f77, p))
+        << "class " << spec.name();
+    // and not before P=2 (F77 starts ahead on serial speed)
+    EXPECT_GT(m.trace_time(sac, 1), m.trace_time(f77, 1));
+  }
+}
+
+TEST(Calibration, Fig13SacStaysAheadOfOpenMpForClassA) {
+  SmpModel m;
+  const Trace sac = trace_of(mg::Variant::kSac, kA);
+  const Trace omp = trace_of(mg::Variant::kOpenMp, kA);
+  for (int p = 1; p <= 10; ++p) {
+    EXPECT_LT(m.trace_time(sac, p), m.trace_time(omp, p)) << "P=" << p;
+  }
+}
+
+TEST(Model, InvalidCpuCountThrows) {
+  SmpModel m;
+  EXPECT_THROW(m.trace_time(trace_of(mg::Variant::kSac, kW), 0),
+               ContractError);
+  EXPECT_THROW(m.speedups(trace_of(mg::Variant::kSac, kW), 0), ContractError);
+}
+
+}  // namespace
+}  // namespace sacpp::machine

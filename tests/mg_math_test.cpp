@@ -1,0 +1,183 @@
+// Mathematical structure of the multigrid components: linearity of the
+// V-cycle operator, symmetry preservation, operator identities on Fourier
+// modes — properties the paper's Fig. 2 specification implies and any
+// correct implementation must satisfy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "sacpp/mg/mg_sac.hpp"
+#include "sacpp/mg/mg_sac_direct.hpp"
+
+namespace sacpp::mg {
+namespace {
+
+using sac::Array;
+
+Array<double> random_extended(const Shape& shp, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  return sac::with_genarray<double>(shp,
+                                    [&](const IndexVec&) { return dist(rng); });
+}
+
+double max_abs_diff(const Array<double>& a, const Array<double>& b) {
+  double m = 0.0;
+  for (extent_t i = 0; i < a.elem_count(); ++i) {
+    m = std::max(m, std::abs(a.at_linear(i) - b.at_linear(i)));
+  }
+  return m;
+}
+
+class VCycleLinearity : public ::testing::TestWithParam<extent_t> {};
+
+TEST_P(VCycleLinearity, VCycleIsALinearOperator) {
+  // M(alpha r1 + beta r2) == alpha M r1 + beta M r2 — Fig. 2's M^k is a
+  // composition of linear maps, and so must the implementation be.
+  const extent_t nx = GetParam();
+  MgSac mg(MgSpec::custom(nx, 1));
+  const Shape shp = cube_shape(3, nx + 2);
+  auto r1 = random_extended(shp, 1);
+  auto r2 = random_extended(shp, 2);
+  const double alpha = 2.5, beta = -0.75;
+
+  auto lhs = mg.vcycle(r1 * alpha + r2 * beta);
+  auto rhs = mg.vcycle(r1) * alpha + mg.vcycle(r2) * beta;
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-12);
+}
+
+TEST_P(VCycleLinearity, VCycleOfZeroIsZero) {
+  const extent_t nx = GetParam();
+  MgSac mg(MgSpec::custom(nx, 1));
+  auto z = mg.vcycle(sac::genarray_const(cube_shape(3, nx + 2), 0.0));
+  EXPECT_DOUBLE_EQ(sac::max_abs(z), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VCycleLinearity,
+                         ::testing::Values<extent_t>(8, 16));
+
+TEST(Symmetry, AxisPermutationCommutesWithTheSolver) {
+  // The operator stencils are isotropic, so transposing the input axes
+  // must transpose the solution.
+  const extent_t nx = 8;
+  const MgSpec spec = MgSpec::custom(nx, 2);
+  MgSacDirect mg(spec);
+  const Shape shp = cube_shape(3, nx);
+  auto v = sac::with_genarray<double>(shp, [](const IndexVec& iv) {
+    return (iv[0] == 2 && iv[1] == 3 && iv[2] == 5)    ? 1.0
+           : (iv[0] == 6 && iv[1] == 1 && iv[2] == 4) ? -1.0
+                                                       : 0.0;
+  });
+  // permute axes (i j k) -> (k i j)
+  auto vp = sac::with_genarray<double>(shp, [&](const IndexVec& iv) {
+    return v[IndexVec{iv[1], iv[2], iv[0]}];
+  });
+  auto u = mg.mgrid(v, 2);
+  auto up = mg.mgrid(vp, 2);
+  for_each_index(shp, [&](const IndexVec& iv) {
+    ASSERT_NEAR((up[IndexVec{iv[2], iv[0], iv[1]}]), u[iv], 1e-13);
+  });
+}
+
+TEST(Symmetry, TranslationCommutesWithTheSolver) {
+  // Periodic boundaries make the whole solver translation-equivariant.
+  const extent_t nx = 16;
+  const MgSpec spec = MgSpec::custom(nx, 1);
+  MgSacDirect mg(spec);
+  const Shape shp = cube_shape(3, nx);
+  auto v = sac::with_genarray<double>(shp, [](const IndexVec& iv) {
+    return (iv[0] == 3 && iv[1] == 3 && iv[2] == 3)    ? 1.0
+           : (iv[0] == 9 && iv[1] == 9 && iv[2] == 9) ? -1.0
+                                                       : 0.0;
+  });
+  // The transfer operators sample even points, so the solver commutes with
+  // translations by multiples of the coarsest-grid period.
+  const IndexVec shift_by{8, 8, 8};
+  auto vs = sac::rotate(shift_by, v);
+  auto u = mg.mgrid(v, 1);
+  auto us = mg.mgrid(vs, 1);
+  auto u_shifted = sac::rotate(shift_by, u);
+  EXPECT_LT(max_abs_diff(us, u_shifted), 1e-13);
+}
+
+TEST(Symmetry, SignFlipNegatesTheSolution) {
+  const extent_t nx = 16;
+  MgSacDirect mg(MgSpec::custom(nx, 2));
+  const Shape shp = cube_shape(3, nx);
+  auto v = random_extended(shp, 5);
+  v = v - sac::sum(v) / static_cast<double>(v.elem_count());
+  auto u = mg.mgrid(v, 2);
+  auto un = mg.mgrid(-v, 2);
+  EXPECT_LT(max_abs_diff(un, -u), 1e-12);
+}
+
+TEST(Operator, ConstantFieldsAreInTheKernelOfA) {
+  // A has zero row sum (−8/3 + 6·0 + 12/6 + 8/12 = 0): constants map to 0,
+  // the discrete analogue of del^2 c == 0.
+  const MgSpec spec = MgSpec::for_class(MgClass::S);
+  const double row_sum =
+      spec.a[0] + 6.0 * spec.a[1] + 12.0 * spec.a[2] + 8.0 * spec.a[3];
+  EXPECT_NEAR(row_sum, 0.0, 1e-15);
+  auto c = sac::genarray_const(cube_shape(3, 8), 3.25);
+  auto r = sac::relax_kernel_periodic(c, spec.a);
+  EXPECT_LT(sac::max_abs(r), 1e-13);
+}
+
+TEST(Operator, FourierModeIsAnEigenvector) {
+  // On a periodic grid, e^{2 pi i m.x/n} is an eigenvector of any
+  // convolution; for the real operator, cos modes map to scaled cos modes.
+  const extent_t n = 16;
+  const MgSpec spec = MgSpec::for_class(MgClass::S);
+  const Shape shp = cube_shape(3, n);
+  const double w = 2.0 * std::numbers::pi / static_cast<double>(n);
+  auto mode = sac::with_genarray<double>(shp, [&](const IndexVec& iv) {
+    return std::cos(w * static_cast<double>(iv[0] + 2 * iv[1] + iv[2]));
+  });
+  auto out = sac::relax_kernel_periodic(mode, spec.a);
+  // eigenvalue of the class-coefficient stencil for mode (1, 2, 1):
+  const double c1 = std::cos(w), c2 = std::cos(2.0 * w);
+  // sum over offsets o of a[cls(o)] * cos(w*(o0 + 2 o1 + o2)) factorises:
+  const double f0 = 2.0 * c1;   // offsets ±1 on axis 0 (weight per axis)
+  const double f1 = 2.0 * c2;   // offsets ±1 on axis 1 (frequency 2)
+  const double f2 = 2.0 * c1;   // offsets ±1 on axis 2
+  // (1 + f0)(1 + f1)(1 + f2) expands into the 27 points; regroup per class:
+  const double lam =
+      spec.a[0] + spec.a[1] * (f0 + f1 + f2) +
+      spec.a[2] * (f0 * f1 + f0 * f2 + f1 * f2) + spec.a[3] * f0 * f1 * f2;
+  for (extent_t i = 0; i < out.elem_count(); ++i) {
+    ASSERT_NEAR(out.at_linear(i), lam * mode.at_linear(i), 1e-12) << i;
+  }
+}
+
+TEST(Operator, EigenvalueDampingExplainsSmoothing) {
+  // The smoother must damp high-frequency modes strongly: the contraction
+  // factor |1 + lam_S(m) * lam_A(m)/...| — here we check directly that one
+  // smoothing step shrinks the residual of a high-frequency error much
+  // more than a low-frequency one (the premise of multigrid).
+  const extent_t n = 32;
+  const MgSpec spec = MgSpec::for_class(MgClass::S);
+  MgSacDirect mg(spec);
+  const Shape shp = cube_shape(3, n);
+  const double w = 2.0 * std::numbers::pi / static_cast<double>(n);
+
+  auto damping = [&](extent_t freq) {
+    auto err = sac::with_genarray<double>(shp, [&](const IndexVec& iv) {
+      return std::cos(w * static_cast<double>(freq * (iv[0] + iv[1] + iv[2])));
+    });
+    // residual equation for error e: r = -A e; one smoothing step
+    // e' = e + S r; report |e'| / |e|
+    auto r = -sac::relax_kernel_periodic(err, spec.a);
+    auto e2 = err + sac::relax_kernel_periodic(r, spec.s);
+    return sac::max_abs(e2) / sac::max_abs(err);
+  };
+  const double low = damping(1);
+  const double high = damping(n / 2 - 1);
+  EXPECT_LT(high, 0.6);        // high frequencies damped hard
+  EXPECT_GT(low, high * 1.5);  // low frequencies survive (coarse grid's job)
+}
+
+}  // namespace
+}  // namespace sacpp::mg

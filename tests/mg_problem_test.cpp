@@ -1,0 +1,179 @@
+// MG input generation (zran3 charges) and grid utilities: periodic border,
+// interior norms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "sacpp/mg/problem.hpp"
+#include "sacpp/nasrand/nasrand.hpp"
+
+namespace sacpp::mg {
+namespace {
+
+TEST(RandomField, MatchesContiguousSequence) {
+  // The row/plane jump structure must equal one contiguous deviate stream.
+  const extent_t nx = 8;
+  const auto field = random_field(nx);
+  nasrand::NasRandom rng;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    ASSERT_DOUBLE_EQ(field[i], rng.next()) << "at " << i;
+  }
+}
+
+TEST(RandomField, Deterministic) {
+  EXPECT_EQ(random_field(4), random_field(4));
+}
+
+TEST(Charges, ExactlyTenEach) {
+  const extent_t nx = 8;
+  const Charges ch = find_charges(random_field(nx), nx);
+  EXPECT_EQ(ch.plus.size(), 10u);
+  EXPECT_EQ(ch.minus.size(), 10u);
+}
+
+TEST(Charges, PositionsAreDistinctAndInRange) {
+  const extent_t nx = 8;
+  const Charges ch = find_charges(random_field(nx), nx);
+  std::set<std::array<extent_t, 3>> seen;
+  auto check = [&](const IndexVec& p) {
+    ASSERT_EQ(p.size(), 3u);
+    for (std::size_t d = 0; d < 3; ++d) {
+      ASSERT_GE(p[d], 0);
+      ASSERT_LT(p[d], nx);
+    }
+    EXPECT_TRUE(seen.insert({p[0], p[1], p[2]}).second) << "duplicate charge";
+  };
+  for (const auto& p : ch.plus) check(p);
+  for (const auto& m : ch.minus) check(m);
+}
+
+TEST(Charges, PlusAreLargestMinusAreSmallest) {
+  const extent_t nx = 4;
+  const auto field = random_field(nx);
+  const Charges ch = find_charges(field, nx);
+  auto value_at = [&](const IndexVec& p) {
+    return field[static_cast<std::size_t>((p[0] * nx + p[1]) * nx + p[2])];
+  };
+  double min_plus = 1.0, max_minus = 0.0;
+  for (const auto& p : ch.plus) min_plus = std::min(min_plus, value_at(p));
+  for (const auto& m : ch.minus) max_minus = std::max(max_minus, value_at(m));
+  // every non-charge value lies between the groups
+  std::set<std::size_t> charged;
+  for (const auto& p : ch.plus) {
+    charged.insert(static_cast<std::size_t>((p[0] * nx + p[1]) * nx + p[2]));
+  }
+  for (const auto& m : ch.minus) {
+    charged.insert(static_cast<std::size_t>((m[0] * nx + m[1]) * nx + m[2]));
+  }
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (charged.count(i)) continue;
+    ASSERT_LT(field[i], min_plus);
+    ASSERT_GT(field[i], max_minus);
+  }
+}
+
+TEST(FillRhs, SumOfChargesIsZeroAndValuesAreSigns) {
+  const extent_t nx = 8;
+  const extent_t n = nx + 2;
+  std::vector<double> v(static_cast<std::size_t>(n * n * n));
+  fill_rhs(v, nx);
+  int plus = 0, minus = 0;
+  // interior census
+  for (extent_t i = 1; i < n - 1; ++i) {
+    for (extent_t j = 1; j < n - 1; ++j) {
+      for (extent_t k = 1; k < n - 1; ++k) {
+        const double x = v[static_cast<std::size_t>((i * n + j) * n + k)];
+        ASSERT_TRUE(x == 0.0 || x == 1.0 || x == -1.0);
+        plus += x == 1.0;
+        minus += x == -1.0;
+      }
+    }
+  }
+  EXPECT_EQ(plus, 10);
+  EXPECT_EQ(minus, 10);
+}
+
+TEST(FillRhs, GhostLayersArePeriodic) {
+  const extent_t nx = 4;
+  const extent_t n = nx + 2;
+  std::vector<double> v(static_cast<std::size_t>(n * n * n));
+  fill_rhs(v, nx);
+  auto at = [&](extent_t i, extent_t j, extent_t k) {
+    return v[static_cast<std::size_t>((i * n + j) * n + k)];
+  };
+  for (extent_t j = 0; j < n; ++j) {
+    for (extent_t k = 0; k < n; ++k) {
+      ASSERT_DOUBLE_EQ(at(0, j, k), at(n - 2, j, k));
+      ASSERT_DOUBLE_EQ(at(n - 1, j, k), at(1, j, k));
+    }
+  }
+}
+
+TEST(PeriodicBorder, CopiesOppositeFacesInOrder) {
+  const extent_t n = 4;
+  std::vector<double> a(static_cast<std::size_t>(n * n * n));
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<double>(i);
+  periodic_border_3d(a, n);
+  auto at = [&](extent_t i, extent_t j, extent_t k) {
+    return a[static_cast<std::size_t>((i * n + j) * n + k)];
+  };
+  // all three axes periodic, including edges and corners
+  for (extent_t i = 0; i < n; ++i) {
+    for (extent_t j = 0; j < n; ++j) {
+      ASSERT_DOUBLE_EQ(at(i, j, 0), at(i, j, n - 2));
+      ASSERT_DOUBLE_EQ(at(i, j, n - 1), at(i, j, 1));
+      ASSERT_DOUBLE_EQ(at(i, 0, j), at(i, n - 2, j));
+      ASSERT_DOUBLE_EQ(at(i, n - 1, j), at(i, 1, j));
+      ASSERT_DOUBLE_EQ(at(0, i, j), at(n - 2, i, j));
+      ASSERT_DOUBLE_EQ(at(n - 1, i, j), at(1, i, j));
+    }
+  }
+}
+
+TEST(PeriodicBorder, Idempotent) {
+  const extent_t n = 6;
+  std::vector<double> a(static_cast<std::size_t>(n * n * n));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(static_cast<double>(i));
+  }
+  periodic_border_3d(a, n);
+  std::vector<double> once = a;
+  periodic_border_3d(a, n);
+  EXPECT_EQ(a, once);
+}
+
+TEST(InteriorNorm, KnownValues) {
+  const extent_t n = 4;  // nx = 2, 8 interior points
+  std::vector<double> a(static_cast<std::size_t>(n * n * n), 0.0);
+  // set all 8 interior points to 2.0
+  for (extent_t i = 1; i < 3; ++i) {
+    for (extent_t j = 1; j < 3; ++j) {
+      for (extent_t k = 1; k < 3; ++k) {
+        a[static_cast<std::size_t>((i * n + j) * n + k)] = 2.0;
+      }
+    }
+  }
+  // ghost values must not contribute
+  a[0] = 100.0;
+  EXPECT_DOUBLE_EQ(interior_l2_norm(a, n), 2.0);
+  EXPECT_DOUBLE_EQ(interior_max_abs(a, n), 2.0);
+}
+
+TEST(InteriorNorm, ZeroField) {
+  const extent_t n = 4;
+  std::vector<double> a(static_cast<std::size_t>(n * n * n), 0.0);
+  EXPECT_DOUBLE_EQ(interior_l2_norm(a, n), 0.0);
+  EXPECT_DOUBLE_EQ(interior_max_abs(a, n), 0.0);
+}
+
+TEST(FillRhs, WrongBufferSizeThrows) {
+  std::vector<double> v(10);
+  EXPECT_THROW(fill_rhs(v, 8), ContractError);
+}
+
+}  // namespace
+}  // namespace sacpp::mg

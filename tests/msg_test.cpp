@@ -1,0 +1,259 @@
+// The in-process message-passing world: point-to-point matching and
+// ordering, collectives, stats, and stress under contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "sacpp/msg/msg.hpp"
+
+namespace sacpp::msg {
+namespace {
+
+TEST(MsgWorld, SingleRankRoundTripToSelf) {
+  World w(1);
+  w.run([](Comm& c) {
+    double out[3] = {1.0, 2.0, 3.0};
+    double in[3] = {};
+    c.send(0, 7, out);
+    c.recv(0, 7, in);
+    EXPECT_DOUBLE_EQ(in[2], 3.0);
+  });
+}
+
+TEST(MsgWorld, PingPong) {
+  World w(2);
+  w.run([](Comm& c) {
+    double buf[1];
+    if (c.rank() == 0) {
+      buf[0] = 42.0;
+      c.send(1, 1, buf);
+      c.recv(1, 2, buf);
+      EXPECT_DOUBLE_EQ(buf[0], 43.0);
+    } else {
+      c.recv(0, 1, buf);
+      buf[0] += 1.0;
+      c.send(0, 2, buf);
+    }
+  });
+}
+
+TEST(MsgWorld, TagMatchingSelectsCorrectMessage) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      double a[1] = {1.0}, b[1] = {2.0};
+      c.send(1, 10, a);
+      c.send(1, 20, b);
+    } else {
+      double got[1];
+      c.recv(0, 20, got);  // out of order: tag 20 first
+      EXPECT_DOUBLE_EQ(got[0], 2.0);
+      c.recv(0, 10, got);
+      EXPECT_DOUBLE_EQ(got[0], 1.0);
+    }
+  });
+}
+
+TEST(MsgWorld, SameTagPreservesOrder) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (double v = 0.0; v < 10.0; v += 1.0) {
+        double m[1] = {v};
+        c.send(1, 5, m);
+      }
+    } else {
+      for (double v = 0.0; v < 10.0; v += 1.0) {
+        double got[1];
+        c.recv(0, 5, got);
+        ASSERT_DOUBLE_EQ(got[0], v);
+      }
+    }
+  });
+}
+
+TEST(MsgWorld, SendrecvRingDoesNotDeadlock) {
+  World w(4);
+  w.run([](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    double out[1] = {static_cast<double>(c.rank())};
+    double in[1];
+    c.sendrecv(next, out, prev, in, 3);
+    EXPECT_DOUBLE_EQ(in[0], static_cast<double>(prev));
+  });
+}
+
+TEST(MsgWorld, LengthMismatchThrows) {
+  World w(1);
+  EXPECT_THROW(w.run([](Comm& c) {
+    double out[2] = {1.0, 2.0};
+    double in[3];
+    c.send(0, 1, out);
+    c.recv(0, 1, in);
+  }),
+               ContractError);
+}
+
+TEST(MsgWorld, AllreduceSumAndMax) {
+  World w(4);
+  w.run([](Comm& c) {
+    const double mine = static_cast<double>(c.rank() + 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(mine), 10.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(mine), 4.0);
+    // repeated reductions must not interfere
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(1.0), 4.0);
+  });
+}
+
+TEST(MsgWorld, BroadcastFromNonzeroRoot) {
+  World w(3);
+  w.run([](Comm& c) {
+    double data[2] = {0.0, 0.0};
+    if (c.rank() == 2) {
+      data[0] = 5.0;
+      data[1] = 6.0;
+    }
+    c.broadcast(2, data);
+    EXPECT_DOUBLE_EQ(data[0], 5.0);
+    EXPECT_DOUBLE_EQ(data[1], 6.0);
+  });
+}
+
+TEST(MsgWorld, GatherScatterRoundTrip) {
+  World w(4);
+  w.run([](Comm& c) {
+    double block[2] = {static_cast<double>(c.rank()),
+                       static_cast<double>(c.rank() * 10)};
+    std::vector<double> all(c.rank() == 0 ? 8 : 0);
+    c.gather(0, block, all);
+    if (c.rank() == 0) {
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r)], r);
+      }
+      for (double& v : all) v += 1.0;
+    }
+    double back[2];
+    c.scatter(0, all, back);
+    EXPECT_DOUBLE_EQ(back[0], static_cast<double>(c.rank()) + 1.0);
+  });
+}
+
+TEST(MsgWorld, IrecvCompletesOnWait) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      double in[2];
+      auto req = c.irecv(1, 9, in);
+      req.wait();
+      EXPECT_DOUBLE_EQ(in[0], 7.0);
+      EXPECT_DOUBLE_EQ(in[1], 8.0);
+    } else {
+      double out[2] = {7.0, 8.0};
+      c.send(0, 9, out);
+    }
+  });
+}
+
+TEST(MsgWorld, IrecvTestPollsWithoutBlocking) {
+  World w(2);
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      double in[1];
+      auto req = c.irecv(1, 3, in);
+      EXPECT_FALSE(req.test());  // nothing sent yet (sender waits for us)
+      double go[1] = {1.0};
+      c.send(1, 1, go);
+      req.wait();
+      EXPECT_DOUBLE_EQ(in[0], 5.0);
+      EXPECT_TRUE(req.test());  // idempotent after completion
+    } else {
+      double go[1];
+      c.recv(0, 1, go);  // released only after rank 0's failed test()
+      double out[1] = {5.0};
+      c.send(0, 3, out);
+    }
+  });
+}
+
+TEST(MsgWorld, PostedReceivesOverlapBothDirections) {
+  World w(4);
+  w.run([](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    double from_next[1], from_prev[1];
+    auto r1 = c.irecv(next, 1, from_next);
+    auto r2 = c.irecv(prev, 2, from_prev);
+    double mine[1] = {static_cast<double>(c.rank())};
+    c.send(prev, 1, mine);
+    c.send(next, 2, mine);
+    r1.wait();
+    r2.wait();
+    EXPECT_DOUBLE_EQ(from_next[0], static_cast<double>(next));
+    EXPECT_DOUBLE_EQ(from_prev[0], static_cast<double>(prev));
+  });
+}
+
+TEST(MsgWorld, BarrierSeparatesPhases) {
+  World w(4);
+  std::atomic<int> phase1{0};
+  w.run([&](Comm& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(phase1.load(), 4);  // nobody passes before everyone arrived
+    c.barrier();
+  });
+}
+
+TEST(MsgWorld, StatsCountTraffic) {
+  World w(2);
+  w.reset_stats();
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> m(100, 1.0);
+      c.send(1, 1, m);
+    } else {
+      std::vector<double> m(100);
+      c.recv(0, 1, m);
+    }
+    c.barrier();
+  });
+  EXPECT_EQ(w.stats().messages, 1u);
+  EXPECT_EQ(w.stats().bytes, 100u * sizeof(double));
+  EXPECT_GE(w.stats().barriers, 1u);
+}
+
+TEST(MsgWorld, ManyConcurrentExchangesStress) {
+  World w(4);
+  w.run([](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    for (int round = 0; round < 200; ++round) {
+      double out[4] = {static_cast<double>(round), 0, 0,
+                       static_cast<double>(c.rank())};
+      double in[4];
+      c.sendrecv(next, out, prev, in, round);
+      ASSERT_DOUBLE_EQ(in[0], static_cast<double>(round));
+      ASSERT_DOUBLE_EQ(in[3], static_cast<double>(prev));
+    }
+  });
+}
+
+TEST(MsgWorld, RankFailurePropagates) {
+  World w(2);
+  EXPECT_THROW(w.run([](Comm& c) {
+    c.barrier();
+    if (c.rank() == 1) throw ContractError("rank 1 exploded");
+  }),
+               ContractError);
+}
+
+TEST(MsgWorld, InvalidRankCountRejected) {
+  EXPECT_THROW(World(0), ContractError);
+}
+
+}  // namespace
+}  // namespace sacpp::msg

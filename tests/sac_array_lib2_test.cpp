@@ -1,0 +1,215 @@
+// The extended array library: subarray selection, slicing, catenation,
+// axis-wise reductions and scans, element-wise selection.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/sac/sac.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+Array<double> sequential(const Shape& shp) {
+  return with_genarray<double>(shp, [&shp](const IndexVec& iv) {
+    return static_cast<double>(shp.linearize(iv)) + 1.0;
+  });
+}
+
+void expect_equal(const Array<double>& a, const Array<double>& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (extent_t i = 0; i < a.elem_count(); ++i) {
+    ASSERT_DOUBLE_EQ(a.at_linear(i), b.at_linear(i)) << "at " << i;
+  }
+}
+
+TEST(Sel, RowOfMatrix) {
+  auto m = sequential(Shape{3, 4});  // rows: 1..4, 5..8, 9..12
+  auto row1 = sel({1}, m);
+  ASSERT_EQ(row1.shape(), (Shape{4}));
+  EXPECT_DOUBLE_EQ((row1[IndexVec{0}]), 5.0);
+  EXPECT_DOUBLE_EQ((row1[IndexVec{3}]), 8.0);
+}
+
+TEST(Sel, FullPrefixYieldsScalarArray) {
+  auto m = sequential(Shape{2, 2});
+  auto s = sel({1, 0}, m);
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_DOUBLE_EQ(s.scalar(), 3.0);
+}
+
+TEST(Sel, EmptyPrefixIsIdentity) {
+  auto m = sequential(Shape{2, 3});
+  expect_equal(sel(IndexVec{}, m), m);
+}
+
+TEST(Sel, PlaneOfCube) {
+  auto c = sequential(Shape{2, 3, 4});
+  auto plane = sel({1}, c);
+  ASSERT_EQ(plane.shape(), (Shape{3, 4}));
+  EXPECT_DOUBLE_EQ((plane[IndexVec{0, 0}]), 13.0);
+}
+
+TEST(Sel, OutOfRangePrefixThrows) {
+  auto m = sequential(Shape{2, 2});
+  EXPECT_THROW(sel({2}, m), ContractError);
+  EXPECT_THROW(sel({0, 0, 0}, m), ContractError);
+}
+
+TEST(Slice, BoxEqualsDropPlusTake) {
+  auto m = sequential(Shape{6, 6});
+  auto s = slice({1, 2}, {4, 5}, m);
+  auto dt = take({3, 3}, drop({1, 2}, m));
+  expect_equal(s, dt);
+}
+
+TEST(Slice, FullRangeIsIdentity) {
+  auto m = sequential(Shape{3, 3});
+  expect_equal(slice({0, 0}, {3, 3}, m), m);
+}
+
+TEST(Slice, EmptySliceAllowed) {
+  auto m = sequential(Shape{3, 3});
+  auto e = slice({1, 1}, {1, 3}, m);
+  EXPECT_EQ(e.shape(), (Shape{0, 2}));
+  EXPECT_EQ(e.elem_count(), 0);
+}
+
+TEST(Slice, InvalidBoundsThrow) {
+  auto m = sequential(Shape{3, 3});
+  EXPECT_THROW(slice({0, 0}, {4, 3}, m), ContractError);
+  EXPECT_THROW(slice({2, 0}, {1, 3}, m), ContractError);
+}
+
+TEST(Catenate, VectorsAlongAxis0) {
+  auto a = iota<double>(3);
+  auto b = iota<double>(2) + 10.0;
+  auto c = catenate(0, a, b);
+  ASSERT_EQ(c.shape(), (Shape{5}));
+  EXPECT_DOUBLE_EQ((c[IndexVec{2}]), 2.0);
+  EXPECT_DOUBLE_EQ((c[IndexVec{3}]), 10.0);
+}
+
+TEST(Catenate, MatricesAlongBothAxes) {
+  auto a = sequential(Shape{2, 2});
+  auto b = sequential(Shape{2, 2}) * 10.0;
+  auto rows = catenate(0, a, b);
+  ASSERT_EQ(rows.shape(), (Shape{4, 2}));
+  EXPECT_DOUBLE_EQ((rows[IndexVec{2, 0}]), 10.0);
+  auto cols = catenate(1, a, b);
+  ASSERT_EQ(cols.shape(), (Shape{2, 4}));
+  EXPECT_DOUBLE_EQ((cols[IndexVec{0, 2}]), 10.0);
+}
+
+TEST(Catenate, SplitRoundTrip) {
+  auto m = sequential(Shape{5, 3});
+  auto top = slice({0, 0}, {2, 3}, m);
+  auto bottom = slice({2, 0}, {5, 3}, m);
+  expect_equal(catenate(0, top, bottom), m);
+}
+
+TEST(Catenate, MismatchedExtentsThrow) {
+  auto a = sequential(Shape{2, 3});
+  auto b = sequential(Shape{2, 4});
+  EXPECT_THROW(catenate(0, a, b), ContractError);
+  (void)catenate(1, a, b);  // axis-1 join of differing widths is fine
+}
+
+TEST(ReduceAxis, SumsMatchManual) {
+  auto m = sequential(Shape{2, 3});  // 1 2 3 / 4 5 6
+  auto col_sums = sum_axis(0, m);
+  ASSERT_EQ(col_sums.shape(), (Shape{3}));
+  EXPECT_DOUBLE_EQ((col_sums[IndexVec{0}]), 5.0);
+  EXPECT_DOUBLE_EQ((col_sums[IndexVec{2}]), 9.0);
+  auto row_sums = sum_axis(1, m);
+  ASSERT_EQ(row_sums.shape(), (Shape{2}));
+  EXPECT_DOUBLE_EQ((row_sums[IndexVec{0}]), 6.0);
+  EXPECT_DOUBLE_EQ((row_sums[IndexVec{1}]), 15.0);
+}
+
+TEST(ReduceAxis, TotalEqualsNestedReduction) {
+  auto m = sequential(Shape{4, 5});
+  EXPECT_DOUBLE_EQ(sum(sum_axis(0, m)), sum(m));
+  EXPECT_DOUBLE_EQ(sum(sum_axis(1, m)), sum(m));
+}
+
+TEST(ReduceAxis, MaxAxis) {
+  auto m = sequential(Shape{2, 3});
+  auto mx = max_axis(1, m);
+  EXPECT_DOUBLE_EQ((mx[IndexVec{0}]), 3.0);
+  EXPECT_DOUBLE_EQ((mx[IndexVec{1}]), 6.0);
+}
+
+TEST(ReduceAxis, VectorReductionYieldsScalarArray) {
+  auto v = iota<double>(4) + 1.0;
+  auto s = sum_axis(0, v);
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_DOUBLE_EQ(s.scalar(), 10.0);
+}
+
+TEST(ScanAxis, CumulativeSumOfVector) {
+  auto v = iota<double>(5) + 1.0;  // 1 2 3 4 5
+  auto c = cumsum_axis(0, v);
+  const double expect[5] = {1, 3, 6, 10, 15};
+  for (extent_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ((c[IndexVec{i}]), expect[i]);
+  }
+}
+
+TEST(ScanAxis, LastElementEqualsAxisReduction) {
+  auto m = sequential(Shape{3, 4});
+  auto scanned = cumsum_axis(1, m);
+  auto sums = sum_axis(1, m);
+  for (extent_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((scanned[IndexVec{i, 3}]), (sums[IndexVec{i}]));
+  }
+}
+
+TEST(ScanAxis, DifferenceInvertsScan) {
+  auto v = iota<double>(6) * 2.0 + 1.0;
+  auto c = cumsum_axis(0, v);
+  // c[i] - c[i-1] == v[i]
+  for (extent_t i = 1; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ((c[IndexVec{i}]) - (c[IndexVec{i - 1}]),
+                     (v[IndexVec{i}]));
+  }
+}
+
+TEST(ScanAxis, ProductScan) {
+  auto v = iota<double>(4) + 1.0;
+  auto p = scan_axis(0, v, std::multiplies<>{}, 1.0);
+  EXPECT_DOUBLE_EQ((p[IndexVec{3}]), 24.0);
+}
+
+TEST(Where, SelectsByMask) {
+  auto mask = with_genarray<double>(Shape{4}, [](const IndexVec& iv) {
+    return iv[0] % 2 == 0 ? 1.0 : 0.0;
+  });
+  auto a = genarray_const(Shape{4}, 10.0);
+  auto b = genarray_const(Shape{4}, 20.0);
+  auto w = where(mask, a, b);
+  EXPECT_DOUBLE_EQ((w[IndexVec{0}]), 10.0);
+  EXPECT_DOUBLE_EQ((w[IndexVec{1}]), 20.0);
+}
+
+TEST(Where, ShapeMismatchThrows) {
+  auto a = genarray_const(Shape{4}, 1.0);
+  auto b = genarray_const(Shape{5}, 1.0);
+  EXPECT_THROW(where(a, a, b), ContractError);
+}
+
+TEST(CountWhere, CountsPredicateMatches) {
+  auto v = iota<double>(10);
+  EXPECT_EQ(count_where(v, [](double x) { return x >= 7.0; }), 3);
+  EXPECT_EQ(count_where(v, [](double) { return false; }), 0);
+}
+
+TEST(Composition, MovingAverageViaScan) {
+  // mean of a prefix window via scan: classic APL-style derivation
+  auto v = iota<double>(8) + 1.0;
+  auto c = cumsum_axis(0, v);
+  // window [2, 5): (c[4] - c[1]) / 3 == (3+4+5)/3
+  const double mean = ((c[IndexVec{4}]) - (c[IndexVec{1}])) / 3.0;
+  EXPECT_DOUBLE_EQ(mean, 4.0);
+}
+
+}  // namespace
+}  // namespace sacpp::sac

@@ -1,0 +1,133 @@
+// Array<T>: value semantics, O(1) sharing, copy-on-write, uniqueness reuse.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/sac/array.hpp"
+#include "sacpp/sac/config.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+TEST(Array, DefaultIsScalarZero) {
+  Array<double> a;
+  EXPECT_TRUE(a.is_scalar());
+  EXPECT_DOUBLE_EQ(a.scalar(), 0.0);
+}
+
+TEST(Array, ScalarConstruction) {
+  Array<double> a(3.5);
+  EXPECT_EQ(a.rank(), 0u);
+  EXPECT_DOUBLE_EQ(a.scalar(), 3.5);
+  EXPECT_EQ(a.elem_count(), 1);
+}
+
+TEST(Array, ConstantFill) {
+  Array<double> a(Shape{2, 3}, 7.0);
+  EXPECT_EQ(a.shape(), (Shape{2, 3}));
+  for (extent_t i = 0; i < a.elem_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.at_linear(i), 7.0);
+  }
+}
+
+TEST(Array, VectorFromInitializerList) {
+  auto v = Array<int>::vector({1, 2, 3});
+  EXPECT_EQ(v.shape(), (Shape{3}));
+  EXPECT_EQ(v[{1}], 2);
+}
+
+TEST(Array, ElementSelectionByIndexVector) {
+  Array<double> a(Shape{2, 2}, 0.0);
+  double* p = a.mutable_data();
+  p[3] = 9.0;
+  EXPECT_DOUBLE_EQ((a[IndexVec{1, 1}]), 9.0);
+  EXPECT_DOUBLE_EQ((a[IndexVec{0, 0}]), 0.0);
+}
+
+TEST(Array, ScalarOnNonScalarThrows) {
+  Array<double> a(Shape{2}, 0.0);
+  EXPECT_THROW(a.scalar(), ContractError);
+}
+
+TEST(Array, CopyIsSharedBuffer) {
+  Array<double> a(Shape{4}, 1.0);
+  Array<double> b = a;
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_FALSE(a.unique());
+}
+
+TEST(Array, CopyOnWriteDetachesSharedBuffer) {
+  Array<double> a(Shape{4}, 1.0);
+  Array<double> b = a;
+  b.mutable_data()[0] = 99.0;
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_DOUBLE_EQ(a.at_linear(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.at_linear(0), 99.0);
+  EXPECT_TRUE(a.unique());
+  EXPECT_TRUE(b.unique());
+}
+
+TEST(Array, UniqueMutationReusesBufferInPlace) {
+  Array<double> a(Shape{4}, 1.0);
+  const double* before = a.data();
+  a.mutable_data()[0] = 2.0;
+  EXPECT_EQ(a.data(), before);  // no copy: reference count was one
+}
+
+TEST(Array, ReuseDisabledForcesFreshBuffer) {
+  SacConfig cfg = config();
+  cfg.reuse = false;
+  ScopedConfig guard(cfg);
+  Array<double> a(Shape{4}, 1.0);
+  const double* before = a.data();
+  a.mutable_data()[0] = 2.0;
+  EXPECT_NE(a.data(), before);
+  EXPECT_DOUBLE_EQ(a.at_linear(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at_linear(1), 1.0);  // contents preserved by the copy
+}
+
+TEST(Array, StatsCountAllocationsAndReuse) {
+  reset_stats();
+  Array<double> a(Shape{8}, 0.0);
+  EXPECT_EQ(stats().allocations, 1u);
+  EXPECT_EQ(stats().bytes_allocated, 8u * sizeof(double));
+  a.mutable_data()[0] = 1.0;
+  EXPECT_EQ(stats().reuses, 1u);
+  Array<double> b = a;
+  b.mutable_data()[0] = 2.0;  // shared -> copy-on-write
+  EXPECT_EQ(stats().copies_on_write, 1u);
+  EXPECT_EQ(stats().allocations, 2u);
+}
+
+TEST(Array, Rank0HasOneElement) {
+  Array<double> a(Shape{}, 5.0);
+  EXPECT_EQ(a.elem_count(), 1);
+  EXPECT_DOUBLE_EQ(a.scalar(), 5.0);
+}
+
+TEST(Array, Rank3UnpackedAccess) {
+  Array<double> a(Shape{2, 3, 4}, 0.0);
+  a.mutable_data()[a.shape().linearize({1, 2, 3})] = 42.0;
+  EXPECT_DOUBLE_EQ(a(1, 2, 3), 42.0);
+}
+
+TEST(Array, MoveLeavesSourceReusable) {
+  Array<double> a(Shape{4}, 3.0);
+  Array<double> b = std::move(a);
+  EXPECT_EQ(b.shape(), (Shape{4}));
+  EXPECT_TRUE(b.unique());
+}
+
+TEST(Array, DimAndShapeFreeFunctions) {
+  Array<double> a(Shape{2, 3}, 0.0);
+  EXPECT_EQ(dim(a), 2u);
+  EXPECT_EQ(shape_of(a), (Shape{2, 3}));
+}
+
+TEST(Array, EmptyShapeArrayHasZeroElements) {
+  Array<double> a(Shape{0, 5}, 0.0);
+  EXPECT_EQ(a.elem_count(), 0);
+}
+
+}  // namespace
+}  // namespace sacpp::sac

@@ -1,0 +1,154 @@
+// Lazy expressions (with-loop folding): fused pipelines must compute the
+// same values as their materialised counterparts, without materialising
+// intermediates.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/sac/sac.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+Array<double> sequential(const Shape& shp) {
+  return with_genarray<double>(shp, [&shp](const IndexVec& iv) {
+    return static_cast<double>(shp.linearize(iv)) + 1.0;
+  });
+}
+
+void expect_equal(const Array<double>& a, const Array<double>& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (extent_t i = 0; i < a.elem_count(); ++i) {
+    ASSERT_DOUBLE_EQ(a.at_linear(i), b.at_linear(i)) << "at " << i;
+  }
+}
+
+TEST(Ewise, FusedBinaryEqualsEager) {
+  auto a = sequential(Shape{3, 4});
+  auto b = sequential(Shape{3, 4});
+  expect_equal(force(ewise(a, b, std::plus<>{})), a + b);
+}
+
+TEST(Ewise, ShapeMismatchThrowsAtBuild) {
+  auto a = sequential(Shape{3});
+  auto b = sequential(Shape{4});
+  EXPECT_THROW(ewise(a, b, std::plus<>{}), ContractError);
+}
+
+TEST(Ewise, UnaryAndScalarNodes) {
+  auto a = sequential(Shape{4});
+  expect_equal(force(ewise1(a, [](double v) { return 2.0 * v; })), a * 2.0);
+  expect_equal(force(scalar_expr(Shape{4}, 3.0)),
+               genarray_const(Shape{4}, 3.0));
+}
+
+TEST(Ewise, NestedCompositionFusesArbitrarilyDeep) {
+  auto a = sequential(Shape{2, 5});
+  auto b = sequential(Shape{2, 5});
+  // (a + b) * a - b, fully fused
+  auto fused = force(ewise(ewise(ewise(a, b, std::plus<>{}), a,
+                                 std::multiplies<>{}),
+                           b, std::minus<>{}));
+  expect_equal(fused, (a + b) * a - b);
+}
+
+TEST(Lazy, CondenseEqualsEager) {
+  auto a = sequential(Shape{6, 6});
+  expect_equal(force(lazy_condense(2, a)), condense(2, a));
+  expect_equal(force(lazy_condense(3, a)), condense(3, a));
+}
+
+TEST(Lazy, ScatterEqualsEager) {
+  auto a = sequential(Shape{3, 3});
+  expect_equal(force(lazy_scatter(2, a)), scatter(2, a));
+}
+
+TEST(Lazy, TakeEmbedEqualEager) {
+  auto a = sequential(Shape{4, 4});
+  expect_equal(force(lazy_take({2, 3}, a)), take({2, 3}, a));
+  expect_equal(force(lazy_embed({6, 6}, {1, 2}, a)), embed({6, 6}, {1, 2}, a));
+}
+
+TEST(Lazy, ComposedGatherPipeline) {
+  // take(shape-2, scatter(2, a)) — the paper's Coarse2Fine mapping — fused
+  // as one traversal.
+  auto a = sequential(Shape{4});
+  auto eager = take(IndexVec{6}, scatter(2, a));
+  auto fused = force(lazy_take(IndexVec{6}, lazy_scatter(2, a)));
+  expect_equal(fused, eager);
+}
+
+TEST(Lazy, CondenseOverEwise) {
+  auto a = sequential(Shape{6});
+  auto b = sequential(Shape{6});
+  expect_equal(force(lazy_condense(2, ewise(a, b, std::plus<>{}))),
+               condense(2, a + b));
+}
+
+TEST(Lazy, FusionAvoidsIntermediateAllocations) {
+  auto a = sequential(Shape{8, 8});
+  auto b = sequential(Shape{8, 8});
+  reset_stats();
+  auto eager = condense(2, a + b);
+  const auto eager_allocs = stats().allocations;
+  reset_stats();
+  auto fused = force(lazy_condense(2, ewise(a, b, std::plus<>{})));
+  const auto fused_allocs = stats().allocations;
+  expect_equal(fused, eager);
+  EXPECT_EQ(fused_allocs, 1u);   // only the result
+  EXPECT_EQ(eager_allocs, 2u);   // intermediate sum + result
+}
+
+TEST(Lazy, StencilExprFusesWithSubtraction) {
+  // v - A(u): one traversal, equal to the materialised relax + subtract.
+  const Shape shp{6, 6, 6};
+  auto u = sequential(shp);
+  auto v = sequential(shp);
+  const StencilCoeffs A{{-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0}};
+  auto eager = v - relax_kernel(u, A);
+  auto fused = force(ewise(v, StencilExpr(u, A), std::minus<>{}));
+  ASSERT_EQ(fused.shape(), eager.shape());
+  for (extent_t i = 0; i < fused.elem_count(); ++i) {
+    ASSERT_NEAR(fused.at_linear(i), eager.at_linear(i), 1e-15) << i;
+  }
+}
+
+TEST(Lazy, CondenseOverStencilEvaluatesOnlyCondensedPoints) {
+  // The Fine2Coarse fusion: stencil work drops by the condensation factor.
+  const Shape shp{10, 10, 10};
+  auto r = sequential(shp);
+  const StencilCoeffs P{{0.5, 0.25, 0.125, 0.0625}};
+  auto eager = condense(2, relax_kernel(r, P));
+  auto fused = force(lazy_condense(2, StencilExpr(r, P)));
+  ASSERT_EQ(fused.shape(), eager.shape());
+  for (extent_t i = 0; i < fused.elem_count(); ++i) {
+    ASSERT_NEAR(fused.at_linear(i), eager.at_linear(i), 1e-15) << i;
+  }
+}
+
+TEST(Lazy, ExprNodesSurviveSourceRebinding) {
+  // Nodes hold children by value (ref-counted), so rebinding the source
+  // name must not change an already-built expression.
+  auto a = sequential(Shape{4});
+  auto e = ewise1(a, [](double v) { return v + 1.0; });
+  a = genarray_const(Shape{4}, 0.0);  // rebind
+  auto r = force(e);
+  EXPECT_DOUBLE_EQ((r[IndexVec{0}]), 2.0);  // old a[0] == 1.0, +1
+}
+
+TEST(Lazy, ForceOfArrayIsIdentity) {
+  auto a = sequential(Shape{3});
+  expect_equal(force(a), a);
+}
+
+TEST(Lazy, GatherDefaultValueOutsideSource) {
+  auto a = sequential(Shape{2});
+  auto e = lazy_embed({5}, {2}, a);
+  auto r = force(e);
+  EXPECT_DOUBLE_EQ((r[IndexVec{0}]), 0.0);
+  EXPECT_DOUBLE_EQ((r[IndexVec{2}]), 1.0);
+  EXPECT_DOUBLE_EQ((r[IndexVec{3}]), 2.0);
+  EXPECT_DOUBLE_EQ((r[IndexVec{4}]), 0.0);
+}
+
+}  // namespace
+}  // namespace sacpp::sac

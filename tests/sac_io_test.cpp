@@ -1,0 +1,138 @@
+// Array formatting and binary serialisation: round trips, format
+// validation, corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+
+#include "sacpp/sac/io.hpp"
+#include "sacpp/sac/sac.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+class TempFile {
+ public:
+  TempFile() {
+    char buf[] = "/tmp/sacpp_io_test_XXXXXX";
+    const int fd = mkstemp(buf);
+    if (fd >= 0) close(fd);
+    path_ = buf;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Array<double> random_array(const Shape& shp, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  return with_genarray<double>(shp,
+                               [&](const IndexVec&) { return dist(rng); });
+}
+
+TEST(ArrayIo, RoundTripPreservesBitsAcrossRanks) {
+  TempFile f;
+  for (const Shape& shp :
+       {Shape{}, Shape{7}, Shape{3, 5}, Shape{2, 3, 4}, Shape{2, 2, 2, 2}}) {
+    auto a = random_array(shp, 42 + static_cast<unsigned>(shp.rank()));
+    save(f.path(), a);
+    auto b = load(f.path());
+    ASSERT_EQ(b.shape(), a.shape());
+    for (extent_t i = 0; i < a.elem_count(); ++i) {
+      ASSERT_EQ(b.at_linear(i), a.at_linear(i)) << i;  // bitwise
+    }
+  }
+}
+
+TEST(ArrayIo, SpecialValuesSurvive) {
+  TempFile f;
+  auto a = Array<double>::vector(
+      {0.0, -0.0, 1e-308, 1e308, -3.5, 1.0 / 3.0});
+  save(f.path(), a);
+  auto b = load(f.path());
+  for (extent_t i = 0; i < a.elem_count(); ++i) {
+    ASSERT_EQ(b.at_linear(i), a.at_linear(i));
+  }
+}
+
+TEST(ArrayIo, MissingFileThrows) {
+  EXPECT_THROW(load("/tmp/sacpp_definitely_missing_file"), ContractError);
+}
+
+TEST(ArrayIo, WrongMagicRejected) {
+  TempFile f;
+  std::ofstream(f.path()) << "this is not an array";
+  EXPECT_THROW(load(f.path()), ContractError);
+}
+
+TEST(ArrayIo, TruncatedPayloadRejected) {
+  TempFile f;
+  save(f.path(), random_array(Shape{10, 10}, 1));
+  // chop the file
+  std::ifstream in(f.path(), std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(f.path(), std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(load(f.path()), ContractError);
+}
+
+TEST(ArrayIo, TruncatedHeaderRejected) {
+  TempFile f;
+  std::ofstream(f.path(), std::ios::binary) << "SACPPAR";  // 7 of 8 bytes
+  EXPECT_THROW(load(f.path()), ContractError);
+}
+
+TEST(ToText, ScalarVectorMatrix) {
+  EXPECT_EQ(to_text(Array<double>(2.5)), "2.5");
+  EXPECT_EQ(to_text(iota<double>(3)), "[0 1 2]");
+  auto m = with_genarray<double>(Shape{2, 2}, [](const IndexVec& iv) {
+    return static_cast<double>(iv[0] * 2 + iv[1]);
+  });
+  EXPECT_EQ(to_text(m), "[0 1]\n[2 3]");
+}
+
+TEST(ToText, RankThreeRendersBlocks) {
+  auto c = genarray_const(cube_shape(3, 2), 1.0);
+  const std::string s = to_text(c);
+  EXPECT_NE(s.find("[0, ...]"), std::string::npos);
+  EXPECT_NE(s.find("[1, ...]"), std::string::npos);
+}
+
+TEST(ToText, LargeArraysElided) {
+  auto big = genarray_const(Shape{100, 100}, 0.0);
+  const std::string s = to_text(big, 4, /*max_elems=*/64);
+  EXPECT_NE(s.find("elided"), std::string::npos);
+  EXPECT_NE(s.find("[100, 100]"), std::string::npos);
+}
+
+TEST(ToText, PrecisionControl) {
+  Array<double> pi(3.14159265);
+  EXPECT_EQ(to_text(pi, 3), "3.14");
+  EXPECT_EQ(to_text(pi, 6), "3.14159");
+}
+
+TEST(ArrayIo, MgGridCheckpointRoundTrip) {
+  // realistic use: checkpoint an extended MG grid and continue
+  TempFile f;
+  auto grid = random_array(cube_shape(3, 18), 7);
+  save(f.path(), grid);
+  auto restored = load(f.path());
+  const StencilCoeffs c{{-0.5, 0.1, 0.05, 0.02}};
+  auto r1 = relax_kernel(grid, c);
+  auto r2 = relax_kernel(restored, c);
+  for (extent_t i = 0; i < r1.elem_count(); ++i) {
+    ASSERT_EQ(r1.at_linear(i), r2.at_linear(i));
+  }
+}
+
+}  // namespace
+}  // namespace sacpp::sac

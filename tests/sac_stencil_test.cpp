@@ -1,0 +1,207 @@
+// Coefficient-class stencils: grouped and naive evaluation against a
+// brute-force reference, across ranks, plus linearity and symmetry
+// properties.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sacpp/sac/sac.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+Array<double> random_array(const Shape& shp, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  return with_genarray<double>(shp,
+                               [&](const IndexVec&) { return dist(rng); });
+}
+
+// Brute-force reference: sum over all offsets in {-1,0,1}^rank with the
+// class coefficient; zero on the boundary ring.
+Array<double> brute_force_relax(const Array<double>& a,
+                                const StencilCoeffs& c) {
+  const Shape& shp = a.shape();
+  return with_genarray<double>(
+      shp,
+      [&](const IndexVec& iv) -> double {
+        for (std::size_t d = 0; d < iv.size(); ++d) {
+          if (iv[d] < 1 || iv[d] >= shp.extent(d) - 1) return 0.0;
+        }
+        double acc = 0.0;
+        for (const auto& e : StencilTable::for_rank(shp.rank()).entries()) {
+          acc += c[static_cast<std::size_t>(e.cls)] * a[iv + e.offset];
+        }
+        return acc;
+      });
+}
+
+constexpr StencilCoeffs kTestCoeffs{{-0.5, 0.125, 0.0625, 0.03125}};
+
+TEST(StencilTable, Rank3Has27EntriesWithCorrectClassCounts) {
+  const auto& t = StencilTable::for_rank(3);
+  ASSERT_EQ(t.entries().size(), 27u);
+  int counts[4] = {0, 0, 0, 0};
+  for (const auto& e : t.entries()) ++counts[e.cls];
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 6);
+  EXPECT_EQ(counts[2], 12);
+  EXPECT_EQ(counts[3], 8);
+}
+
+TEST(StencilTable, Rank1And2Sizes) {
+  EXPECT_EQ(StencilTable::for_rank(1).entries().size(), 3u);
+  EXPECT_EQ(StencilTable::for_rank(2).entries().size(), 9u);
+}
+
+class RelaxRank : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelaxRank, GroupedMatchesBruteForce) {
+  const int rank = GetParam();
+  const Shape shp = cube_shape(static_cast<std::size_t>(rank), 6);
+  auto a = random_array(shp, 42);
+  auto expect = brute_force_relax(a, kTestCoeffs);
+  auto got = relax_kernel(a, kTestCoeffs, StencilMode::kGrouped);
+  ASSERT_EQ(got.shape(), expect.shape());
+  for (extent_t i = 0; i < got.elem_count(); ++i) {
+    ASSERT_NEAR(got.at_linear(i), expect.at_linear(i), 1e-14) << i;
+  }
+}
+
+TEST_P(RelaxRank, NaiveMatchesGrouped) {
+  const int rank = GetParam();
+  const Shape shp = cube_shape(static_cast<std::size_t>(rank), 5);
+  auto a = random_array(shp, 7);
+  auto grouped = relax_kernel(a, kTestCoeffs, StencilMode::kGrouped);
+  auto naive = relax_kernel(a, kTestCoeffs, StencilMode::kNaive);
+  for (extent_t i = 0; i < grouped.elem_count(); ++i) {
+    ASSERT_NEAR(grouped.at_linear(i), naive.at_linear(i), 1e-14) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RelaxRank, ::testing::Values(1, 2, 3));
+
+TEST(Relax, BoundaryRingIsZero) {
+  auto a = random_array(Shape{5, 5, 5}, 3);
+  auto r = relax_kernel(a, kTestCoeffs);
+  for_each_index(r.shape(), [&](const IndexVec& iv) {
+    bool interior = true;
+    for (std::size_t d = 0; d < 3; ++d) {
+      if (iv[d] < 1 || iv[d] > 3) interior = false;
+    }
+    if (!interior) {
+      ASSERT_DOUBLE_EQ(r[iv], 0.0);
+    }
+  });
+}
+
+TEST(Relax, LinearInInput) {
+  // relax(alpha * a + b) == alpha * relax(a) + relax(b)
+  const Shape shp{6, 6, 6};
+  auto a = random_array(shp, 1);
+  auto b = random_array(shp, 2);
+  const double alpha = 2.5;
+  auto lhs = relax_kernel(a * alpha + b, kTestCoeffs);
+  auto rhs = relax_kernel(a, kTestCoeffs) * alpha + relax_kernel(b, kTestCoeffs);
+  for (extent_t i = 0; i < lhs.elem_count(); ++i) {
+    ASSERT_NEAR(lhs.at_linear(i), rhs.at_linear(i), 1e-12) << i;
+  }
+}
+
+TEST(Relax, ConstantFieldScalesBySumOfCoefficients) {
+  // On a constant field every interior point sees the same value:
+  // (c0 + 6 c1 + 12 c2 + 8 c3) * value for rank 3.
+  const Shape shp{5, 5, 5};
+  auto a = genarray_const(shp, 2.0);
+  auto r = relax_kernel(a, kTestCoeffs);
+  const double factor = kTestCoeffs[0] + 6.0 * kTestCoeffs[1] +
+                        12.0 * kTestCoeffs[2] + 8.0 * kTestCoeffs[3];
+  for_each_index(r.shape(), [&](const IndexVec& iv) {
+    bool interior = true;
+    for (std::size_t d = 0; d < 3; ++d) {
+      if (iv[d] < 1 || iv[d] > 3) interior = false;
+    }
+    if (interior) {
+      ASSERT_NEAR(r[iv], factor * 2.0, 1e-14);
+    }
+  });
+}
+
+TEST(Relax, TranslationEquivariantInInterior) {
+  // Shifting the input shifts the output (away from boundaries).
+  const Shape shp{8, 8, 8};
+  auto a = random_array(shp, 11);
+  auto ra = relax_kernel(a, kTestCoeffs);
+  auto sa = shift({1, 0, 0}, a);
+  auto rsa = relax_kernel(sa, kTestCoeffs);
+  // compare rsa(i, j, k) with ra(i-1, j, k) on the deep interior
+  for (extent_t i = 2; i < 7; ++i) {
+    for (extent_t j = 1; j < 7; ++j) {
+      for (extent_t k = 1; k < 7; ++k) {
+        ASSERT_NEAR(rsa(i, j, k), ra(i - 1, j, k), 1e-14);
+      }
+    }
+  }
+}
+
+TEST(Relax, PointSourceSpreadsByClassCoefficients) {
+  const Shape shp{7, 7, 7};
+  auto a = with_genarray<double>(shp, [](const IndexVec& iv) {
+    return (iv[0] == 3 && iv[1] == 3 && iv[2] == 3) ? 1.0 : 0.0;
+  });
+  auto r = relax_kernel(a, kTestCoeffs);
+  EXPECT_DOUBLE_EQ(r(3, 3, 3), kTestCoeffs[0]);
+  EXPECT_DOUBLE_EQ(r(2, 3, 3), kTestCoeffs[1]);
+  EXPECT_DOUBLE_EQ(r(3, 4, 3), kTestCoeffs[1]);
+  EXPECT_DOUBLE_EQ(r(2, 4, 3), kTestCoeffs[2]);
+  EXPECT_DOUBLE_EQ(r(2, 4, 4), kTestCoeffs[3]);
+  EXPECT_DOUBLE_EQ(r(5, 3, 3), 0.0);
+}
+
+TEST(Relax, SpecializationOnOffAgree) {
+  const Shape shp{6, 6, 6};
+  auto a = random_array(shp, 5);
+  SacConfig cfg = config();
+  cfg.specialize = true;
+  Array<double> fast;
+  {
+    ScopedConfig guard(cfg);
+    fast = relax_kernel(a, kTestCoeffs);
+  }
+  cfg.specialize = false;
+  Array<double> slow;
+  {
+    ScopedConfig guard(cfg);
+    slow = relax_kernel(a, kTestCoeffs);
+  }
+  for (extent_t i = 0; i < fast.elem_count(); ++i) {
+    ASSERT_DOUBLE_EQ(fast.at_linear(i), slow.at_linear(i)) << i;
+  }
+}
+
+TEST(Relax, ExtentTooSmallThrows) {
+  auto a = genarray_const(Shape{2, 5, 5}, 1.0);
+  EXPECT_THROW(relax_kernel(a, kTestCoeffs), ContractError);
+}
+
+TEST(StencilExpr, InteriorPredicateAndZeroBoundary) {
+  auto a = random_array(Shape{5, 5, 5}, 9);
+  StencilExpr st(a, kTestCoeffs);
+  EXPECT_TRUE(st.is_interior({1, 1, 1}));
+  EXPECT_FALSE(st.is_interior({0, 1, 1}));
+  EXPECT_FALSE(st.is_interior({1, 4, 1}));
+  EXPECT_DOUBLE_EQ(st(0, 2, 2), 0.0);
+  EXPECT_DOUBLE_EQ((st(IndexVec{0, 2, 2})), 0.0);
+}
+
+TEST(StencilExpr, IndexVectorAndUnpackedAccessAgree) {
+  auto a = random_array(Shape{6, 6, 6}, 13);
+  StencilExpr st(a, kTestCoeffs);
+  for_each_index(a.shape(), [&](const IndexVec& iv) {
+    ASSERT_DOUBLE_EQ(st(iv), st(iv[0], iv[1], iv[2]));
+  });
+}
+
+}  // namespace
+}  // namespace sacpp::sac

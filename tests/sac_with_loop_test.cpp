@@ -1,0 +1,216 @@
+// WITH-loop semantics: genarray / modarray / fold, generator resolution
+// (dots, scalar replication, step/width), multi-partition loops, and the
+// specialised rank-3 path's value-equivalence with the generic walker.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sacpp/sac/array.hpp"
+#include "sacpp/sac/with_loop.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+TEST(Genarray, FullShapeBodyOfIndexSum) {
+  auto a = with_genarray<double>(Shape{2, 3}, [](const IndexVec& iv) {
+    return static_cast<double>(iv[0] * 10 + iv[1]);
+  });
+  EXPECT_DOUBLE_EQ((a[IndexVec{0, 0}]), 0.0);
+  EXPECT_DOUBLE_EQ((a[IndexVec{1, 2}]), 12.0);
+}
+
+TEST(Genarray, OutsideGeneratorGetsDefault) {
+  auto a = with_genarray<double>(
+      Shape{4}, gen_range({1}, {3}), [](const IndexVec&) { return 5.0; },
+      -1.0);
+  EXPECT_DOUBLE_EQ((a[IndexVec{0}]), -1.0);
+  EXPECT_DOUBLE_EQ((a[IndexVec{1}]), 5.0);
+  EXPECT_DOUBLE_EQ((a[IndexVec{2}]), 5.0);
+  EXPECT_DOUBLE_EQ((a[IndexVec{3}]), -1.0);
+}
+
+TEST(Genarray, StepWidthGrid) {
+  auto a = with_genarray<int>(
+      Shape{10}, gen_range({0}, {10}).with_step(4).with_width(2),
+      [](const IndexVec&) { return 1; }, 0);
+  const int expect[10] = {1, 1, 0, 0, 1, 1, 0, 0, 1, 1};
+  for (extent_t i = 0; i < 10; ++i) {
+    EXPECT_EQ((a[IndexVec{i}]), expect[i]) << i;
+  }
+}
+
+TEST(Genarray, ScalarReplicationOfBounds) {
+  // A length-1 lower/upper bound replicates to the result rank (the paper's
+  // scalar shorthand in generators).
+  auto a = with_genarray<int>(
+      Shape{4, 4}, gen_range({1}, {3}), [](const IndexVec&) { return 7; }, 0);
+  int ones = 0;
+  for (extent_t i = 0; i < a.elem_count(); ++i) ones += a.at_linear(i) == 7;
+  EXPECT_EQ(ones, 4);  // the 2x2 interior box
+}
+
+TEST(Genarray, GenInteriorMargin) {
+  auto a = with_genarray<int>(
+      Shape{5, 5}, gen_interior(Shape{5, 5}, 2),
+      [](const IndexVec&) { return 1; }, 0);
+  int count = 0;
+  for (extent_t i = 0; i < a.elem_count(); ++i) count += a.at_linear(i);
+  EXPECT_EQ(count, 1);  // only the centre element
+}
+
+TEST(Genarray, BoundsOutsideShapeThrow) {
+  EXPECT_THROW(with_genarray<int>(Shape{3}, gen_range({0}, {4}),
+                                  [](const IndexVec&) { return 0; }, 0),
+               ContractError);
+  EXPECT_THROW(with_genarray<int>(Shape{3}, gen_range({-1}, {2}),
+                                  [](const IndexVec&) { return 0; }, 0),
+               ContractError);
+}
+
+TEST(Genarray, WidthWithoutStepThrows) {
+  Gen g = gen_range({0}, {3});
+  g.width = IndexVec{1};
+  EXPECT_THROW(with_genarray<int>(Shape{3}, g,
+                                  [](const IndexVec&) { return 0; }, 0),
+               ContractError);
+}
+
+TEST(Genarray, EmptyGeneratorYieldsAllDefault) {
+  auto a = with_genarray<int>(
+      Shape{3}, gen_range({2}, {2}), [](const IndexVec&) { return 1; }, 9);
+  for (extent_t i = 0; i < 3; ++i) EXPECT_EQ((a[IndexVec{i}]), 9);
+}
+
+TEST(Genarray, Rank0ProducesScalar) {
+  auto a = with_genarray<double>(Shape{}, [](const IndexVec& iv) {
+    EXPECT_TRUE(iv.empty());
+    return 3.0;
+  });
+  EXPECT_DOUBLE_EQ(a.scalar(), 3.0);
+}
+
+TEST(Modarray, OnlyGeneratorElementsChange) {
+  Array<double> base(Shape{4}, 1.0);
+  auto out = with_modarray(base, gen_range({1}, {3}),
+                           [](const IndexVec&) { return 2.0; });
+  EXPECT_DOUBLE_EQ((out[IndexVec{0}]), 1.0);
+  EXPECT_DOUBLE_EQ((out[IndexVec{1}]), 2.0);
+  EXPECT_DOUBLE_EQ((out[IndexVec{2}]), 2.0);
+  EXPECT_DOUBLE_EQ((out[IndexVec{3}]), 1.0);
+  // base was shared, so it must be unchanged
+  EXPECT_DOUBLE_EQ((base[IndexVec{1}]), 1.0);
+}
+
+TEST(Modarray, LastUseReusesBufferInPlace) {
+  Array<double> base(Shape{4}, 1.0);
+  const double* p = base.data();
+  auto out = with_modarray(std::move(base), gen_range({0}, {4}),
+                           [](const IndexVec&) { return 2.0; });
+  EXPECT_EQ(out.data(), p);  // SAC reference-counting reuse
+}
+
+TEST(Modarray, SharedBaseCopiesOnWrite) {
+  Array<double> base(Shape{4}, 1.0);
+  const double* p = base.data();
+  auto out = with_modarray(base, gen_range({0}, {4}),
+                           [](const IndexVec&) { return 2.0; });
+  EXPECT_NE(out.data(), p);
+  EXPECT_DOUBLE_EQ((base[IndexVec{0}]), 1.0);
+}
+
+TEST(Fold, SumOverFullSpace) {
+  const Shape shp{4, 5};
+  const double total = with_fold(
+      std::plus<>{}, 0.0, shp, gen_all(),
+      [&shp](const IndexVec& iv) {
+        return static_cast<double>(shp.linearize(iv));
+      });
+  EXPECT_DOUBLE_EQ(total, 19.0 * 20.0 / 2.0);
+}
+
+TEST(Fold, MaxOverStridedGenerator) {
+  const Shape shp{10};
+  const double m = with_fold(
+      [](double a, double b) { return a > b ? a : b; }, -1.0, shp,
+      gen_range({0}, {10}).with_step(3),
+      [](const IndexVec& iv) { return static_cast<double>(iv[0]); });
+  EXPECT_DOUBLE_EQ(m, 9.0);
+}
+
+TEST(Fold, NeutralReturnedForEmptyGenerator) {
+  const double r = with_fold(
+      std::plus<>{}, 42.0, Shape{5}, gen_range({3}, {3}),
+      [](const IndexVec&) { return 1.0; });
+  EXPECT_DOUBLE_EQ(r, 42.0);
+}
+
+TEST(MultiPartition, DisjointPartitionsCompose) {
+  std::vector<Partition<int>> parts;
+  parts.push_back({gen_range({0}, {2}), [](const IndexVec&) { return 1; }});
+  parts.push_back({gen_range({3}, {5}), [](const IndexVec&) { return 2; }});
+  auto a = with_genarray_parts<int>(Shape{6}, parts, 0);
+  const int expect[6] = {1, 1, 0, 2, 2, 0};
+  for (extent_t i = 0; i < 6; ++i) EXPECT_EQ((a[IndexVec{i}]), expect[i]);
+}
+
+TEST(MultiPartition, LaterPartitionsSeeEarlierWrites) {
+  // with_modarray_reading: second partition reads what the first wrote.
+  Array<int> base(Shape{4}, 0);
+  std::vector<ReadingPartition<int>> parts;
+  parts.push_back(
+      {gen_range({0}, {1}), [](const IndexVec&, const int*) { return 5; }});
+  parts.push_back({gen_range({3}, {4}),
+                   [](const IndexVec&, const int* p) { return p[0] + 1; }});
+  auto out = with_modarray_reading(std::move(base), parts);
+  EXPECT_EQ((out[IndexVec{0}]), 5);
+  EXPECT_EQ((out[IndexVec{3}]), 6);
+}
+
+TEST(Rank3Specialization, MatchesGenericWalker) {
+  const Shape shp{5, 6, 7};
+  auto body = [](extent_t i, extent_t j, extent_t k) {
+    return static_cast<double>(i * 100 + j * 10 + k);
+  };
+  SacConfig cfg = config();
+  cfg.specialize = true;
+  Array<double> fast;
+  {
+    ScopedConfig guard(cfg);
+    fast = with_genarray<double>(shp, gen_all(), rank3_body(body));
+  }
+  cfg.specialize = false;
+  Array<double> slow;
+  {
+    ScopedConfig guard(cfg);
+    slow = with_genarray<double>(shp, gen_all(), rank3_body(body));
+  }
+  for (extent_t i = 0; i < shp.elem_count(); ++i) {
+    ASSERT_DOUBLE_EQ(fast.at_linear(i), slow.at_linear(i));
+  }
+}
+
+TEST(Rank3Specialization, InteriorGeneratorAlsoSpecialises) {
+  const Shape shp{4, 4, 4};
+  auto a = with_genarray<double>(
+      shp, gen_interior(shp),
+      rank3_body([](extent_t, extent_t, extent_t) { return 1.0; }), 0.0);
+  double total = 0.0;
+  for (extent_t i = 0; i < shp.elem_count(); ++i) total += a.at_linear(i);
+  EXPECT_DOUBLE_EQ(total, 8.0);  // the 2^3 interior
+}
+
+TEST(Stats, WithLoopAndElementCounters) {
+  reset_stats();
+  (void)with_genarray<int>(Shape{4, 4}, gen_all(),
+                           [](const IndexVec&) { return 1; });
+  EXPECT_EQ(stats().with_loops, 1u);
+  EXPECT_EQ(stats().elements, 16u);
+  (void)with_fold(std::plus<>{}, 0, Shape{3}, gen_all(),
+                  [](const IndexVec&) { return 1; });
+  EXPECT_EQ(stats().with_loops, 2u);
+  EXPECT_EQ(stats().elements, 19u);
+}
+
+}  // namespace
+}  // namespace sacpp::sac

@@ -1,0 +1,263 @@
+// With-loop computation graphs: the optimiser's rewrites must preserve
+// semantics (optimised == naive evaluation for every graph), collapse
+// affine chains exactly, and eliminate the materialisations it claims.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sacpp/sac/sac.hpp"
+#include "sacpp/sac/wlgraph.hpp"
+
+namespace sacpp::sac::wl {
+namespace {
+
+Array<double> sequential(const Shape& shp) {
+  return with_genarray<double>(shp, [&shp](const IndexVec& iv) {
+    return static_cast<double>(shp.linearize(iv)) + 1.0;
+  });
+}
+
+void expect_equal(const Array<double>& a, const Array<double>& b,
+                  double tol = 0.0) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (extent_t i = 0; i < a.elem_count(); ++i) {
+    if (tol == 0.0) {
+      ASSERT_DOUBLE_EQ(a.at_linear(i), b.at_linear(i)) << "at " << i;
+    } else {
+      ASSERT_NEAR(a.at_linear(i), b.at_linear(i), tol) << "at " << i;
+    }
+  }
+}
+
+void check_graph(const NodeRef& g, const Bindings& b, double tol = 0.0) {
+  RewriteStats stats;
+  const NodeRef opt = optimise(g, &stats);
+  expect_equal(evaluate(opt, b), evaluate_naive(g, b), tol);
+  EXPECT_LE(stats.materialisations_after, stats.materialisations_before);
+}
+
+constexpr StencilCoeffs kC{{-0.5, 0.125, 0.0625, 0.03125}};
+
+TEST(WlGraph, InputEvaluatesToBinding) {
+  auto x = input("x", Shape{4});
+  Bindings b{{"x", sequential(Shape{4})}};
+  expect_equal(evaluate(x, b), b.at("x"));
+  expect_equal(evaluate_naive(x, b), b.at("x"));
+}
+
+TEST(WlGraph, UnboundInputThrows) {
+  auto x = input("x", Shape{4});
+  EXPECT_THROW(evaluate(x, {}), ContractError);
+}
+
+TEST(WlGraph, BoundShapeMismatchThrows) {
+  auto x = input("x", Shape{4});
+  Bindings b{{"x", sequential(Shape{5})}};
+  EXPECT_THROW(evaluate(x, b), ContractError);
+}
+
+TEST(WlGraph, EwiseTreeMatchesEagerOps) {
+  const Shape shp{3, 4};
+  auto x = input("x", shp);
+  auto y = input("y", shp);
+  auto g = sub(mul(add(x, y), x), scale(y, 2.0));
+  Bindings b{{"x", sequential(shp)}, {"y", sequential(shp)}};
+  auto ax = b.at("x");
+  auto ay = b.at("y");
+  auto expect = (ax + ay) * ax - ay * 2.0;
+  expect_equal(evaluate(g, b), expect);
+  check_graph(g, b);
+}
+
+TEST(WlGraph, EwiseShapeMismatchThrowsAtBuild) {
+  auto x = input("x", Shape{3});
+  auto y = input("y", Shape{4});
+  EXPECT_THROW(add(x, y), ContractError);
+}
+
+TEST(WlGraph, StructuralBuildersMatchArrayLibrary) {
+  const Shape shp{6, 6};
+  auto x = input("x", shp);
+  Bindings b{{"x", sequential(shp)}};
+  const auto& ax = b.at("x");
+  expect_equal(evaluate(condense(2, x), b), sac::condense(2, ax));
+  expect_equal(evaluate(scatter(3, x), b), sac::scatter(3, ax));
+  expect_equal(evaluate(take({4, 3}, x), b), sac::take({4, 3}, ax));
+  expect_equal(evaluate(embed({8, 8}, {1, 1}, x), b),
+               sac::embed({8, 8}, {1, 1}, ax));
+  expect_equal(evaluate(shift({1, -1}, x), b), sac::shift({1, -1}, ax));
+}
+
+TEST(WlGraph, StencilMatchesRelaxKernel) {
+  const Shape shp{6, 6, 6};
+  auto x = input("x", shp);
+  Bindings b{{"x", sequential(shp)}};
+  expect_equal(evaluate(stencil(x, kC), b), relax_kernel(b.at("x"), kC));
+}
+
+TEST(WlGraph, GatherChainCollapsesToOneNode) {
+  const Shape shp{8, 8};
+  auto x = input("x", shp);
+  // take(shape-2, scatter(2, x)): the paper's Coarse2Fine mapping
+  auto g = take({14, 14}, scatter(2, x));
+  RewriteStats stats;
+  const NodeRef opt = optimise(g, &stats);
+  EXPECT_EQ(stats.gathers_collapsed, 1u);
+  EXPECT_EQ(opt->kind, OpKind::kGather);
+  EXPECT_EQ(opt->args[0]->kind, OpKind::kInput);
+  Bindings b{{"x", sequential(shp)}};
+  expect_equal(evaluate(opt, b), evaluate_naive(g, b));
+}
+
+TEST(WlGraph, CondenseOfScatterBecomesIdentity) {
+  const Shape shp{6};
+  auto x = input("x", shp);
+  auto g = condense(2, scatter(2, x));
+  RewriteStats stats;
+  const NodeRef opt = optimise(g, &stats);
+  // collapses to a gather, which is then recognised as the identity
+  EXPECT_EQ(stats.gathers_collapsed, 1u);
+  EXPECT_EQ(stats.identities_removed, 1u);
+  EXPECT_EQ(opt->kind, OpKind::kInput);
+  Bindings b{{"x", sequential(shp)}};
+  expect_equal(evaluate(opt, b), b.at("x"));
+}
+
+TEST(WlGraph, DeepGatherChainCollapsesFully) {
+  const Shape shp{16};
+  auto x = input("x", shp);
+  auto g = take({3}, condense(2, shift({1}, condense(2, x))));
+  RewriteStats stats;
+  const NodeRef opt = optimise(g, &stats);
+  EXPECT_EQ(opt->node_count(), 2u);  // one gather over the input
+  Bindings b{{"x", sequential(shp)}};
+  expect_equal(evaluate(opt, b), evaluate_naive(g, b));
+}
+
+TEST(WlGraph, ScatterOverGatherDoesNotCollapse) {
+  // outer scatter has a division: collapsing would lose the gap condition
+  const Shape shp{8};
+  auto x = input("x", shp);
+  auto g = scatter(2, condense(2, x));
+  RewriteStats stats;
+  const NodeRef opt = optimise(g, &stats);
+  EXPECT_EQ(stats.gathers_collapsed, 0u);
+  Bindings b{{"x", sequential(shp)}};
+  expect_equal(evaluate(opt, b), evaluate_naive(g, b));
+}
+
+TEST(WlGraph, EmbedOverGatherRequiresUniformOffset) {
+  // embed at (1, 2): non-uniform offset, the chain must NOT collapse (the
+  // scalar pre-term cannot carry per-axis offsets through the division)
+  const Shape shp{6, 6};
+  auto x = input("x", shp);
+  auto g = embed({8, 9}, {1, 2}, scatter(2, x));
+  RewriteStats stats;
+  const NodeRef opt = optimise(g, &stats);
+  EXPECT_EQ(stats.gathers_collapsed, 0u);
+  Bindings b{{"x", sequential(shp)}};
+  expect_equal(evaluate(opt, b), evaluate_naive(g, b));
+}
+
+TEST(WlGraph, Fine2CoarseGraphMatchesMgComposition) {
+  // the paper's Fine2Coarse: embed(shape+1, 0, condense(2, P(x)))
+  const Shape shp{10, 10, 10};
+  auto x = input("x", shp);
+  const StencilCoeffs P{{0.5, 0.25, 0.125, 0.0625}};
+  auto g = embed({6, 6, 6}, {0, 0, 0}, condense(2, stencil(x, P)));
+  Bindings b{{"x", sequential(shp)}};
+  check_graph(g, b, 1e-12);
+  RewriteStats stats;
+  (void)optimise(g, &stats);
+  EXPECT_EQ(stats.gathers_collapsed, 1u);  // embed∘condense -> one gather
+}
+
+TEST(WlGraph, FusionSkipsIntermediateAllocations) {
+  const Shape shp{32, 32};
+  auto x = input("x", shp);
+  auto g = condense(2, add(mul(x, x), x));
+  const NodeRef opt = optimise(g);
+  Bindings b{{"x", sequential(shp)}};
+  reset_stats();
+  auto fused = evaluate(opt, b);
+  const auto fused_allocs = stats().allocations;
+  reset_stats();
+  auto naive = evaluate_naive(g, b);
+  const auto naive_allocs = stats().allocations;
+  expect_equal(fused, naive);
+  EXPECT_EQ(fused_allocs, 1u);  // only the result
+  EXPECT_GT(naive_allocs, fused_allocs);
+}
+
+TEST(WlGraph, SharedSubgraphMaterialisesOnce) {
+  const Shape shp{16, 16};
+  auto x = input("x", shp);
+  auto shared = add(x, x);          // two parents below
+  auto g = mul(shared, shift({1, 0}, shared));
+  const NodeRef opt = optimise(g);
+  Bindings b{{"x", sequential(shp)}};
+  reset_stats();
+  auto fused = evaluate(opt, b);
+  // shared intermediate + result = 2 materialisations
+  EXPECT_EQ(stats().allocations, 2u);
+  expect_equal(fused, evaluate_naive(g, b));
+}
+
+TEST(WlGraph, StatsAccountBeforeAndAfter) {
+  const Shape shp{8, 8};
+  auto x = input("x", shp);
+  auto g = take({3, 3}, condense(2, add(x, x)));
+  RewriteStats stats;
+  (void)optimise(g, &stats);
+  EXPECT_EQ(stats.materialisations_before, 3u);  // take, condense, add
+  EXPECT_EQ(stats.materialisations_after, 1u);   // one fused traversal
+  EXPECT_EQ(stats.gathers_collapsed, 1u);
+  EXPECT_EQ(stats.ewise_fused, 1u);  // the add fuses into the root gather
+}
+
+TEST(WlGraph, ToStringShowsStructure) {
+  auto x = input("x", Shape{4});
+  auto g = add(condense(2, scatter(2, x)), x);
+  const std::string s = g->to_string();
+  EXPECT_NE(s.find("add"), std::string::npos);
+  EXPECT_NE(s.find("gather"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+// Randomised closure property: arbitrary gather chains collapse without
+// changing any value.
+class GatherChainFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GatherChainFuzz, RandomChainsPreserveSemantics) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  std::uniform_int_distribution<extent_t> stride_dist(2, 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Shape shp{12};
+    NodeRef g = input("x", shp);
+    for (int depth = 0; depth < 4; ++depth) {
+      switch (op_dist(rng)) {
+        case 0:
+          if (g->shape.extent(0) >= 2) g = condense(2, g);
+          break;
+        case 1:
+          if (g->shape.extent(0) <= 8) g = scatter(stride_dist(rng), g);
+          break;
+        case 2:
+          g = take({std::max<extent_t>(1, g->shape.extent(0) - 1)}, g);
+          break;
+        case 3:
+          g = shift({1}, g);
+          break;
+      }
+    }
+    Bindings b{{"x", sequential(shp)}};
+    check_graph(g, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatherChainFuzz, ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace sacpp::sac::wl

@@ -13,10 +13,20 @@ BUILD="${1:-build}"
 OUT="${2:-bench_results}"
 mkdir -p "$OUT"
 
+# Run one bench, teeing its output; a failure is recorded (with its exit
+# status) instead of aborting, so one broken bench cannot hide the rest, and
+# the script still exits nonzero at the end.
+FAILED=()
+
 run() {
   local name="$1"; shift
   echo "== $name =="
-  "$@" | tee "$OUT/$name.txt"
+  local status=0
+  "$@" | tee "$OUT/$name.txt" || status=$?
+  if [[ $status -ne 0 ]]; then
+    echo "!! $name failed (exit $status)" >&2
+    FAILED+=("$name")
+  fi
 }
 
 run fig11_serial        "$BUILD/bench/fig11_serial" --classes W,A --csv "$OUT/fig11.csv"
@@ -36,4 +46,8 @@ run abl_specialize      "$BUILD/bench/abl_specialize" --benchmark_min_time=0.2
 run micro_sac           "$BUILD/bench/micro_sac" --benchmark_min_time=0.2
 
 echo
+if [[ ${#FAILED[@]} -ne 0 ]]; then
+  echo "FAILED: ${FAILED[*]}" >&2
+  exit 1
+fi
 echo "All outputs in $OUT/"

@@ -2,16 +2,25 @@
 //
 //   $ npb_mg --class S --impl sac
 //   $ npb_mg --class A --impl f77 --no-warmup
+//   $ npb_mg --class S --impl sac --check
 //
 // Runs one implementation on one benchmark class following the official
 // measurement protocol and prints the NPB result block, including the
 // verification verdict against the regenerated reference norms (classes
 // S/A/B equal the official NPB 2.3 constants).
+//
+// With --check (or SACPP_CHECK=1 in the environment) the run executes in
+// checked mode: the array runtime records aliasing and parallel-region
+// events and the sacpp_check analyses report on them after the run
+// (docs/static_analysis.md).  Diagnostics set exit status 2.
 
 #include <cstdio>
+#include <memory>
 
+#include "sacpp/check/check.hpp"
 #include "sacpp/common/cli.hpp"
 #include "sacpp/mg/driver.hpp"
+#include "sacpp/sac/config.hpp"
 
 using namespace sacpp;
 using namespace sacpp::mg;
@@ -23,10 +32,12 @@ int main(int argc, char** argv) {
                  "implementation: sac | f77 | omp | direct");
   cli.add_flag("no-warmup", "skip the untimed warm-up iteration");
   cli.add_flag("norms", "print the residual norm after every iteration");
+  cli.add_flag("check", "run under the sacpp_check runtime analyses");
   if (!cli.parse(argc, argv)) return 1;
 
   const MgSpec spec = MgSpec::for_class(parse_class(cli.get("class")));
   const Variant variant = parse_variant(cli.get("impl"));
+  const bool checked = cli.get_flag("check") || sac::config().check;
 
   std::printf(" NAS Parallel Benchmarks (sacpp reproduction) - MG Benchmark\n");
   std::printf(" Size: %lld x %lld x %lld  Iterations: %d\n\n",
@@ -37,6 +48,13 @@ int main(int argc, char** argv) {
   RunOptions opts;
   opts.warmup = !cli.get_flag("no-warmup");
   opts.record_norms = cli.get_flag("norms");
+
+  // The Session must outlive the run but finish() only after the benchmark's
+  // arrays are released, which run_benchmark guarantees (MgResult holds no
+  // arrays).
+  std::unique_ptr<check::Session> session;
+  if (checked) session = std::make_unique<check::Session>();
+
   const MgResult result = run_benchmark(variant, spec, opts);
 
   if (opts.record_norms) {
@@ -48,7 +66,15 @@ int main(int argc, char** argv) {
 
   std::printf("%s", npb_report(result, spec).c_str());
 
+  bool check_failed = false;
+  if (session != nullptr) {
+    check::DiagnosticEngine& engine = session->finish();
+    std::printf("\n%s", engine.to_ascii("sacpp_check").c_str());
+    check_failed = !engine.empty();
+  }
+
   bool known = false;
   const bool ok = verify(result, spec, &known);
+  if (check_failed) return 2;
   return known && !ok ? 1 : 0;
 }

@@ -1,0 +1,16 @@
+#pragma once
+// Umbrella header for sacpp_check: static and runtime verification of the
+// array subsystem (docs/static_analysis.md).
+//
+//   diagnostics.hpp     structured Diagnostic + DiagnosticEngine reporter
+//   wlgraph_verify.hpp  with-loop graph and generator-partition verifier
+//   runtime_check.hpp   alias/uniqueness checker, race detector, Session
+//   fuzz.hpp            verifier fuzzing harness
+//
+// Checked mode is off by default; enable per-run with SACPP_CHECK=1 (or the
+// MG driver's --check flag), or programmatically with check::Session.
+
+#include "sacpp/check/diagnostics.hpp"
+#include "sacpp/check/fuzz.hpp"
+#include "sacpp/check/runtime_check.hpp"
+#include "sacpp/check/wlgraph_verify.hpp"

@@ -1,0 +1,32 @@
+#pragma once
+// Fuzzing harness for the with-loop graph verifier.
+//
+// Each round composes a random *legal* graph through the public builders
+// (which enforce the invariants by construction), then derives *illegal*
+// graphs from it by hand-assembling nodes that violate exactly one
+// invariant.  The verifier must stay silent on every legal graph and flag
+// every illegal one; legal graphs are additionally evaluated both naively
+// and optimised and the values compared, so a verifier bug and an optimiser
+// bug cannot mask each other.
+//
+// Deterministic in `seed` (tests pin seeds; no global RNG state).
+
+#include <cstdint>
+
+namespace sacpp::check {
+
+struct FuzzStats {
+  int legal_graphs = 0;
+  int legal_flagged = 0;    // verifier false positives — must stay 0
+  int illegal_graphs = 0;
+  int illegal_missed = 0;   // verifier false negatives — must stay 0
+  int eval_mismatches = 0;  // optimised vs naive disagreements — must stay 0
+
+  bool clean() const {
+    return legal_flagged == 0 && illegal_missed == 0 && eval_mismatches == 0;
+  }
+};
+
+FuzzStats fuzz_wlgraph_verifier(std::uint64_t seed, int rounds);
+
+}  // namespace sacpp::check

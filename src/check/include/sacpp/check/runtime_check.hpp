@@ -1,0 +1,62 @@
+#pragma once
+// Runtime verification passes: uniqueness/alias checking and the
+// parallel-region race detector.
+//
+// Both passes analyse the raw event records the array system accumulates in
+// checked mode (sac/check_events.hpp):
+//
+//  * analyze_buffer_events — in-place writes that bypassed copy-on-write
+//    while the buffer was aliased (SAC's use-after-steal: the write is
+//    visible through every alias);
+//  * analyze_parallel_regions — per region, each worker's written
+//    outer-axis interval (intervals, not per-element shadow memory: the MT
+//    runtime hands out contiguous chunks).  Write/write overlap between
+//    workers, uncovered gaps, misaligned chunk starts (which break strided
+//    generators' phase), and buffer ownership mutations performed off the
+//    coordinating thread are all reported;
+//  * analyze_allocation_balance — end-of-run allocation/release imbalance
+//    against the always-on live-buffer gauge: a positive delta is a leak, a
+//    negative one an over-release.
+//
+// Session is the RAII driver: it clears the event log, switches checked
+// mode on, and on finish() runs every runtime pass into its engine.  The MG
+// driver's --check flag and the checker tests both use it.
+
+#include <cstdint>
+#include <vector>
+
+#include "sacpp/check/diagnostics.hpp"
+
+namespace sacpp::check {
+
+std::vector<Diagnostic> analyze_buffer_events();
+std::vector<Diagnostic> analyze_parallel_regions();
+
+// Compare the live-buffer gauge against `expected_live` (typically the
+// gauge value captured before the run under test).
+std::vector<Diagnostic> analyze_allocation_balance(std::int64_t expected_live);
+
+class Session {
+ public:
+  // Clears the event log and enables SacConfig::check; the previous value is
+  // restored on destruction.
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Run all runtime passes over the events recorded since construction and
+  // collect the results; clears the event log.  Call after the arrays under
+  // test have been released so the allocation balance is meaningful.
+  DiagnosticEngine& finish();
+
+  DiagnosticEngine& engine() { return engine_; }
+
+ private:
+  DiagnosticEngine engine_;
+  std::int64_t live_at_start_;
+  bool saved_check_;
+  bool finished_ = false;
+};
+
+}  // namespace sacpp::check

@@ -1,0 +1,56 @@
+#pragma once
+// Static verification of with-loop graphs and generator partitions.
+//
+// The with-loop DAG (sac/wlgraph.hpp) is rewritten aggressively by the
+// folding optimiser; one bad rewrite would silently corrupt results.  This
+// pass re-derives the structural invariants every legal graph must satisfy
+// and reports violations as diagnostics with a node-path location
+// ("root/arg0/arg1"), without evaluating anything:
+//
+//  * arity and operand kinds per OpKind (ewise fn arity, single-child
+//    stencil/gather, leaf inputs/consts);
+//  * shape consistency: element-wise children share the node's shape,
+//    stencils preserve shape, gathers keep rank;
+//  * affine-map well-formedness: positive scale and divisor, per-axis
+//    offset of matching rank (a mismatch would crash the evaluator);
+//  * stencil ghost ring: every argument extent >= 3, so the +-1 neighbour
+//    reads of interior points stay in bounds;
+//  * gather reachability: an index that leaves the source shape provably
+//    hits the default branch (that is the evaluator's contract); a gather
+//    whose *entire* result is the default value never reads its source and
+//    is flagged as a dead-source warning.
+//
+// verify_partitions checks that a set of with-loop generator partitions
+// (step/width grids included) is pairwise disjoint over a result shape and,
+// in tiling mode, covers it exactly — the invariant multi-partition
+// with-loops (border setup) and the MT runtime's chunking both rely on.
+
+#include <vector>
+
+#include "sacpp/check/diagnostics.hpp"
+#include "sacpp/common/shape.hpp"
+#include "sacpp/sac/wlgraph.hpp"
+#include "sacpp/sac/with_loop.hpp"
+
+namespace sacpp::check {
+
+// Verify one with-loop graph; returns all diagnostics found (empty = clean).
+// Shared subgraphs are verified once, under the first path that reaches them.
+std::vector<Diagnostic> verify_graph(const sac::wl::NodeRef& root);
+
+// Same, reporting into an engine; returns the number of diagnostics added.
+std::size_t verify_graph(const sac::wl::NodeRef& root,
+                         DiagnosticEngine& engine);
+
+enum class PartitionMode {
+  kDisjoint,  // partitions must not overlap
+  kTiling,    // disjoint and jointly covering the whole index space
+};
+
+// Verify that `gens` partitions the index space of `shape` (exact, walks the
+// generators; index spaces above ~16M elements are skipped with a warning).
+std::vector<Diagnostic> verify_partitions(const Shape& shape,
+                                          const std::vector<sac::Gen>& gens,
+                                          PartitionMode mode);
+
+}  // namespace sacpp::check

@@ -1,0 +1,308 @@
+#include "sacpp/check/fuzz.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sacpp/common/shape.hpp"
+#include "sacpp/check/wlgraph_verify.hpp"
+#include "sacpp/sac/array_lib.hpp"
+#include "sacpp/sac/wlgraph.hpp"
+
+namespace sacpp::check {
+
+namespace {
+
+using sac::wl::AffineMap;
+using sac::wl::Bindings;
+using sac::wl::EwiseFn;
+using sac::wl::Node;
+using sac::wl::NodeRef;
+using sac::wl::OpKind;
+
+// xorshift64* — deterministic, no global state, good enough for structural
+// fuzzing (we need variety, not statistical quality).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+  std::size_t pick(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+  extent_t range(extent_t lo, extent_t hi) {  // inclusive
+    return lo + static_cast<extent_t>(next() % static_cast<std::uint64_t>(
+                                                   hi - lo + 1));
+  }
+  double coeff() {  // small non-zero scale factor
+    return 0.25 + 0.125 * static_cast<double>(pick(8));
+  }
+};
+
+bool stencil_legal(const Shape& s) {
+  if (s.rank() < 1) return false;
+  for (std::size_t d = 0; d < s.rank(); ++d) {
+    if (s.extent(d) < 3) return false;
+  }
+  return true;
+}
+
+// One randomly composed legal graph plus the bindings for its inputs.
+// Built exclusively through the public builders, which enforce legality by
+// construction; the verifier must therefore stay silent.
+struct LegalGraph {
+  NodeRef root;
+  Bindings bindings;
+};
+
+LegalGraph make_legal_graph(Rng& rng) {
+  const std::size_t rank = 1 + rng.pick(3);
+  IndexVec ext(rank);
+  for (std::size_t d = 0; d < rank; ++d) ext[d] = rng.range(3, 6);
+  const Shape base{ext};
+
+  LegalGraph g;
+  std::vector<NodeRef> pool;
+  const std::size_t num_inputs = 1 + rng.pick(2);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    const std::string name = "in" + std::to_string(i);
+    pool.push_back(sac::wl::input(name, base));
+    const std::uint64_t salt = rng.next();
+    g.bindings.emplace(name,
+                       sac::with_genarray<double>(base, [&](const IndexVec& iv) {
+                         const auto lin =
+                             static_cast<std::uint64_t>(base.linearize(iv));
+                         return static_cast<double>(
+                                    (lin * 2654435761ULL + salt) % 1000) /
+                                997.0;
+                       }));
+  }
+  pool.push_back(sac::wl::constant(base, rng.coeff()));
+
+  const int steps = 3 + static_cast<int>(rng.pick(6));
+  for (int s = 0; s < steps; ++s) {
+    NodeRef a = pool[rng.pick(pool.size())];
+    const Shape& shp = a->shape;
+    NodeRef made;
+    switch (rng.pick(10)) {
+      case 0:
+        made = sac::wl::neg(a);
+        break;
+      case 1:
+        made = sac::wl::abs(a);
+        break;
+      case 2:
+        made = sac::wl::scale(a, rng.coeff());
+        break;
+      case 3:
+      case 4: {
+        // binary ewise needs a same-shape partner; synthesise one if the
+        // pool has none.
+        NodeRef b;
+        for (std::size_t tries = 0; tries < pool.size(); ++tries) {
+          NodeRef cand = pool[rng.pick(pool.size())];
+          if (cand->shape == shp) {
+            b = std::move(cand);
+            break;
+          }
+        }
+        if (b == nullptr) b = sac::wl::constant(shp, rng.coeff());
+        switch (rng.pick(3)) {
+          case 0:
+            made = sac::wl::add(a, b);
+            break;
+          case 1:
+            made = sac::wl::sub(a, b);
+            break;
+          default:
+            made = sac::wl::mul(a, b);
+            break;
+        }
+        break;
+      }
+      case 5:
+        if (stencil_legal(shp)) {
+          sac::StencilCoeffs c{};
+          for (std::size_t k = 0; k < c.c.size(); ++k) {
+            c.c[k] = 0.0625 * static_cast<double>(rng.pick(5));
+          }
+          made = sac::wl::stencil(a, c);
+        }
+        break;
+      case 6: {
+        IndexVec off(shp.rank());
+        for (std::size_t d = 0; d < shp.rank(); ++d) off[d] = rng.range(-2, 2);
+        made = sac::wl::shift(off, a);
+        break;
+      }
+      case 7: {
+        // scatter multiplies every extent by the stride; keep the graph
+        // small enough for the naive evaluator.
+        if (rng.pick(2) == 0 && shp.elem_count() < 2000) {
+          made = sac::wl::scatter(2, a, rng.range(0, 1));
+        } else {
+          bool ok = true;
+          for (std::size_t d = 0; d < shp.rank(); ++d) {
+            if (shp.extent(d) < 2) ok = false;
+          }
+          if (ok) made = sac::wl::condense(2, a, rng.range(0, 1));
+        }
+        break;
+      }
+      case 8: {
+        IndexVec shp2(shp.rank());
+        for (std::size_t d = 0; d < shp.rank(); ++d) {
+          shp2[d] = rng.range(1, shp.extent(d));
+        }
+        made = sac::wl::take(shp2, a);
+        break;
+      }
+      default: {
+        IndexVec shp2(shp.rank());
+        IndexVec pos(shp.rank());
+        for (std::size_t d = 0; d < shp.rank(); ++d) {
+          shp2[d] = shp.extent(d) + rng.range(0, 2);
+          pos[d] = rng.range(0, shp2[d] - shp.extent(d));
+        }
+        made = sac::wl::embed(shp2, pos, a);
+        break;
+      }
+    }
+    if (made != nullptr) pool.push_back(std::move(made));
+  }
+  g.root = pool.back();
+  return g;
+}
+
+// Hand-assembled nodes that each violate exactly one invariant the builders
+// enforce.  `base` is a legal subgraph to hang the broken node off.
+std::vector<std::pair<const char*, NodeRef>> make_illegal_graphs(
+    const NodeRef& base, Rng& rng) {
+  std::vector<std::pair<const char*, NodeRef>> out;
+  const Shape& shp = base->shape;
+  const std::size_t rank = shp.rank();
+
+  {  // ewise operand shape differs from the node shape
+    Node n;
+    n.kind = OpKind::kEwise;
+    n.fn = EwiseFn::kAdd;
+    IndexVec grown = shp.extents();
+    grown[rng.pick(rank)] += 1;
+    n.shape = Shape{grown};
+    n.args = {base, sac::wl::constant(n.shape, 1.0)};
+    out.emplace_back("ewise shape mismatch",
+                     std::make_shared<const Node>(std::move(n)));
+  }
+  {  // binary ewise fn with a single argument
+    Node n;
+    n.kind = OpKind::kEwise;
+    n.fn = EwiseFn::kMul;
+    n.shape = shp;
+    n.args = {base};
+    out.emplace_back("ewise arity", std::make_shared<const Node>(std::move(n)));
+  }
+  {  // ewise with a null child
+    Node n;
+    n.kind = OpKind::kEwise;
+    n.fn = EwiseFn::kNeg;
+    n.shape = shp;
+    n.args = {nullptr};
+    out.emplace_back("null child", std::make_shared<const Node>(std::move(n)));
+  }
+  {  // stencil over an extent below the ghost ring minimum
+    IndexVec thin = shp.extents();
+    thin[rng.pick(rank)] = 2;
+    NodeRef small = sac::wl::input("thin", Shape{thin});
+    Node n;
+    n.kind = OpKind::kStencil;
+    n.shape = small->shape;
+    n.args = {std::move(small)};
+    out.emplace_back("stencil ghost ring",
+                     std::make_shared<const Node>(std::move(n)));
+  }
+  {  // affine offset rank differs from the node rank
+    Node n;
+    n.kind = OpKind::kGather;
+    n.shape = shp;
+    n.map.offset = IndexVec(rank + 1);
+    n.args = {base};
+    out.emplace_back("gather offset rank",
+                     std::make_shared<const Node>(std::move(n)));
+  }
+  {  // zero divisor
+    Node n;
+    n.kind = OpKind::kGather;
+    n.shape = shp;
+    n.map.den = 0;
+    n.map.offset = IndexVec(rank);
+    n.args = {base};
+    out.emplace_back("gather zero divisor",
+                     std::make_shared<const Node>(std::move(n)));
+  }
+  {  // unnamed input leaf
+    Node n;
+    n.kind = OpKind::kInput;
+    n.shape = shp;
+    out.emplace_back("unnamed input",
+                     std::make_shared<const Node>(std::move(n)));
+  }
+  return out;
+}
+
+bool values_match(const sac::Array<double>& a, const sac::Array<double>& b) {
+  if (a.shape() != b.shape()) return false;
+  for (extent_t i = 0; i < a.elem_count(); ++i) {
+    const double x = a.at_linear(i);
+    const double y = b.at_linear(i);
+    const double tol = 1e-12 * std::max(1.0, std::max(std::abs(x), std::abs(y)));
+    if (std::abs(x - y) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FuzzStats fuzz_wlgraph_verifier(std::uint64_t seed, int rounds) {
+  Rng rng{seed | 1};  // xorshift state must be non-zero
+  FuzzStats stats;
+  for (int r = 0; r < rounds; ++r) {
+    LegalGraph legal = make_legal_graph(rng);
+    stats.legal_graphs += 1;
+    std::vector<Diagnostic> ds = verify_graph(legal.root);
+    // Dead-source warnings are legitimate on random structural chains (a
+    // take after a large shift really can read only default values); only
+    // *errors* on a builder-produced graph are false positives.
+    for (const Diagnostic& d : ds) {
+      if (d.severity == Severity::kError) {
+        stats.legal_flagged += 1;
+        break;
+      }
+    }
+    // The optimised evaluator must agree with the naive one on every legal
+    // graph — a second, independent oracle for graph legality.
+    const sac::Array<double> naive =
+        sac::wl::evaluate_naive(legal.root, legal.bindings);
+    const sac::Array<double> opt =
+        sac::wl::evaluate(sac::wl::optimise(legal.root), legal.bindings);
+    if (!values_match(naive, opt)) stats.eval_mismatches += 1;
+
+    for (auto& [what, bad] : make_illegal_graphs(legal.root, rng)) {
+      stats.illegal_graphs += 1;
+      bool flagged = false;
+      for (const Diagnostic& d : verify_graph(bad)) {
+        if (d.severity == Severity::kError) {
+          flagged = true;
+          break;
+        }
+      }
+      if (!flagged) stats.illegal_missed += 1;
+      (void)what;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sacpp::check

@@ -1,0 +1,308 @@
+#include "sacpp/check/wlgraph_verify.hpp"
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sacpp/common/error.hpp"
+#include "sacpp/common/index_space.hpp"
+
+namespace sacpp::check {
+
+namespace {
+
+using sac::wl::AffineMap;
+using sac::wl::EwiseFn;
+using sac::wl::Node;
+using sac::wl::NodeRef;
+using sac::wl::OpKind;
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kInput:
+      return "input";
+    case OpKind::kConst:
+      return "const";
+    case OpKind::kEwise:
+      return "ewise";
+    case OpKind::kStencil:
+      return "stencil";
+    case OpKind::kGather:
+      return "gather";
+  }
+  return "?";
+}
+
+std::size_t expected_arity(const Node& n) {
+  switch (n.kind) {
+    case OpKind::kInput:
+    case OpKind::kConst:
+      return 0;
+    case OpKind::kStencil:
+    case OpKind::kGather:
+      return 1;
+    case OpKind::kEwise:
+      switch (n.fn) {
+        case EwiseFn::kAdd:
+        case EwiseFn::kSub:
+        case EwiseFn::kMul:
+          return 2;
+        case EwiseFn::kNeg:
+        case EwiseFn::kAbs:
+        case EwiseFn::kScale:
+          return 1;
+      }
+      return 1;
+  }
+  return 0;
+}
+
+// Does any source index along one axis survive the affine map?  The map is
+// monotone in iv (num >= 1), so scanning the axis extent suffices; the scan
+// is capped for pathological extents (then we stay silent rather than
+// guess).
+constexpr extent_t kAxisScanCap = 1 << 16;
+
+enum class AxisReach { kSome, kNone, kUnknown };
+
+AxisReach axis_reaches_source(const AffineMap& m, std::size_t axis,
+                              extent_t out_extent, extent_t src_extent) {
+  if (out_extent <= 0) return AxisReach::kNone;
+  const extent_t scan = out_extent < kAxisScanCap ? out_extent : kAxisScanCap;
+  for (extent_t iv = 0; iv < scan; ++iv) {
+    const extent_t scaled = iv * m.num + m.pre;
+    if (m.den != 1 && (scaled % m.den != 0 || scaled < 0)) continue;
+    const extent_t src = scaled / m.den + m.offset[axis];
+    if (src >= 0 && src < src_extent) return AxisReach::kSome;
+    if (src >= src_extent && m.den == 1) break;  // monotone: only grows
+  }
+  return scan < out_extent ? AxisReach::kUnknown : AxisReach::kNone;
+}
+
+struct Verifier {
+  std::vector<Diagnostic> diags;
+  std::set<const Node*> visited;
+
+  void error(const std::string& path, std::string msg) {
+    diags.push_back(Diagnostic{Severity::kError, Pass::kWlGraph, path,
+                               std::move(msg)});
+  }
+  void warning(const std::string& path, std::string msg) {
+    diags.push_back(Diagnostic{Severity::kWarning, Pass::kWlGraph, path,
+                               std::move(msg)});
+  }
+
+  void visit(const Node* n, const std::string& path) {
+    if (!visited.insert(n).second) return;  // shared subgraph: checked once
+
+    // arity and child presence first; a wrong arity makes the remaining
+    // checks meaningless for this node.
+    for (std::size_t i = 0; i < n->args.size(); ++i) {
+      if (n->args[i] == nullptr) {
+        error(path, std::string(kind_name(n->kind)) + " node has null child " +
+                        std::to_string(i));
+        return;
+      }
+    }
+    const std::size_t want = expected_arity(*n);
+    if (n->args.size() != want) {
+      std::ostringstream os;
+      os << kind_name(n->kind) << " node expects " << want << " argument"
+         << (want == 1 ? "" : "s") << ", has " << n->args.size();
+      error(path, os.str());
+      return;
+    }
+
+    switch (n->kind) {
+      case OpKind::kInput:
+        if (n->name.empty()) error(path, "input node has no name");
+        break;
+      case OpKind::kConst:
+        break;
+      case OpKind::kEwise:
+        for (std::size_t i = 0; i < n->args.size(); ++i) {
+          if (n->args[i]->shape != n->shape) {
+            error(path, "element-wise operand " + std::to_string(i) +
+                            " shape " + n->args[i]->shape.to_string() +
+                            " differs from node shape " +
+                            n->shape.to_string());
+          }
+        }
+        break;
+      case OpKind::kStencil: {
+        const Shape& arg = n->args[0]->shape;
+        if (arg != n->shape) {
+          error(path, "stencil must preserve shape: argument " +
+                          arg.to_string() + " vs node " + n->shape.to_string());
+        }
+        if (arg.rank() < 1) {
+          error(path, "stencil needs rank >= 1");
+        }
+        for (std::size_t d = 0; d < arg.rank(); ++d) {
+          if (arg.extent(d) < 3) {
+            std::ostringstream os;
+            os << "stencil ghost ring insufficient: axis " << d << " extent "
+               << arg.extent(d) << " < 3 (interior +-1 reads leave the array)";
+            error(path, os.str());
+          }
+        }
+        break;
+      }
+      case OpKind::kGather:
+        check_gather(n, path);
+        break;
+    }
+
+    for (std::size_t i = 0; i < n->args.size(); ++i) {
+      visit(n->args[i].get(), path + "/arg" + std::to_string(i));
+    }
+  }
+
+  void check_gather(const Node* n, const std::string& path) {
+    const AffineMap& m = n->map;
+    const Shape& src = n->args[0]->shape;
+    const std::size_t rank = n->shape.rank();
+    bool well_formed = true;
+    if (src.rank() != rank) {
+      std::ostringstream os;
+      os << "gather changes rank: source " << src.rank() << " vs result "
+         << rank << " (affine maps are per-axis)";
+      error(path, os.str());
+      well_formed = false;
+    }
+    if (m.offset.size() != rank) {
+      std::ostringstream os;
+      os << "affine map offset has rank " << m.offset.size()
+         << ", result has rank " << rank
+         << " (the evaluator would index past the offset vector)";
+      error(path, os.str());
+      well_formed = false;
+    }
+    if (m.den < 1) {
+      error(path, "affine map divisor must be >= 1, is " +
+                      std::to_string(m.den) + " (division by zero)");
+      well_formed = false;
+    }
+    if (m.num < 1) {
+      error(path, "affine map scale must be >= 1, is " + std::to_string(m.num));
+      well_formed = false;
+    }
+    if (!well_formed) return;
+
+    // Out-of-shape source indices provably hit the default branch (the
+    // evaluator's contract), so they are safe; but a gather whose whole
+    // result is the default value never reads its source at all.
+    if (n->shape.elem_count() == 0) return;
+    bool all_axes_reach = true;
+    for (std::size_t d = 0; d < rank; ++d) {
+      const AxisReach r =
+          axis_reaches_source(m, d, n->shape.extent(d), src.extent(d));
+      if (r == AxisReach::kUnknown) return;  // extent too large to decide
+      if (r == AxisReach::kNone) {
+        all_axes_reach = false;
+        break;
+      }
+    }
+    if (!all_axes_reach) {
+      warning(path,
+              "dead source: no result index maps into the source shape, the "
+              "entire gather evaluates to the default value " +
+                  std::to_string(n->dflt));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> verify_graph(const sac::wl::NodeRef& root) {
+  Verifier v;
+  if (root == nullptr) {
+    v.error("root", "null graph");
+    return std::move(v.diags);
+  }
+  v.visit(root.get(), "root");
+  return std::move(v.diags);
+}
+
+std::size_t verify_graph(const sac::wl::NodeRef& root,
+                         DiagnosticEngine& engine) {
+  std::vector<Diagnostic> ds = verify_graph(root);
+  const std::size_t n = ds.size();
+  engine.report_all(std::move(ds));
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Generator partitions
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr extent_t kPartitionCheckLimit = extent_t{1} << 24;
+}
+
+std::vector<Diagnostic> verify_partitions(const Shape& shape,
+                                          const std::vector<sac::Gen>& gens,
+                                          PartitionMode mode) {
+  std::vector<Diagnostic> diags;
+  const extent_t total = shape.elem_count();
+  if (total > kPartitionCheckLimit) {
+    diags.push_back(Diagnostic{
+        Severity::kWarning, Pass::kWlGraph, "partitions",
+        "index space " + shape.to_string() +
+            " too large for the exact partition check; skipped"});
+    return diags;
+  }
+
+  // Exact coverage map: owner partition + 1 per cell (0 = uncovered).  The
+  // generator walk is the same odometer the with-loop engine uses, so
+  // step/width grids are handled exactly.
+  std::vector<std::uint32_t> owner(static_cast<std::size_t>(total), 0);
+  extent_t covered = 0;
+  for (std::size_t p = 0; p < gens.size(); ++p) {
+    sac::detail::ResolvedGen g;
+    try {
+      g = sac::detail::resolve(gens[p], shape);
+    } catch (const ContractError& e) {
+      diags.push_back(Diagnostic{Severity::kError, Pass::kWlGraph,
+                                 "partition " + std::to_string(p),
+                                 std::string("invalid generator: ") +
+                                     e.what()});
+      continue;
+    }
+    bool overlap_reported = false;
+    extent_t overlap_count = 0;
+    for_each_index_grid(
+        g.lower, g.upper, g.step, g.width, [&](const IndexVec& iv) {
+          const auto cell = static_cast<std::size_t>(shape.linearize(iv));
+          if (owner[cell] != 0) {
+            ++overlap_count;
+            if (!overlap_reported) {
+              overlap_reported = true;
+              diags.push_back(Diagnostic{
+                  Severity::kError, Pass::kWlGraph,
+                  "partition " + std::to_string(p),
+                  "overlaps partition " + std::to_string(owner[cell] - 1) +
+                      ", first at index " + Shape(iv).to_string()});
+            }
+          } else {
+            owner[cell] = static_cast<std::uint32_t>(p) + 1;
+            ++covered;
+          }
+        });
+    if (overlap_count > 1) {
+      diags.back().message +=
+          " (" + std::to_string(overlap_count) + " cells total)";
+    }
+  }
+
+  if (mode == PartitionMode::kTiling && covered != total) {
+    diags.push_back(Diagnostic{
+        Severity::kError, Pass::kWlGraph, "partitions",
+        std::to_string(total - covered) + " of " + std::to_string(total) +
+            " cells of " + shape.to_string() +
+            " are not covered by any partition"});
+  }
+  return diags;
+}
+
+}  // namespace sacpp::check

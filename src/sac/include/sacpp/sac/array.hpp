@@ -113,8 +113,16 @@ class Array {
   }
 
   // Mutable access WITHOUT the copy-on-write check; only the with-loop
-  // engine uses this, on arrays it just created.
-  T* raw_data_unchecked() noexcept { return buf_.data(); }
+  // engine uses this, on arrays it just created.  In checked mode the
+  // uniqueness/alias checker records a use-after-steal event if the buffer
+  // is in fact still aliased (refcount > 1) — writing through this pointer
+  // would then be visible through every alias.
+  T* raw_data_unchecked() noexcept {
+    if (config().check) [[unlikely]] {
+      buf_.note_unchecked_write();
+    }
+    return buf_.data();
+  }
 
  private:
   explicit Array(const Shape& shape)

@@ -9,7 +9,22 @@
 //
 // Buffers are intentionally NOT thread-safe for ownership changes; arrays are
 // created and retired on the coordinating thread, while worker threads only
-// read/write elements (disjoint ranges) during with-loop execution.
+// read/write elements (disjoint ranges) during with-loop execution.  In
+// checked mode (SacConfig::check) every ownership operation performed while a
+// parallel region is active is screened against that contract, and raw
+// in-place writes to aliased buffers are recorded for the uniqueness/alias
+// checker (src/check).
+//
+// Exception-safety audit (docs/static_analysis.md §alias checker):
+//  * Buffer(count): if Control's allocation throws, the partially constructed
+//    Control is freed by the compiler and ctrl_ stays null — the stats
+//    counters are only advanced after the allocation succeeded.
+//  * copy/move construction and assignment are noexcept; copy assignment
+//    retains the source before releasing the old buffer, so self-assignment
+//    and assignment between aliases of the same control block are safe even
+//    when the left side held the last reference.
+//  * release() is idempotent per handle (the pointer is cleared first), so a
+//    double destruction through the same handle cannot double-free.
 
 #include <cstddef>
 #include <cstdint>
@@ -18,6 +33,7 @@
 #include <utility>
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/sac/check_events.hpp"
 #include "sacpp/sac/stats.hpp"
 
 namespace sacpp::sac {
@@ -42,9 +58,12 @@ class Buffer {
 
   Buffer& operator=(const Buffer& other) noexcept {
     if (this != &other) {
+      // Retain before releasing: if both handles alias the same control
+      // block, releasing first could free it while `other` still points in.
+      Control* taken = other.ctrl_;
+      retain_ctrl(taken);
       release();
-      ctrl_ = other.ctrl_;
-      retain();
+      ctrl_ = taken;
     }
     return *this;
   }
@@ -71,6 +90,17 @@ class Buffer {
 
   std::uint32_t use_count() const noexcept { return ctrl_ ? ctrl_->refs : 0; }
 
+  // Checked-mode hook for the uniqueness/alias checker: record a raw
+  // in-place write that bypassed the copy-on-write path while this buffer
+  // was still aliased (SAC's use-after-steal).  Callers guard on
+  // config().check; see Array::raw_data_unchecked().
+  void note_unchecked_write() const noexcept {
+    if (ctrl_ && ctrl_->refs > 1) {
+      check_detail::record_buffer_event(
+          check_detail::BufferEventKind::kSharedInPlaceWrite, ctrl_->refs);
+    }
+  }
+
  private:
   struct Control {
     explicit Control(std::size_t n) : count(n) {
@@ -80,20 +110,41 @@ class Buffer {
               kBufferAlignment);
       SACPP_REQUIRE(raw != nullptr, "array buffer allocation failed");
       elems = static_cast<T*>(raw);
+      check_detail::note_buffer_alloc();
     }
-    ~Control() { std::free(elems); }
+    ~Control() {
+      std::free(elems);
+      check_detail::note_buffer_free();
+    }
     T* elems = nullptr;
     std::size_t count = 0;
     std::uint32_t refs = 1;
   };
 
-  void retain() noexcept {
-    if (ctrl_) ++ctrl_->refs;
+  // Ownership mutations funnel through these two so checked mode can screen
+  // them against the "workers never touch ownership" contract: while a
+  // checked parallel region is active, any retain/release from a thread
+  // other than the coordinator is recorded for the race detector.
+  static void retain_ctrl(Control* c) noexcept {
+    if (!c) return;
+    if (check_detail::ownership_watch()) [[unlikely]] {
+      check_detail::note_ownership_op(c->refs);
+    }
+    ++c->refs;
   }
 
+  void retain() noexcept { retain_ctrl(ctrl_); }
+
   void release() noexcept {
-    if (ctrl_ && --ctrl_->refs == 0) delete ctrl_;
-    ctrl_ = nullptr;
+    Control* c = std::exchange(ctrl_, nullptr);
+    if (!c) return;
+    if (check_detail::ownership_watch()) [[unlikely]] {
+      check_detail::note_ownership_op(c->refs);
+    }
+    if (--c->refs == 0) {
+      stats().releases += 1;
+      delete c;
+    }
   }
 
   Control* ctrl_ = nullptr;

@@ -39,10 +39,22 @@ struct SacConfig {
   // this run sequentially even when mt_enabled (the paper's
   // bottom-of-the-V-cycle analysis).
   std::int64_t mt_threshold = 4096;
+
+  // sacpp_check verification passes (src/check): when true the array system
+  // records buffer-ownership and parallel-region events for the runtime
+  // checkers (docs/static_analysis.md).  Off the hot path when false: every
+  // recording site is a single predictable branch.  The initial value comes
+  // from the SACPP_CHECK environment variable.
+  bool check = false;
 };
 
 // Process-global configuration used by all with-loop executions.
 SacConfig& config();
+
+// The configuration a fresh process starts from: defaults plus environment
+// overrides (SACPP_CHECK=1 enables the verification passes).  Exposed so
+// tests can exercise the environment parsing directly.
+SacConfig config_from_env();
 
 // RAII override of the global configuration (restores on destruction).
 // Used by tests and ablation benches to run the same code under different

@@ -12,6 +12,7 @@ namespace sacpp::sac {
 
 struct RuntimeStats {
   std::uint64_t allocations = 0;       // fresh buffers allocated
+  std::uint64_t releases = 0;          // buffers freed (refcount reached 0)
   std::uint64_t bytes_allocated = 0;   // total bytes of fresh buffers
   std::uint64_t reuses = 0;            // buffers stolen via uniqueness reuse
   std::uint64_t copies_on_write = 0;   // deep copies forced by shared buffers

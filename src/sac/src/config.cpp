@@ -1,11 +1,20 @@
 #include "sacpp/sac/config.hpp"
 
+#include <cstdlib>
+
 #include "sacpp/sac/stats.hpp"
 
 namespace sacpp::sac {
 
+SacConfig config_from_env() {
+  SacConfig cfg;
+  const char* check = std::getenv("SACPP_CHECK");
+  cfg.check = check != nullptr && check[0] != '\0' && check[0] != '0';
+  return cfg;
+}
+
 SacConfig& config() {
-  static SacConfig cfg;
+  static SacConfig cfg = config_from_env();
   return cfg;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/sac/check_events.hpp"
 #include "sacpp/sac/config.hpp"
 
 namespace sacpp::sac {
@@ -95,6 +96,21 @@ void ThreadPool::parallel_for(
   }
   bounds[participants] = end;
 
+  // Checked mode: log this region and the interval each worker will write,
+  // so the race detector (src/check) can verify the chunks tile [begin, end)
+  // disjointly with aligned starts, and the ownership watch can flag any
+  // buffer retain/release performed off the coordinating thread while the
+  // region runs.
+  const bool checked = config().check;
+  if (checked) [[unlikely]] {
+    const std::uint64_t region =
+        check_detail::begin_parallel_region(begin, end, align);
+    for (unsigned p = 0; p < participants; ++p) {
+      check_detail::record_chunk(region, p, bounds[p], bounds[p + 1],
+                                 /*write=*/true);
+    }
+  }
+
   impl_->task = &fn;
   impl_->pending.store(static_cast<int>(participants - 1),
                        std::memory_order_release);
@@ -107,10 +123,16 @@ void ThreadPool::parallel_for(
   // Participant 0 (this thread) runs the first chunk.
   if (bounds[0] < bounds[1]) fn(bounds[0], bounds[1], 0);
 
-  std::unique_lock<std::mutex> lock(impl_->mutex);
-  impl_->work_done.wait(
-      lock, [&] { return impl_->pending.load(std::memory_order_acquire) == 0; });
-  impl_->task = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->work_done.wait(lock, [&] {
+      return impl_->pending.load(std::memory_order_acquire) == 0;
+    });
+    impl_->task = nullptr;
+  }
+  if (checked) [[unlikely]] {
+    check_detail::end_parallel_region();
+  }
 }
 
 namespace {

@@ -47,6 +47,53 @@ bool composable(const AffineMap& outer, const AffineMap& /*inner*/) {
   return outer.den == 1 && uniform_offset(outer, &uo);
 }
 
+// One axis of the evaluator's gather semantics: false means "default value"
+// (non-divisible or negative pre-division), true yields the source index,
+// which may still be out of bounds.
+bool map_src(const AffineMap& m, extent_t iv, std::size_t d, extent_t* src) {
+  const extent_t scaled = iv * m.num + m.pre;
+  if (m.den != 1 && (scaled % m.den != 0 || scaled < 0)) return false;
+  *src = scaled / m.den + m.offset[d];
+  return true;
+}
+
+// Collapsing outer∘inner replaces the two-step evaluation (outer index ->
+// inner bounds check -> inner map -> source bounds check) with one composed
+// map that only bounds-checks the source.  That is exact only if the
+// composed map reads the source for exactly the result indices the two-step
+// evaluation does: an outer index that leaves the *inner* shape while the
+// composed index still lands inside the source (take∘shift chains), or a
+// negative scaled value whose sign check the den-cancelling normalisation
+// removed, would silently turn a default value into a source read.  The
+// maps are monotone per axis, so a direct scan of the result extents
+// settles it exactly; oversized extents refuse rather than guess.
+constexpr extent_t kCollapseScanCap = extent_t{1} << 16;
+
+bool collapse_exact(const Node& outer, const Node& inner,
+                    const AffineMap& composed) {
+  const Shape& so = outer.shape;
+  const Shape& si = inner.shape;
+  const Shape& sx = inner.args[0]->shape;
+  extent_t uo = 0;
+  if (!uniform_offset(outer.map, &uo)) return false;
+  for (std::size_t d = 0; d < so.rank(); ++d) {
+    if (so.extent(d) > kCollapseScanCap) return false;
+    for (extent_t iv = 0; iv < so.extent(d); ++iv) {
+      extent_t csrc = 0;
+      const bool composed_reads =
+          map_src(composed, iv, d, &csrc) && csrc >= 0 && csrc < sx.extent(d);
+      const extent_t j = iv * outer.map.num + outer.map.pre + uo;
+      extent_t nsrc = 0;
+      const bool naive_reads = j >= 0 && j < si.extent(d) &&
+                               map_src(inner.map, j, d, &nsrc) && nsrc >= 0 &&
+                               nsrc < sx.extent(d);
+      if (composed_reads != naive_reads) return false;
+      if (composed_reads && csrc != nsrc) return false;
+    }
+  }
+  return true;
+}
+
 AffineMap compose_checked(const AffineMap& outer, const AffineMap& inner) {
   extent_t uo = 0;
   SACPP_REQUIRE(uniform_offset(outer, &uo) && outer.den == 1,
@@ -294,13 +341,16 @@ struct Optimiser {
       if (child->kind == OpKind::kGather &&
           composable(result->map, child->map) &&
           result->dflt == child->dflt) {
-        Node merged = *result;
-        merged.map = compose_checked(result->map, child->map);
-        merged.args = {child->args[0]};
-        stats.gathers_collapsed += 1;
-        NodeRef m = rewrite(make(std::move(merged)));  // may collapse further
-        memo[n.get()] = m;
-        return m;
+        AffineMap composed = compose_checked(result->map, child->map);
+        if (collapse_exact(*result, *child, composed)) {
+          Node merged = *result;
+          merged.map = std::move(composed);
+          merged.args = {child->args[0]};
+          stats.gathers_collapsed += 1;
+          NodeRef m = rewrite(make(std::move(merged)));  // may collapse further
+          memo[n.get()] = m;
+          return m;
+        }
       }
     }
 

@@ -1,0 +1,238 @@
+// With-loop graph verifier: silent on every builder-produced graph, loud on
+// each crafted invariant violation, and exact on generator partitions
+// (step/width grids included).  The fuzzer cross-checks the verifier against
+// randomly composed legal and illegal graphs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sacpp/check/check.hpp"
+#include "sacpp/sac/sac.hpp"
+#include "sacpp/sac/wlgraph.hpp"
+
+namespace sacpp::check {
+namespace {
+
+using sac::Gen;
+using sac::wl::Node;
+using sac::wl::NodeRef;
+using sac::wl::OpKind;
+
+constexpr sac::StencilCoeffs kC{{-0.5, 0.125, 0.0625, 0.03125}};
+
+bool has_error(const std::vector<Diagnostic>& ds) {
+  for (const Diagnostic& d : ds) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+// -- legal graphs stay silent -------------------------------------------------
+
+TEST(WlGraphVerify, MgLikeGraphIsClean) {
+  // The shape of one MG relaxation step: r = v - A(u), u' = u + S(r).
+  const Shape shp{6, 6, 6};
+  auto u = sac::wl::input("u", shp);
+  auto v = sac::wl::input("v", shp);
+  auto r = sac::wl::sub(v, sac::wl::stencil(u, kC));
+  auto u2 = sac::wl::add(u, sac::wl::stencil(r, kC));
+  EXPECT_TRUE(verify_graph(u2).empty());
+}
+
+TEST(WlGraphVerify, AffineChainIsClean) {
+  auto x = sac::wl::input("x", Shape{8, 8});
+  auto g = sac::wl::shift(IndexVec{1, -1},
+                          sac::wl::embed(IndexVec{10, 10}, IndexVec{1, 1},
+                                         sac::wl::take(IndexVec{8, 8}, x)));
+  EXPECT_TRUE(verify_graph(g).empty());
+  // ... and stays clean after the optimiser collapses the chain.
+  EXPECT_TRUE(verify_graph(sac::wl::optimise(g)).empty());
+}
+
+TEST(WlGraphVerify, SharedSubgraphReportedOnce) {
+  // A broken node reached through two paths must be diagnosed exactly once.
+  Node bad;
+  bad.kind = OpKind::kInput;
+  bad.shape = Shape{4};
+  NodeRef shared = std::make_shared<const Node>(std::move(bad));  // unnamed
+  auto root = sac::wl::add(sac::wl::neg(shared), sac::wl::abs(shared));
+  const auto ds = verify_graph(root);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_NE(ds[0].message.find("no name"), std::string::npos);
+}
+
+TEST(WlGraphVerify, EngineOverloadCountsAndLocates) {
+  DiagnosticEngine e;
+  EXPECT_EQ(verify_graph(sac::wl::input("x", Shape{4}), e), 0u);
+  Node bad;
+  bad.kind = OpKind::kInput;
+  bad.shape = Shape{4};
+  auto root = sac::wl::neg(std::make_shared<const Node>(std::move(bad)));
+  EXPECT_EQ(verify_graph(root, e), 1u);
+  EXPECT_EQ(e.diagnostics()[0].location, "root/arg0");
+}
+
+// -- crafted violations fire --------------------------------------------------
+
+TEST(WlGraphVerify, NullGraphFires) {
+  EXPECT_TRUE(has_error(verify_graph(nullptr)));
+}
+
+TEST(WlGraphVerify, EwiseShapeMismatchFires) {
+  Node n;
+  n.kind = OpKind::kEwise;
+  n.fn = sac::wl::EwiseFn::kAdd;
+  n.shape = Shape{4};
+  n.args = {sac::wl::input("a", Shape{4}), sac::wl::input("b", Shape{5})};
+  const auto ds = verify_graph(std::make_shared<const Node>(std::move(n)));
+  ASSERT_TRUE(has_error(ds));
+  EXPECT_NE(ds[0].message.find("shape"), std::string::npos);
+}
+
+TEST(WlGraphVerify, WrongArityFires) {
+  Node n;
+  n.kind = OpKind::kEwise;
+  n.fn = sac::wl::EwiseFn::kMul;  // binary
+  n.shape = Shape{4};
+  n.args = {sac::wl::input("a", Shape{4})};
+  EXPECT_TRUE(has_error(verify_graph(std::make_shared<const Node>(std::move(n)))));
+}
+
+TEST(WlGraphVerify, NullChildFires) {
+  Node n;
+  n.kind = OpKind::kEwise;
+  n.fn = sac::wl::EwiseFn::kNeg;
+  n.shape = Shape{4};
+  n.args = {nullptr};
+  EXPECT_TRUE(has_error(verify_graph(std::make_shared<const Node>(std::move(n)))));
+}
+
+TEST(WlGraphVerify, ThinStencilGhostRingFires) {
+  Node n;
+  n.kind = OpKind::kStencil;
+  n.shape = Shape{4, 2};
+  n.args = {sac::wl::input("u", Shape{4, 2})};
+  const auto ds = verify_graph(std::make_shared<const Node>(std::move(n)));
+  ASSERT_TRUE(has_error(ds));
+  EXPECT_NE(ds[0].message.find("ghost ring"), std::string::npos);
+}
+
+TEST(WlGraphVerify, GatherOffsetRankMismatchFires) {
+  Node n;
+  n.kind = OpKind::kGather;
+  n.shape = Shape{4, 4};
+  n.map.offset = IndexVec{0};  // rank 1 offset for a rank 2 node
+  n.args = {sac::wl::input("x", Shape{4, 4})};
+  EXPECT_TRUE(has_error(verify_graph(std::make_shared<const Node>(std::move(n)))));
+}
+
+TEST(WlGraphVerify, GatherZeroDivisorFires) {
+  Node n;
+  n.kind = OpKind::kGather;
+  n.shape = Shape{4};
+  n.map.den = 0;
+  n.map.offset = IndexVec{0};
+  n.args = {sac::wl::input("x", Shape{4})};
+  const auto ds = verify_graph(std::make_shared<const Node>(std::move(n)));
+  ASSERT_TRUE(has_error(ds));
+  EXPECT_NE(ds[0].message.find("division by zero"), std::string::npos);
+}
+
+TEST(WlGraphVerify, DeadSourceGatherWarns) {
+  // Shifting an 8-vector by 100 moves every read outside the source: the
+  // whole result is the default value.  Legal (the evaluator's contract
+  // covers it) but almost certainly a bug, hence a warning.
+  auto g = sac::wl::shift(IndexVec{100}, sac::wl::input("x", Shape{8}));
+  const auto ds = verify_graph(g);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].severity, Severity::kWarning);
+  EXPECT_NE(ds[0].message.find("dead source"), std::string::npos);
+}
+
+// -- generator partitions -----------------------------------------------------
+
+TEST(WlGraphVerify, DisjointTilingIsClean) {
+  const Shape shp{8, 4};
+  std::vector<Gen> gens;
+  gens.push_back(Gen{IndexVec{0, 0}, IndexVec{4, 4}, {}, {}});
+  gens.push_back(Gen{IndexVec{4, 0}, IndexVec{8, 4}, {}, {}});
+  EXPECT_TRUE(verify_partitions(shp, gens, PartitionMode::kTiling).empty());
+}
+
+TEST(WlGraphVerify, StridedPhasesTileExactly) {
+  // Even and odd phases of a step-2 grid partition a vector exactly — the
+  // red/black decomposition every strided with-loop relies on.
+  const Shape shp{8};
+  std::vector<Gen> gens;
+  gens.push_back(Gen{IndexVec{0}, IndexVec{8}, IndexVec{2}, IndexVec{1}});
+  gens.push_back(Gen{IndexVec{1}, IndexVec{8}, IndexVec{2}, IndexVec{1}});
+  EXPECT_TRUE(verify_partitions(shp, gens, PartitionMode::kTiling).empty());
+}
+
+TEST(WlGraphVerify, OverlapFires) {
+  const Shape shp{8};
+  std::vector<Gen> gens;
+  gens.push_back(Gen{IndexVec{0}, IndexVec{5}, {}, {}});
+  gens.push_back(Gen{IndexVec{4}, IndexVec{8}, {}, {}});
+  const auto ds = verify_partitions(shp, gens, PartitionMode::kDisjoint);
+  ASSERT_TRUE(has_error(ds));
+  EXPECT_NE(ds[0].message.find("overlaps partition 0"), std::string::npos);
+}
+
+TEST(WlGraphVerify, StridedOverlapFires) {
+  // Width 2 on step 2 covers everything; the second phase collides.
+  const Shape shp{8};
+  std::vector<Gen> gens;
+  gens.push_back(Gen{IndexVec{0}, IndexVec{8}, IndexVec{2}, IndexVec{2}});
+  gens.push_back(Gen{IndexVec{1}, IndexVec{8}, IndexVec{2}, IndexVec{1}});
+  EXPECT_TRUE(has_error(verify_partitions(shp, gens, PartitionMode::kDisjoint)));
+}
+
+TEST(WlGraphVerify, CoverageGapFiresOnlyInTilingMode) {
+  const Shape shp{8};
+  std::vector<Gen> gens;
+  gens.push_back(Gen{IndexVec{0}, IndexVec{3}, {}, {}});
+  gens.push_back(Gen{IndexVec{5}, IndexVec{8}, {}, {}});
+  EXPECT_TRUE(verify_partitions(shp, gens, PartitionMode::kDisjoint).empty());
+  const auto ds = verify_partitions(shp, gens, PartitionMode::kTiling);
+  ASSERT_TRUE(has_error(ds));
+  EXPECT_NE(ds[0].message.find("not covered"), std::string::npos);
+}
+
+TEST(WlGraphVerify, InvalidGeneratorFires) {
+  const Shape shp{8};
+  std::vector<Gen> gens;
+  gens.push_back(Gen{IndexVec{0}, IndexVec{9}, {}, {}});  // beyond the shape
+  const auto ds = verify_partitions(shp, gens, PartitionMode::kDisjoint);
+  ASSERT_TRUE(has_error(ds));
+  EXPECT_NE(ds[0].message.find("invalid generator"), std::string::npos);
+}
+
+TEST(WlGraphVerify, HugeIndexSpaceSkipsWithWarning) {
+  const Shape shp{4096, 4096, 4096};
+  const auto ds = verify_partitions(shp, {}, PartitionMode::kTiling);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].severity, Severity::kWarning);
+}
+
+// -- fuzzer -------------------------------------------------------------------
+
+TEST(WlGraphFuzz, VerifierSurvivesRandomGraphs) {
+  const FuzzStats stats = fuzz_wlgraph_verifier(/*seed=*/1u, /*rounds=*/40);
+  EXPECT_EQ(stats.legal_graphs, 40);
+  EXPECT_GT(stats.illegal_graphs, 0);
+  EXPECT_EQ(stats.legal_flagged, 0);
+  EXPECT_EQ(stats.illegal_missed, 0);
+  EXPECT_EQ(stats.eval_mismatches, 0);
+  EXPECT_TRUE(stats.clean());
+}
+
+TEST(WlGraphFuzz, DifferentSeedsStayClean) {
+  for (std::uint64_t seed : {7u, 1234u, 987654321u}) {
+    EXPECT_TRUE(fuzz_wlgraph_verifier(seed, 15).clean()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sacpp::check

@@ -1,0 +1,38 @@
+// Per-binary buffer leak guard, compiled into every test executable.
+//
+// The array runtime keeps an always-on gauge of live buffers
+// (sac::check_detail::live_buffer_count()); the gtest environment below
+// captures it before any test runs and asserts at teardown that every
+// allocation has been matched by a release.  One unbalanced Buffer anywhere
+// in a test binary fails that binary, which turns the uniqueness/refcount
+// story (DESIGN.md, docs/static_analysis.md) into an enforced invariant
+// rather than a convention.
+
+#include <gtest/gtest.h>
+
+#include "sacpp/sac/check_events.hpp"
+
+namespace {
+
+class BufferLeakGuard : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    baseline_ = sacpp::sac::check_detail::live_buffer_count();
+  }
+  void TearDown() override {
+    const std::int64_t live = sacpp::sac::check_detail::live_buffer_count();
+    EXPECT_EQ(live, baseline_)
+        << "buffer allocation/release imbalance: " << (live - baseline_)
+        << " buffer(s) still live after all tests (leak if positive, "
+           "over-release if negative)";
+  }
+
+ private:
+  std::int64_t baseline_ = 0;
+};
+
+// gtest owns and frees the environment.
+const auto* const kLeakGuard =
+    ::testing::AddGlobalTestEnvironment(new BufferLeakGuard);
+
+}  // namespace

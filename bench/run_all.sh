@@ -34,6 +34,7 @@ run fig12_speedup       "$BUILD/bench/fig12_speedup" --classes W,A --csv "$OUT/f
 run fig13_speedup_vs_f77 "$BUILD/bench/fig13_speedup_vs_f77" --classes W,A --csv "$OUT/fig13.csv" --svg "$OUT/fig13"
 run abl_folding         "$BUILD/bench/abl_folding" --classes S,W
 run abl_memory          "$BUILD/bench/abl_memory" --classes S
+run abl_pool            "$BUILD/bench/abl_pool" --classes S,W --csv "$OUT/abl_pool.csv" --min-reduction 25
 run abl_threshold       "$BUILD/bench/abl_threshold"
 run abl_levels          "$BUILD/bench/abl_levels" --classes W
 run ext_direct          "$BUILD/bench/ext_direct" --classes S,W

@@ -3,6 +3,7 @@
 //   $ npb_mg --class S --impl sac
 //   $ npb_mg --class A --impl f77 --no-warmup
 //   $ npb_mg --class S --impl sac --check
+//   $ npb_mg --class W --impl sac --pool off
 //
 // Runs one implementation on one benchmark class following the official
 // measurement protocol and prints the NPB result block, including the
@@ -21,6 +22,7 @@
 #include "sacpp/common/cli.hpp"
 #include "sacpp/mg/driver.hpp"
 #include "sacpp/sac/config.hpp"
+#include "sacpp/sac/stats.hpp"
 
 using namespace sacpp;
 using namespace sacpp::mg;
@@ -33,11 +35,17 @@ int main(int argc, char** argv) {
   cli.add_flag("no-warmup", "skip the untimed warm-up iteration");
   cli.add_flag("norms", "print the residual norm after every iteration");
   cli.add_flag("check", "run under the sacpp_check runtime analyses");
+  cli.add_option("pool", "",
+                 "buffer pool: on | off (default: config / SACPP_POOL)");
   if (!cli.parse(argc, argv)) return 1;
 
   const MgSpec spec = MgSpec::for_class(parse_class(cli.get("class")));
   const Variant variant = parse_variant(cli.get("impl"));
   const bool checked = cli.get_flag("check") || sac::config().check;
+  const std::string pool_arg = cli.get("pool");
+  if (!pool_arg.empty()) {
+    sac::config().pool = pool_arg == "on" || pool_arg == "1";
+  }
 
   std::printf(" NAS Parallel Benchmarks (sacpp reproduction) - MG Benchmark\n");
   std::printf(" Size: %lld x %lld x %lld  Iterations: %d\n\n",
@@ -65,6 +73,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s", npb_report(result, spec).c_str());
+  if (sac::config().pool) {
+    const auto& st = sac::stats();
+    std::printf(" Buffer pool         = on (%llu hits, %llu misses)\n",
+                static_cast<unsigned long long>(st.pool_hits),
+                static_cast<unsigned long long>(st.pool_misses));
+  }
 
   bool check_failed = false;
   if (session != nullptr) {

@@ -33,6 +33,14 @@ std::vector<Diagnostic> analyze_buffer_events() {
         diags.push_back(
             Diagnostic{Severity::kError, Pass::kRace, loc.str(), msg.str()});
         break;
+      case cd::BufferEventKind::kPoolDoubleRelease:
+        loc << "pool";
+        msg << "pooled buffer released twice (size class " << e.refs
+            << " bytes): the block was already on a free list, so a second "
+               "release would let two future allocations alias it";
+        diags.push_back(Diagnostic{Severity::kError, Pass::kAlias, loc.str(),
+                                   msg.str()});
+        break;
     }
   }
   return diags;

@@ -11,6 +11,9 @@
 //                  + (p_eff > 1 ? fork_join + barrier * P : 0)
 //                  + alloc_events * alloc_cost                 (serial)
 //
+// (pooled traces replace the last term with pool_hits * pool_hit_cost +
+// pool_misses * alloc_cost; see TraceOptions::sac_pool and docs/memory.md)
+//
 // with p_eff = P for parallel regions and 1 otherwise.  The bus term caps
 // scaling for memory-bound sweeps (the Gigaplane saturates well below
 // 10 CPUs of streaming traffic), the fork/join and barrier terms penalise
@@ -35,6 +38,14 @@ struct MachineParams {
   double fork_join = 45.0e-6;   // s per parallel region start/stop
   double barrier_per_cpu = 3.1e-6;  // s per CPU per region barrier
   double alloc_cost = 27.0e-6;  // s per dynamic memory-management event
+  // s per memory-management event served by the pooled allocator
+  // (docs/memory.md): alloc_cost scaled by the pool-hit / malloc cost ratio
+  // measured with bench/abl_pool on the reference host (~0.36 on the
+  // bottom-of-V-cycle shape ladder).  Regions of a pooled trace
+  // (TraceOptions::sac_pool) charge hits at this rate and misses at
+  // alloc_cost; non-pooled traces are unaffected, so the frozen Fig. 11-13
+  // calibration is untouched.
+  double pool_hit_cost = 9.7e-6;
 
   // The SUN Ultra Enterprise 4000 calibration (the defaults above).  Fitted
   // once against the ten published end points of Figs. 11/12 (see

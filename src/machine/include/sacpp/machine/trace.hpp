@@ -61,6 +61,12 @@ struct Region {
   double bytes = 0.0;     // total unique memory traffic (read + write)
   bool parallel = false;  // this implementation runs the sweep in parallel
   int alloc_events = 0;   // dynamic memory-management operations (serial)
+  // Split of alloc_events under the pooled allocator (docs/memory.md):
+  // hits recycle a block at pool_hit_cost, misses pay the full alloc_cost.
+  // Both zero means "no pool" and the region is charged alloc_events at
+  // alloc_cost — the paper's original memory-management term.
+  int pool_hits = 0;
+  int pool_misses = 0;
 };
 
 struct Trace {
@@ -71,6 +77,8 @@ struct Trace {
   double total_flops() const;
   double total_bytes() const;
   int total_alloc_events() const;
+  int total_pool_hits() const;
+  int total_pool_misses() const;
   // Fraction of flops inside parallel-annotated regions (Amdahl coverage).
   double parallel_flop_fraction() const;
 };
@@ -80,6 +88,14 @@ struct TraceOptions {
   double sac_seq_threshold_elems = 4096.0;
   // SAC: with-loop folding (folded traces have fewer sweeps/allocations).
   bool sac_folding = true;
+  // SAC: pooled buffer allocator (SacConfig::pool).  Off by default: the
+  // paper's SAC runtime had none, and the calibrated figures (Fig. 11-13)
+  // reproduce that machine.  When on, each region's alloc_events are split
+  // into pool hits/misses at sac_pool_hit_rate — bench/abl_pool feeds the
+  // hit rate measured on a real run (steady-state MG recycles every shape,
+  // so the real rate is ~1 minus a cold-start term).
+  bool sac_pool = false;
+  double sac_pool_hit_rate = 1.0;
 };
 
 // Build the single-iteration trace of one implementation.

@@ -51,7 +51,12 @@ double SmpModel::region_time(const Region& r, int cpus,
     t += (params_.fork_join + params_.barrier_per_cpu * cpus) *
          profile.region_overhead;
   }
-  t += r.alloc_events * params_.alloc_cost;
+  if (r.pool_hits > 0 || r.pool_misses > 0) {
+    t += r.pool_hits * params_.pool_hit_cost +
+         r.pool_misses * params_.alloc_cost;
+  } else {
+    t += r.alloc_events * params_.alloc_cost;
+  }
   return t;
 }
 

@@ -1,5 +1,6 @@
 #include "sacpp/machine/trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sacpp/common/error.hpp"
@@ -41,6 +42,18 @@ double Trace::total_bytes() const {
 int Trace::total_alloc_events() const {
   int t = 0;
   for (const auto& r : regions) t += r.alloc_events;
+  return t;
+}
+
+int Trace::total_pool_hits() const {
+  int t = 0;
+  for (const auto& r : regions) t += r.pool_hits;
+  return t;
+}
+
+int Trace::total_pool_misses() const {
+  int t = 0;
+  for (const auto& r : regions) t += r.pool_misses;
   return t;
 }
 
@@ -275,6 +288,16 @@ Trace build_trace(mg::Variant variant, const mg::MgSpec& spec,
   t.spec = spec;
   if (variant == mg::Variant::kSac || variant == mg::Variant::kSacDirect) {
     t.regions = SacBuilder(variant, spec, opts).build();
+    if (opts.sac_pool) {
+      // Pooled runtime: the same memory-management events happen, but a
+      // measured fraction of them recycle a block instead of calling malloc.
+      const double rate = std::clamp(opts.sac_pool_hit_rate, 0.0, 1.0);
+      for (Region& r : t.regions) {
+        r.pool_hits =
+            static_cast<int>(std::lround(r.alloc_events * rate));
+        r.pool_misses = r.alloc_events - r.pool_hits;
+      }
+    }
   } else {
     t.regions = LowLevelBuilder(variant, spec, opts).build();
   }

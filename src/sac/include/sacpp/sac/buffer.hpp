@@ -34,11 +34,11 @@
 
 #include "sacpp/common/error.hpp"
 #include "sacpp/sac/check_events.hpp"
+#include "sacpp/sac/config.hpp"
+#include "sacpp/sac/pool.hpp"
 #include "sacpp/sac/stats.hpp"
 
 namespace sacpp::sac {
-
-inline constexpr std::size_t kBufferAlignment = 64;  // one cache line
 
 template <typename T>
 class Buffer {
@@ -103,17 +103,37 @@ class Buffer {
 
  private:
   struct Control {
+    // Allocation goes through the size-class BufferPool when enabled
+    // (SacConfig::pool; docs/memory.md) — the V-cycle's recurring shapes are
+    // then served from recycled blocks instead of std::aligned_alloc.  The
+    // pool flag is re-read at release time: blocks are ordinary aligned
+    // allocations either way, so toggling mid-lifetime is safe.
     explicit Control(std::size_t n) : count(n) {
-      void* raw = std::aligned_alloc(
-          kBufferAlignment,
-          ((n * sizeof(T) + kBufferAlignment - 1) / kBufferAlignment) *
-              kBufferAlignment);
+      const std::size_t bytes = pool_block_bytes(n * sizeof(T));
+      void* raw = nullptr;
+      if (config().pool) {
+        bool hit = false;
+        raw = BufferPool::instance().allocate(bytes, &hit);
+        if (hit) {
+          stats().pool_hits += 1;
+        } else {
+          stats().pool_misses += 1;
+        }
+      } else {
+        raw = std::aligned_alloc(kBufferAlignment, bytes);
+      }
       SACPP_REQUIRE(raw != nullptr, "array buffer allocation failed");
       elems = static_cast<T*>(raw);
       check_detail::note_buffer_alloc();
     }
     ~Control() {
-      std::free(elems);
+      if (config().pool) {
+        BufferPool::instance().deallocate(elems,
+                                          pool_block_bytes(count * sizeof(T)));
+        stats().pool_returns += 1;
+      } else {
+        std::free(elems);
+      }
       check_detail::note_buffer_free();
     }
     T* elems = nullptr;

@@ -52,11 +52,13 @@ inline bool ownership_watch() noexcept {
 enum class BufferEventKind : std::uint8_t {
   kSharedInPlaceWrite,  // raw in-place write while the buffer was aliased
   kForeignOwnershipOp,  // retain/release off the coordinator inside a region
+  kPoolDoubleRelease,   // block released into the BufferPool twice
 };
 
 struct BufferEvent {
   BufferEventKind kind;
-  std::uint32_t refs;    // reference count observed at the event
+  std::uint32_t refs;    // reference count at the event (kPoolDoubleRelease
+                         // carries the block's size class in bytes instead)
   std::uint64_t region;  // active parallel region id (0 = none)
 };
 

@@ -46,14 +46,23 @@ struct SacConfig {
   // recording site is a single predictable branch.  The initial value comes
   // from the SACPP_CHECK environment variable.
   bool check = false;
+
+  // Pooled buffer allocator (docs/memory.md): when true Buffer<T> serves
+  // allocations from the size-class BufferPool instead of calling
+  // std::aligned_alloc/std::free each time — the paper's Sec. 5/6
+  // memory-management overhead on the small grids at the bottom of the
+  // V-cycle.  Toggleable at any time (pool blocks are ordinary aligned
+  // allocations).  SACPP_POOL=0 disables it at startup.
+  bool pool = true;
 };
 
 // Process-global configuration used by all with-loop executions.
 SacConfig& config();
 
 // The configuration a fresh process starts from: defaults plus environment
-// overrides (SACPP_CHECK=1 enables the verification passes).  Exposed so
-// tests can exercise the environment parsing directly.
+// overrides (SACPP_CHECK=1 enables the verification passes, SACPP_POOL=0/1
+// disables/enables the pooled allocator).  Exposed so tests can exercise
+// the environment parsing directly.
 SacConfig config_from_env();
 
 // RAII override of the global configuration (restores on destruction).

@@ -1,0 +1,114 @@
+#pragma once
+// Size-class pooled buffer allocator for the V-cycle hot path.
+//
+// The paper's scaling analysis (Sec. 5/6) pins SAC's parallel limit on
+// dynamic memory management whose cost is invariant in grid size and
+// therefore dominates the small grids at the bottom of the MG V-cycle.  The
+// V-cycle recurs through the same ~12 buffer shapes every iteration, so
+// nearly every allocation after the first cycle can be served by recycling
+// a previously released block of the same size class instead of calling
+// std::aligned_alloc/std::free.
+//
+// Structure (docs/memory.md):
+//  * size classes — block sizes rounded up to whole cache lines; each class
+//    has its own free list, so a recycled block always fits exactly;
+//  * per-thread magazines — a small, lock-free cache of recently released
+//    blocks per size class on each thread; the common alloc/release pair on
+//    the coordinating thread never takes a lock;
+//  * central depot — magazine overflow and refill go to free lists sharded
+//    over independently locked buckets (sharded by size class, so threads
+//    cycling different shapes do not contend);
+//  * epoch-based trim — depot blocks are stamped with the epoch of their
+//    release; trim() advances the epoch and frees blocks that sat unused
+//    for two full epochs, bounding retained memory without a size heuristic.
+//    An automatic trim runs every kPoolAutoTrimInterval releases.
+//
+// Blocks are ordinary std::aligned_alloc allocations of exactly
+// pool_block_bytes(payload) bytes, so the pool can be toggled at any time
+// (SacConfig::pool / SACPP_POOL): a block allocated with the pool off may be
+// released into the pool and vice versa.
+//
+// Checked mode (SacConfig::check): releasing a block that is already sitting
+// in a magazine or depot free list records a kPoolDoubleRelease event for
+// the sacpp_check diagnostics instead of corrupting the free list.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sacpp::sac {
+
+inline constexpr std::size_t kBufferAlignment = 64;  // one cache line
+
+// Every pool block is allocated with this size: the payload rounded up to a
+// whole number of cache lines (also what std::aligned_alloc requires).  The
+// rounded size doubles as the size-class key.
+constexpr std::size_t pool_block_bytes(std::size_t payload) noexcept {
+  if (payload == 0) payload = 1;  // rank-0 arrays still hold one element
+  return (payload + kBufferAlignment - 1) / kBufferAlignment *
+         kBufferAlignment;
+}
+
+// Automatic trim cadence: one epoch advance per this many releases.
+inline constexpr std::uint64_t kPoolAutoTrimInterval = 1u << 15;
+
+class BufferPool {
+ public:
+  // Monotonic totals since process start (thread-safe snapshot; the
+  // per-run RuntimeStats pool gauges are maintained by Buffer<T>).
+  struct Totals {
+    std::uint64_t hits = 0;       // allocations served from a free list
+    std::uint64_t misses = 0;     // allocations that fell through to malloc
+    std::uint64_t returns = 0;    // blocks released into the pool
+    std::uint64_t trimmed = 0;    // blocks freed by epoch trim
+    std::uint64_t drained = 0;    // blocks freed by drain()
+  };
+
+  // The process-global pool.  Never destroyed (it may outlive every static
+  // holding an Array); cached blocks stay reachable through it, so leak
+  // checkers do not report them, and drain() frees them on demand.
+  static BufferPool& instance();
+
+  // Allocate a cache-line aligned block of exactly `bytes` bytes, which must
+  // be a pool_block_bytes() value.  Serves from the calling thread's
+  // magazine, then from the depot (refilling the magazine), then from
+  // std::aligned_alloc.  Returns nullptr only when the system allocator
+  // fails.  `from_cache` (optional) reports whether this was a pool hit.
+  void* allocate(std::size_t bytes, bool* from_cache = nullptr);
+
+  // Release a block previously obtained with `bytes = pool_block_bytes(..)`
+  // into the pool (magazine first, depot on overflow).  In checked mode a
+  // block already sitting on a free list is reported and dropped.
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  // Advance the epoch and free every depot block that has sat unused for
+  // two full epochs.
+  void trim();
+
+  // Free every cached block: the calling thread's magazine and the whole
+  // depot.  Other threads' magazines are untouched (they flush to the depot
+  // when their thread exits).  Tests and memory-pressure handlers use this.
+  void drain();
+
+  // Flush the calling thread's magazine into the depot (making its blocks
+  // visible to trim() and other threads).
+  void flush_thread_cache();
+
+  Totals totals() const;
+  std::uint64_t epoch() const;
+  std::size_t depot_cached_bytes() const;
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Opaque implementation (sharded depot + counters); public only so the
+  // thread-exit magazine flush in pool.cpp can reach it.
+  struct Impl;
+
+ private:
+  BufferPool();
+  ~BufferPool() = default;
+
+  Impl* impl_;
+};
+
+}  // namespace sacpp::sac

@@ -11,6 +11,7 @@
 #include "sacpp/sac/array.hpp"
 #include "sacpp/sac/array_lib.hpp"
 #include "sacpp/sac/config.hpp"
+#include "sacpp/sac/pool.hpp"
 #include "sacpp/sac/expr.hpp"
 #include "sacpp/sac/io.hpp"
 #include "sacpp/sac/runtime.hpp"

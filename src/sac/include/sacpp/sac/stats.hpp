@@ -19,6 +19,9 @@ struct RuntimeStats {
   std::uint64_t with_loops = 0;        // with-loop executions
   std::uint64_t elements = 0;          // generator elements processed
   std::uint64_t parallel_regions = 0;  // with-loops run multithreaded
+  std::uint64_t pool_hits = 0;         // buffers served from the BufferPool
+  std::uint64_t pool_misses = 0;       // pooled allocations that hit malloc
+  std::uint64_t pool_returns = 0;      // buffers recycled into the pool
 };
 
 // Mutable access to the process-global counters.  The counters are plain

@@ -10,6 +10,8 @@ SacConfig config_from_env() {
   SacConfig cfg;
   const char* check = std::getenv("SACPP_CHECK");
   cfg.check = check != nullptr && check[0] != '\0' && check[0] != '0';
+  const char* pool = std::getenv("SACPP_POOL");
+  if (pool != nullptr && pool[0] != '\0') cfg.pool = pool[0] != '0';
   return cfg;
 }
 

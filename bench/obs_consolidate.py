@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Consolidate one npb_mg telemetry run into BENCH_obs.json.
+
+Usage:
+    obs_consolidate.py TRACE_JSON METRICS_TXT SCHEMA_JSON OUT_JSON [meta...]
+
+Reads the Chrome trace (``--trace-out``) and the Prometheus text dump
+(``--metrics-out``), distils them into one machine-readable summary, and
+writes OUT_JSON only after the summary validates against the checked-in
+schema (a small JSON-Schema subset: type / required / properties / items).
+A summary that fails validation is a bench failure, not a silent artifact.
+
+Extra ``key=value`` arguments are stored under ``"run"`` (class, impl, ...).
+Uses only the Python standard library.
+"""
+
+import json
+import re
+import sys
+
+
+def validate(value, schema, path="$"):
+    """Minimal JSON-Schema subset validator; returns a list of errors."""
+    errors = []
+    expected = schema.get("type")
+    if expected:
+        kinds = {
+            "object": dict,
+            "array": list,
+            "string": str,
+            "number": (int, float),
+            "integer": int,
+            "boolean": bool,
+        }
+        if not isinstance(value, kinds[expected]) or (
+            expected in ("number", "integer") and isinstance(value, bool)
+        ):
+            return [f"{path}: expected {expected}, got {type(value).__name__}"]
+    if expected == "object":
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                errors += validate(value[key], sub, f"{path}.{key}")
+    if expected == "array":
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: fewer than {schema['minItems']} items")
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                errors += validate(item, items, f"{path}[{i}]")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    return errors
+
+
+def parse_prometheus(text):
+    """name -> value for plain samples, (name, label-dict) for labelled."""
+    plain, labelled = {}, []
+    sample = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+([-+0-9.eEinfa]+)$"
+    )
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        m = sample.match(line)
+        if not m:
+            continue
+        name, labels, value = m.group(1), m.group(2), float(m.group(3))
+        if labels:
+            pairs = dict(re.findall(r'(\w+)="([^"]*)"', labels))
+            labelled.append((name, pairs, value))
+        else:
+            plain[name] = value
+    return plain, labelled
+
+
+def main(argv):
+    if len(argv) < 5:
+        sys.stderr.write(__doc__)
+        return 2
+    trace_path, metrics_path, schema_path, out_path = argv[1:5]
+    run_meta = dict(kv.split("=", 1) for kv in argv[5:])
+
+    with open(trace_path) as f:
+        trace = json.load(f)  # also proves the trace is valid JSON
+    events = trace.get("traceEvents", [])
+    threads = sorted(
+        e["args"]["name"] for e in events if e.get("name") == "thread_name"
+    )
+    spans = [e for e in events if e.get("ph") == "X"]
+
+    with open(metrics_path) as f:
+        plain, labelled = parse_prometheus(f.read())
+
+    levels = {}
+    for name, labels, value in labelled:
+        if not name.startswith("sacpp_level_") or "level" not in labels:
+            continue
+        field = name[len("sacpp_level_"):]
+        levels.setdefault(int(labels["level"]), {})[field] = value
+    # Level -1 collects parallel regions that ran outside any V-cycle level
+    # (setup, norms); the per-level table is about the cycle itself.
+    level_rows = [
+        {"level": lvl, **fields}
+        for lvl, fields in sorted(levels.items())
+        if lvl >= 0 and fields.get("visits", 0) >= 1
+    ]
+
+    summary = {
+        "run": run_meta,
+        "trace": {
+            "events": len(spans),
+            "threads": threads,
+            "dropped_spans": int(plain.get("sacpp_obs_spans_dropped_total", 0)),
+            "recorded_spans": int(
+                plain.get("sacpp_obs_spans_recorded_total", 0)
+            ),
+        },
+        "counters": {
+            k: v for k, v in plain.items() if k.startswith("sacpp_")
+        },
+        "levels": level_rows,
+    }
+
+    with open(schema_path) as f:
+        schema = json.load(f)
+    errors = validate(summary, schema)
+    if errors:
+        sys.stderr.write("BENCH_obs.json failed schema validation:\n")
+        for e in errors:
+            sys.stderr.write(f"  {e}\n")
+        return 1
+
+    with open(out_path, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(
+        f"{out_path}: {len(spans)} trace events, "
+        f"{len(threads)} threads, {len(level_rows)} levels"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

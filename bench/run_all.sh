@@ -46,6 +46,17 @@ run abl_stencil         "$BUILD/bench/abl_stencil" --benchmark_min_time=0.2
 run abl_specialize      "$BUILD/bench/abl_specialize" --benchmark_min_time=0.2
 run micro_sac           "$BUILD/bench/micro_sac" --benchmark_min_time=0.2
 
+# Telemetry artifact: one instrumented class-W run, consolidated into
+# BENCH_obs.json.  The consolidator validates the summary against
+# bench/obs_schema.json and refuses to emit the file otherwise, so a
+# malformed trace/metrics dump fails the bench run instead of producing a
+# silently-broken artifact.
+run obs_npb_mg "$BUILD/examples/npb_mg" --class W --impl sac --obs \
+  --trace-out="$OUT/obs_trace.json" --metrics-out="$OUT/obs_metrics.txt"
+run obs_consolidate python3 "$(dirname "$0")/obs_consolidate.py" \
+  "$OUT/obs_trace.json" "$OUT/obs_metrics.txt" \
+  "$(dirname "$0")/obs_schema.json" "$OUT/BENCH_obs.json" class=W impl=sac
+
 echo
 if [[ ${#FAILED[@]} -ne 0 ]]; then
   echo "FAILED: ${FAILED[*]}" >&2

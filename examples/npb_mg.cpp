@@ -4,6 +4,7 @@
 //   $ npb_mg --class A --impl f77 --no-warmup
 //   $ npb_mg --class S --impl sac --check
 //   $ npb_mg --class W --impl sac --pool off
+//   $ npb_mg --class W --impl sac --obs --trace-out=t.json --metrics-out=m.txt
 //
 // Runs one implementation on one benchmark class following the official
 // measurement protocol and prints the NPB result block, including the
@@ -17,15 +18,65 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "sacpp/check/check.hpp"
 #include "sacpp/common/cli.hpp"
+#include "sacpp/common/table.hpp"
 #include "sacpp/mg/driver.hpp"
+#include "sacpp/obs/export.hpp"
+#include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/stats.hpp"
 
 using namespace sacpp;
 using namespace sacpp::mg;
+
+namespace {
+
+// One-screen end-of-run telemetry: where the time went (top spans) and how
+// it distributes across V-cycle levels — the paper's Sec. 5 view of the run.
+void print_obs_summary() {
+  const auto spans = obs::top_spans(5);
+  if (!spans.empty()) {
+    Table top({"span", "kind", "count", "total_ms", "mean_us"});
+    for (const obs::SpanTotal& s : spans) {
+      const double total_ms = static_cast<double>(s.total_ns) * 1e-6;
+      const double mean_us =
+          s.count > 0 ? static_cast<double>(s.total_ns) * 1e-3 /
+                            static_cast<double>(s.count)
+                      : 0.0;
+      top.add_row({s.name, obs::span_kind_name(s.kind),
+                   std::to_string(s.count), Table::fmt(total_ms),
+                   Table::fmt(mean_us)});
+    }
+    std::printf("\n%s", top.to_ascii("telemetry: top spans by total time").c_str());
+  }
+
+  const auto levels = obs::level_metrics();
+  double total = 0.0;
+  for (const obs::LevelMetrics& m : levels) total += m.seconds;
+  if (total > 0.0) {
+    Table tbl({"level", "share_%", "seconds", "busy_s", "idle_s", "imbalance",
+               "fork_us"});
+    for (const obs::LevelMetrics& m : levels) {
+      if (m.level < 0) continue;
+      tbl.add_row({std::to_string(m.level),
+                   Table::fmt(100.0 * m.seconds / total, 1),
+                   Table::fmt(m.seconds, 4), Table::fmt(m.busy_seconds, 4),
+                   Table::fmt(m.idle_seconds, 4), Table::fmt(m.imbalance, 2),
+                   Table::fmt(m.fork_latency_seconds * 1e6, 1)});
+    }
+    std::printf("\n%s", tbl.to_ascii("telemetry: per-level share").c_str());
+  }
+  const std::uint64_t dropped = obs::total_dropped_spans();
+  if (dropped > 0) {
+    std::printf(" (%llu spans dropped; raise SACPP_OBS_RING)\n",
+                static_cast<unsigned long long>(dropped));
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli;
@@ -37,6 +88,13 @@ int main(int argc, char** argv) {
   cli.add_flag("check", "run under the sacpp_check runtime analyses");
   cli.add_option("pool", "",
                  "buffer pool: on | off (default: config / SACPP_POOL)");
+  cli.add_flag("obs", "record telemetry and print the end-of-run summary");
+  cli.add_option("threads", "",
+                 "run multithreaded with N workers (0 = hardware)");
+  cli.add_option("trace-out", "",
+                 "write a Chrome trace-event JSON (Perfetto-loadable)");
+  cli.add_option("metrics-out", "",
+                 "write a Prometheus-style text metrics dump");
   if (!cli.parse(argc, argv)) return 1;
 
   const MgSpec spec = MgSpec::for_class(parse_class(cli.get("class")));
@@ -46,6 +104,19 @@ int main(int argc, char** argv) {
   if (!pool_arg.empty()) {
     sac::config().pool = pool_arg == "on" || pool_arg == "1";
   }
+  const std::string threads_arg = cli.get("threads");
+  if (!threads_arg.empty()) {
+    sac::config().mt_enabled = true;
+    sac::config().mt_threads = std::stoi(threads_arg);
+  }
+  const std::string trace_out = cli.get("trace-out");
+  const std::string metrics_out = cli.get("metrics-out");
+  const bool obs_summary = cli.get_flag("obs");
+  // Any telemetry consumer turns recording on; SACPP_OBS=1 also works.
+  if (obs_summary || !trace_out.empty() || !metrics_out.empty()) {
+    sac::set_obs(true);
+  }
+  obs::set_thread_name("main");
 
   std::printf(" NAS Parallel Benchmarks (sacpp reproduction) - MG Benchmark\n");
   std::printf(" Size: %lld x %lld x %lld  Iterations: %d\n\n",
@@ -78,6 +149,18 @@ int main(int argc, char** argv) {
     std::printf(" Buffer pool         = on (%llu hits, %llu misses)\n",
                 static_cast<unsigned long long>(st.pool_hits),
                 static_cast<unsigned long long>(st.pool_misses));
+  }
+
+  if (obs_summary) print_obs_summary();
+  if (!obs::write_chrome_trace_file(trace_out)) {
+    std::fprintf(stderr, "npb_mg: cannot write trace to %s\n",
+                 trace_out.c_str());
+    return 1;
+  }
+  if (!obs::write_prometheus_file(metrics_out)) {
+    std::fprintf(stderr, "npb_mg: cannot write metrics to %s\n",
+                 metrics_out.c_str());
+    return 1;
   }
 
   bool check_failed = false;

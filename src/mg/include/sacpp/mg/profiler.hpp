@@ -1,21 +1,22 @@
 #pragma once
-// Per-level execution profiler.
+// Per-level execution profiler, ported onto the sacpp_obs telemetry layer.
 //
 // The paper's Sec. 5 analysis is about *where time goes across V-cycle
-// levels* (small grids pay fixed overheads).  The profiler records the
-// wall-clock of each level's work inside the real solvers, so benchmarks
-// can put measured per-level shares next to the machine model's per-level
-// prediction (bench/abl_levels) — a direct validation of the analysis.
+// levels* (small grids pay fixed overheads).  LevelScope times each level's
+// work inside the real solvers and publishes the level as the thread-local
+// obs context, so the MT runtime attributes every parallel region's
+// busy/idle/imbalance numbers to the level that launched it.  Storage lives
+// in obs's per-level aggregation table; LevelProfiler remains as the stable
+// facade the benchmarks and tests use (bench/abl_levels puts measured
+// per-level shares next to the machine model's prediction).
 //
-// Disabled (the default) it costs one branch per level per V-cycle.
+// Disabled (the default, with obs also off) it costs two relaxed loads and
+// a branch per level per V-cycle.
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
-#include "sacpp/common/shape.hpp"
-#include "sacpp/common/timer.hpp"
+#include "sacpp/obs/obs.hpp"
 
 namespace sacpp::mg {
 
@@ -28,12 +29,11 @@ class LevelProfiler {
 
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
-  void reset() { buckets_.clear(); }
+  void reset() { obs::reset_levels(); }
 
   void record(int level, double seconds) {
-    auto& b = buckets_[level];
-    b.seconds += seconds;
-    b.count += 1;
+    obs::record_level_ns(level,
+                         static_cast<std::int64_t>(seconds * 1e9));
   }
 
   struct Entry {
@@ -44,37 +44,46 @@ class LevelProfiler {
 
   std::vector<Entry> entries() const {
     std::vector<Entry> out;
-    for (const auto& [level, b] : buckets_) {
-      out.push_back(Entry{level, b.seconds, b.count});
+    for (const obs::LevelMetrics& m : obs::level_metrics()) {
+      // Levels that only accumulated region samples (no timed visit) are
+      // obs-internal; the profiler view is the timed level scopes.
+      if (m.visits == 0) continue;
+      out.push_back(Entry{m.level, m.seconds, m.visits});
     }
     return out;
   }
 
   double total_seconds() const {
     double t = 0.0;
-    for (const auto& [level, b] : buckets_) t += b.seconds;
+    for (const obs::LevelMetrics& m : obs::level_metrics()) t += m.seconds;
     return t;
   }
 
  private:
-  struct Bucket {
-    double seconds = 0.0;
-    std::uint64_t count = 0;
-  };
   bool enabled_ = false;
-  std::map<int, Bucket> buckets_;
 };
 
-// RAII: times one level's work into the profiler when enabled.
+// RAII: times one level's work when the profiler or obs recording is on, and
+// publishes the level as the obs context either way so parallel-region
+// metrics land in the right bucket.
 class LevelScope {
  public:
   explicit LevelScope(int level) : level_(level) {
-    active_ = LevelProfiler::instance().enabled();
-    if (active_) timer_.reset();
+    active_ = LevelProfiler::instance().enabled() || obs::enabled();
+    if (active_) [[unlikely]] {
+      prev_level_ = obs::set_current_level(level_);
+      start_ns_ = obs::now_ns();
+    }
   }
   ~LevelScope() {
-    if (active_) {
-      LevelProfiler::instance().record(level_, timer_.elapsed_seconds());
+    if (active_) [[unlikely]] {
+      const std::int64_t dur = obs::now_ns() - start_ns_;
+      obs::record_level_ns(level_, dur);
+      if (obs::enabled()) {
+        obs::record_span(obs::SpanKind::kLevel, "level", start_ns_, dur,
+                         level_);
+      }
+      obs::set_current_level(prev_level_);
     }
   }
   LevelScope(const LevelScope&) = delete;
@@ -83,7 +92,8 @@ class LevelScope {
  private:
   int level_;
   bool active_;
-  Timer timer_;
+  int prev_level_ = -1;
+  std::int64_t start_ns_ = 0;
 };
 
 }  // namespace sacpp::mg

@@ -9,6 +9,7 @@
 
 #include "sacpp/common/error.hpp"
 #include "sacpp/common/timer.hpp"
+#include "sacpp/obs/obs.hpp"
 #include "sacpp/mg/mg_ref.hpp"
 #include "sacpp/mg/problem.hpp"
 
@@ -200,6 +201,7 @@ class RankSolver {
   // -- kernels (reference arithmetic on slabs) ------------------------------
 
   void resid_slab(const Slab& u, const Slab& v, Slab& r) {
+    obs::ScopedSpan span(obs::SpanKind::kKernel, "resid", u.n);
     const double a0 = spec_.a[0], a2 = spec_.a[2], a3 = spec_.a[3];
     const extent_t n = u.n;
     std::vector<double> u1(static_cast<std::size_t>(n)),
@@ -238,6 +240,7 @@ class RankSolver {
   }
 
   void psinv_slab(const Slab& r, Slab& u) {
+    obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv", r.n);
     const double c0 = spec_.s[0], c1 = spec_.s[1], c2 = spec_.s[2];
     const extent_t n = r.n;
     std::vector<double> r1(static_cast<std::size_t>(n)),
@@ -274,6 +277,7 @@ class RankSolver {
   }
 
   void rprj3_slab(const Slab& fine, Slab& coarse) {
+    obs::ScopedSpan span(obs::SpanKind::kKernel, "rprj3", fine.n);
     const double p0 = spec_.p[0], p1 = spec_.p[1], p2 = spec_.p[2],
                  p3 = spec_.p[3];
     const extent_t nf = fine.n, nc = coarse.n;
@@ -316,6 +320,7 @@ class RankSolver {
   // plane exchange (equivalent to the ghost values the serial interp
   // writes, see the derivation in DESIGN.md).
   void interp_slab(const Slab& coarse, Slab& fine) {
+    obs::ScopedSpan span(obs::SpanKind::kKernel, "interp", fine.n);
     const double q1 = spec_.q[1], q2 = spec_.q[2], q3 = spec_.q[3];
     const extent_t nf = fine.n, nc = coarse.n;
     std::vector<double> z1(static_cast<std::size_t>(nc)),

@@ -10,6 +10,7 @@
 
 #include "sacpp/common/error.hpp"
 #include "sacpp/mg/problem.hpp"
+#include "sacpp/obs/obs.hpp"
 
 namespace sacpp::mg {
 
@@ -99,6 +100,7 @@ void MgOmp::kernel_comm3(double* a, extent_t n) {
 
 void MgOmp::kernel_resid(const double* u_in, const double* v_in, double* r_out,
                          extent_t n) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "resid", n);
   const double a0 = spec_.a[0], a2 = spec_.a[2], a3 = spec_.a[3];
   const std::size_t nn = static_cast<std::size_t>(n);
 #pragma omp parallel
@@ -138,6 +140,7 @@ void MgOmp::kernel_resid(const double* u_in, const double* v_in, double* r_out,
 
 void MgOmp::kernel_psinv(const double* r_in, double* u_inout,
                          extent_t n) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv", n);
   const double c0 = spec_.s[0], c1 = spec_.s[1], c2 = spec_.s[2];
   const std::size_t nn = static_cast<std::size_t>(n);
 #pragma omp parallel
@@ -176,6 +179,7 @@ void MgOmp::kernel_psinv(const double* r_in, double* u_inout,
 
 void MgOmp::kernel_rprj3(const double* fine, extent_t nf, double* coarse,
                          extent_t nc) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "rprj3", nf);
   SACPP_REQUIRE(nf - 2 == 2 * (nc - 2), "rprj3 level extent mismatch");
   const double p0 = spec_.p[0], p1 = spec_.p[1], p2 = spec_.p[2],
                p3 = spec_.p[3];
@@ -225,6 +229,7 @@ void MgOmp::kernel_rprj3(const double* fine, extent_t nf, double* coarse,
 
 void MgOmp::kernel_interp(const double* coarse, extent_t nc, double* fine,
                           extent_t nf) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "interp", nf);
   SACPP_REQUIRE(nf - 2 == 2 * (nc - 2), "interp level extent mismatch");
   const double q1 = spec_.q[1], q2 = spec_.q[2], q3 = spec_.q[3];
   const std::size_t nnf = static_cast<std::size_t>(nf);

@@ -75,6 +75,7 @@ std::span<const double> MgRef::r() const {
 
 void MgRef::kernel_resid(const double* u_in, const double* v_in, double* r_out,
                          extent_t n) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "resid", n);
   const double a0 = spec_.a[0], a2 = spec_.a[2], a3 = spec_.a[3];
   // a[1] == 0 for the benchmark operator A; the reference code omits its
   // term entirely (the "4 multiplications" optimisation).
@@ -115,6 +116,7 @@ void MgRef::kernel_resid(const double* u_in, const double* v_in, double* r_out,
 
 void MgRef::kernel_psinv(const double* r_in, double* u_inout,
                          extent_t n) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv", n);
   const double c0 = spec_.s[0], c1 = spec_.s[1], c2 = spec_.s[2];
   // c[3] == 0 for both benchmark smoother coefficient sets.
   SACPP_ASSERT(spec_.s[3] == 0.0, "reference psinv assumes c[3] == 0");
@@ -153,6 +155,7 @@ void MgRef::kernel_psinv(const double* r_in, double* u_inout,
 
 void MgRef::kernel_rprj3(const double* fine, extent_t nf, double* coarse,
                          extent_t nc) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "rprj3", nf);
   SACPP_REQUIRE(nf - 2 == 2 * (nc - 2), "rprj3 level extent mismatch");
   const double p0 = spec_.p[0], p1 = spec_.p[1], p2 = spec_.p[2],
                p3 = spec_.p[3];
@@ -197,6 +200,7 @@ void MgRef::kernel_rprj3(const double* fine, extent_t nf, double* coarse,
 
 void MgRef::kernel_interp(const double* coarse, extent_t nc, double* fine,
                           extent_t nf) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "interp", nf);
   SACPP_REQUIRE(nf - 2 == 2 * (nc - 2), "interp level extent mismatch");
   const double q1 = spec_.q[1], q2 = spec_.q[2], q3 = spec_.q[3];
   SACPP_ASSERT(spec_.q[0] == 1.0, "reference interp assumes q[0] == 1");

@@ -65,16 +65,19 @@ Array<double> MgSac::setup_periodic_border(Array<double> a) {
 }
 
 Array<double> MgSac::resid(const Array<double>& u) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "resid");
   Array<double> ub = setup_periodic_border(u);
   return relax_kernel(ub, spec_.a);
 }
 
 Array<double> MgSac::smooth(const Array<double>& r) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv");
   Array<double> rb = setup_periodic_border(r);
   return relax_kernel(rb, spec_.s);
 }
 
 Array<double> MgSac::fine2coarse(const Array<double>& r) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "rprj3");
   if (sac::config().folding) return fine2coarse_fused(r);
   Array<double> rs = setup_periodic_border(r);
   Array<double> rr = relax_kernel(rs, spec_.p);
@@ -83,6 +86,7 @@ Array<double> MgSac::fine2coarse(const Array<double>& r) const {
 }
 
 Array<double> MgSac::coarse2fine(const Array<double>& rn) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "interp");
   if (sac::config().folding) return coarse2fine_fused(rn);
   Array<double> rp = setup_periodic_border(rn);
   Array<double> rs = sac::scatter(2, rp);
@@ -94,6 +98,7 @@ Array<double> MgSac::coarse2fine(const Array<double>& rn) const {
 
 Array<double> MgSac::sub_resid_fused(const Array<double>& v,
                                      const Array<double>& u) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "resid");
   Array<double> ub = setup_periodic_border(u);
   return force(sac::ewise(v, StencilExpr(std::move(ub), spec_.a),
                           std::minus<>{}));
@@ -101,6 +106,7 @@ Array<double> MgSac::sub_resid_fused(const Array<double>& v,
 
 Array<double> MgSac::add_smooth_fused(Array<double> z,
                                       const Array<double>& r) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv");
   Array<double> rb = setup_periodic_border(r);
   const StencilExpr st(std::move(rb), spec_.s);
   const Shape shp = z.shape();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/mg/profiler.hpp"
 
 namespace sacpp::mg {
 
@@ -28,17 +29,31 @@ void check_pure(const Array<double>& a) {
 // condense/scatter pair samples with phase 1.
 constexpr extent_t kPhase = 1;
 
+// V-cycle level of a ghost-free grid: 2^k extent -> level k.
+int level_of(const Array<double>& a) {
+  int k = 0;
+  extent_t n = a.shape().extent(0);
+  while (n > 1) {
+    n /= 2;
+    ++k;
+  }
+  return k;
+}
+
 }  // namespace
 
 Array<double> MgSacDirect::resid(const Array<double>& u) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "resid");
   return relax_kernel_periodic(u, spec_.a);
 }
 
 Array<double> MgSacDirect::smooth(const Array<double>& r) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv");
   return relax_kernel_periodic(r, spec_.s);
 }
 
 Array<double> MgSacDirect::fine2coarse(const Array<double>& r) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "rprj3");
   if (sac::config().folding) {
     // One with-loop: the P stencil evaluated at the condensed points only.
     return force(sac::lazy_condense(2, PeriodicStencilExpr(r, spec_.p),
@@ -49,6 +64,7 @@ Array<double> MgSacDirect::fine2coarse(const Array<double>& r) const {
 }
 
 Array<double> MgSacDirect::coarse2fine(const Array<double>& zn) const {
+  obs::ScopedSpan span(obs::SpanKind::kKernel, "interp");
   Array<double> scattered = force(sac::lazy_scatter(2, zn, kPhase));
   return relax_kernel_periodic(scattered, spec_.q);
 }
@@ -64,9 +80,15 @@ Array<double> MgSacDirect::residual(const Array<double>& v,
 }
 
 Array<double> MgSacDirect::vcycle(const Array<double>& r) const {
+  const int level = level_of(r);
   if (r.shape().extent(0) > 2) {
-    Array<double> rn = fine2coarse(r);
+    Array<double> rn;
+    {
+      LevelScope scope(level);  // this level's work, recursion excluded
+      rn = fine2coarse(r);
+    }
     Array<double> zn = vcycle(rn);
+    LevelScope scope(level);
     Array<double> z = coarse2fine(zn);
     Array<double> r2 =
         sac::config().folding
@@ -79,6 +101,7 @@ Array<double> MgSacDirect::vcycle(const Array<double>& r) const {
     }
     return std::move(z) + smooth(r2);
   }
+  LevelScope scope(level);
   return smooth(r);
 }
 

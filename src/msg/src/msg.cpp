@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <thread>
+
+#include "sacpp/obs/obs.hpp"
 
 namespace sacpp::msg {
 
@@ -25,6 +28,7 @@ void World::run(const std::function<void(Comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(ranks_));
   for (int r = 0; r < ranks_; ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
+      obs::set_thread_name("rank-" + std::to_string(r));
       Comm comm(this, r);
       try {
         fn(comm);
@@ -42,6 +46,12 @@ void World::run(const std::function<void(Comm&)>& fn) {
 void World::deliver(int source, int dest, int tag,
                     std::span<const double> data) {
   SACPP_REQUIRE(dest >= 0 && dest < ranks_, "send destination out of range");
+  const std::size_t payload_bytes = data.size() * sizeof(double);
+  obs::ScopedSpan span(obs::SpanKind::kMsgSend, "msg_send",
+                       static_cast<std::int64_t>(payload_bytes));
+  if (obs::enabled()) [[unlikely]] {
+    obs::observe(obs::Hist::kMsgBytes, payload_bytes);
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -94,6 +104,7 @@ bool World::try_receive(int self, int source, int tag,
 }
 
 void World::barrier_wait() {
+  obs::ScopedSpan span(obs::SpanKind::kCollective, "barrier");
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_waiting_ == ranks_) {
@@ -110,6 +121,7 @@ void World::barrier_wait() {
 }
 
 double World::reduce(int rank, double value, bool maximum) {
+  obs::ScopedSpan span(obs::SpanKind::kCollective, "reduce");
   reduce_slots_[static_cast<std::size_t>(rank)] = value;
   barrier_wait();  // all contributions visible
   double acc = maximum ? reduce_slots_[0] : 0.0;

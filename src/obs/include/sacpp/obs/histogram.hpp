@@ -1,0 +1,84 @@
+#pragma once
+// Log-bucketed histograms for span durations and allocation sizes.
+//
+// Buckets are powers of two: value v lands in bucket bit_width(v) (bucket 0
+// holds exactly v == 0), so recording is one bit-scan plus three relaxed
+// atomic increments — cheap enough for the pool allocation path.  Exports
+// render the buckets Prometheus-style with cumulative `le` upper bounds.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace sacpp::obs {
+
+class LogHistogram {
+ public:
+  // Bucket i holds values with bit_width == i; 0..64 inclusive.
+  static constexpr int kBuckets = 65;
+
+  static int bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+
+  // Inclusive upper bound of bucket i (2^i - 1; the last bucket is open).
+  static std::uint64_t bucket_upper(int i) noexcept {
+    if (i <= 0) return 0;
+    if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bucket(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void clear() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+// The fixed histogram set sacpp_obs maintains.  Span-ending routes the
+// duration into the kind's histogram automatically; byte-valued ones are fed
+// explicitly (obs::observe).
+enum class Hist : int {
+  kWithLoopNs,
+  kFoldNs,
+  kRegionNs,
+  kChunkNs,
+  kPoolAllocNs,
+  kPoolReleaseNs,
+  kLevelNs,
+  kKernelNs,
+  kMsgSendNs,
+  kCollectiveNs,
+  kAllocBytes,  // buffer allocation payload sizes
+  kMsgBytes,    // point-to-point message payload bytes
+  kCount,
+};
+
+const char* hist_name(Hist h) noexcept;  // Prometheus metric stem
+const char* hist_help(Hist h) noexcept;
+
+LogHistogram& histogram(Hist h) noexcept;
+
+}  // namespace sacpp::obs

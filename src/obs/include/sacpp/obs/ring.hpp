@@ -1,0 +1,140 @@
+#pragma once
+// Lock-free per-thread span ring buffer (the storage half of sacpp_obs).
+//
+// One SpanRing belongs to exactly one writer thread; readers (the exporters)
+// may snapshot concurrently.  Each slot is a seqlock made of relaxed atomics:
+// the writer brackets its field stores with an odd/even sequence number, the
+// reader re-checks the sequence after loading and skips slots that changed
+// under it.  Because every field is a std::atomic, a concurrent snapshot is
+// data-race-free (TSan-clean) without the writer ever taking a lock.
+//
+// Capacity is fixed at construction (a power of two).  When the ring is full
+// the oldest span is overwritten; `dropped()` reports how many were lost that
+// way, so exports can state their own completeness.
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sacpp::obs {
+
+// What a span measured.  Values are stable export identifiers (the Chrome
+// trace `cat` field and the histogram routing key).
+enum class SpanKind : std::uint8_t {
+  kWithLoop,        // one with-loop execution (genarray/modarray)
+  kFold,            // one with-loop fold
+  kParallelRegion,  // fork..join of one multithreaded with-loop
+  kWorkerChunk,     // one worker's chunk inside a parallel region
+  kPoolAlloc,       // BufferPool::allocate
+  kPoolRelease,     // BufferPool::deallocate
+  kLevel,           // one V-cycle level visit (recursion excluded)
+  kKernel,          // one MG kernel (resid / psinv / rprj3 / interp)
+  kMsgSend,         // one point-to-point message delivery
+  kCollective,      // one msg collective (barrier / allreduce / ...)
+  kPhase,           // free-form application phase
+};
+
+const char* span_kind_name(SpanKind kind) noexcept;
+
+// A completed span, as read back from a ring.  `name` must point to a string
+// with static storage duration (exporters read it after the recording scope
+// is gone).
+struct SpanRecord {
+  std::int64_t start_ns = 0;  // relative to the process obs epoch
+  std::int64_t dur_ns = 0;
+  std::int64_t arg = 0;       // kind-specific: level, worker id, bytes, ...
+  std::uint64_t id = 0;       // correlation id (parallel region), 0 = none
+  const char* name = "";
+  SpanKind kind = SpanKind::kPhase;
+};
+
+class SpanRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 8).
+  explicit SpanRing(std::size_t capacity)
+      : cap_(std::bit_ceil(capacity < 8 ? std::size_t{8} : capacity)),
+        slots_(std::make_unique<Slot[]>(cap_)) {}
+
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  std::size_t capacity() const noexcept { return cap_; }
+
+  // Owner-thread only.  Overwrites the oldest record when full.
+  void push(const SpanRecord& r) noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[h & (cap_ - 1)];
+    const std::uint32_t q = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(q + 1, std::memory_order_release);  // odd: write in progress
+    s.start_ns.store(r.start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(r.dur_ns, std::memory_order_relaxed);
+    s.arg.store(r.arg, std::memory_order_relaxed);
+    s.id.store(r.id, std::memory_order_relaxed);
+    s.name.store(r.name, std::memory_order_relaxed);
+    s.kind.store(static_cast<std::uint8_t>(r.kind),
+                 std::memory_order_relaxed);
+    s.seq.store(q + 2, std::memory_order_release);  // even: stable
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Total spans ever pushed (monotonic).
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  // Oldest-span evictions: pushes beyond capacity overwrite.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t h = recorded();
+    return h > cap_ ? h - cap_ : 0;
+  }
+
+  // Copy the live records, oldest first.  Safe against a concurrent writer:
+  // slots that change mid-read are skipped (they will appear in the next
+  // snapshot).
+  std::vector<SpanRecord> snapshot() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t n = h < cap_ ? h : cap_;
+    std::vector<SpanRecord> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = h - n; i < h; ++i) {
+      const Slot& s = slots_[i & (cap_ - 1)];
+      const std::uint32_t q1 = s.seq.load(std::memory_order_acquire);
+      if (q1 & 1u) continue;  // write in progress
+      SpanRecord r;
+      r.start_ns = s.start_ns.load(std::memory_order_relaxed);
+      r.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      r.arg = s.arg.load(std::memory_order_relaxed);
+      r.id = s.id.load(std::memory_order_relaxed);
+      r.name = s.name.load(std::memory_order_relaxed);
+      r.kind = static_cast<SpanKind>(s.kind.load(std::memory_order_relaxed));
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != q1) continue;  // torn
+      if (r.name == nullptr) continue;  // slot never completed a write
+      out.push_back(r);
+    }
+    return out;
+  }
+
+  // Owner-thread or quiescent only: forget all records.
+  void clear() noexcept { head_.store(0, std::memory_order_release); }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::int64_t> start_ns{0};
+    std::atomic<std::int64_t> dur_ns{0};
+    std::atomic<std::int64_t> arg{0};
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint8_t> kind{0};
+  };
+
+  std::size_t cap_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace sacpp::obs

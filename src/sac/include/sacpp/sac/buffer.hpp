@@ -33,6 +33,7 @@
 #include <utility>
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/check_events.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/pool.hpp"
@@ -110,15 +111,13 @@ class Buffer {
     // allocations either way, so toggling mid-lifetime is safe.
     explicit Control(std::size_t n) : count(n) {
       const std::size_t bytes = pool_block_bytes(n * sizeof(T));
+      if (obs::enabled()) [[unlikely]] {
+        obs::observe(obs::Hist::kAllocBytes, n * sizeof(T));
+      }
       void* raw = nullptr;
       if (config().pool) {
-        bool hit = false;
-        raw = BufferPool::instance().allocate(bytes, &hit);
-        if (hit) {
-          stats().pool_hits += 1;
-        } else {
-          stats().pool_misses += 1;
-        }
+        // The pool maintains the stats().pool_hits/misses gauges itself.
+        raw = BufferPool::instance().allocate(bytes);
       } else {
         raw = std::aligned_alloc(kBufferAlignment, bytes);
       }
@@ -130,7 +129,6 @@ class Buffer {
       if (config().pool) {
         BufferPool::instance().deallocate(elems,
                                           pool_block_bytes(count * sizeof(T)));
-        stats().pool_returns += 1;
       } else {
         std::free(elems);
       }

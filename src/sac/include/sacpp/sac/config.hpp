@@ -47,6 +47,17 @@ struct SacConfig {
   // from the SACPP_CHECK environment variable.
   bool check = false;
 
+  // Unified runtime telemetry (sacpp_obs; docs/observability.md): when true
+  // the array system, thread pool, buffer pool, MG solvers and msg record
+  // spans into per-thread ring buffers plus duration/size histograms, and
+  // parallel regions feed the per-level busy/idle/imbalance aggregates.  Off
+  // the hot path when false: every instrumentation point is one relaxed
+  // atomic load and a predictable branch.  The canonical flag lives in
+  // obs::set_enabled; this field mirrors it so ScopedConfig can save and
+  // restore it — mutate it through set_obs() (or ScopedConfig), not by
+  // direct field assignment.  The initial value comes from SACPP_OBS.
+  bool obs = false;
+
   // Pooled buffer allocator (docs/memory.md): when true Buffer<T> serves
   // allocations from the size-class BufferPool instead of calling
   // std::aligned_alloc/std::free each time — the paper's Sec. 5/6
@@ -61,9 +72,13 @@ SacConfig& config();
 
 // The configuration a fresh process starts from: defaults plus environment
 // overrides (SACPP_CHECK=1 enables the verification passes, SACPP_POOL=0/1
-// disables/enables the pooled allocator).  Exposed so tests can exercise
-// the environment parsing directly.
+// disables/enables the pooled allocator, SACPP_OBS=1 enables telemetry).
+// Exposed so tests can exercise the environment parsing directly.
 SacConfig config_from_env();
+
+// Toggle telemetry recording: sets both SacConfig::obs and the obs layer's
+// own flag (the one instrumentation points actually test).
+void set_obs(bool on);
 
 // RAII override of the global configuration (restores on destruction).
 // Used by tests and ablation benches to run the same code under different

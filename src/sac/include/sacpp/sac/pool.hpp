@@ -53,8 +53,10 @@ inline constexpr std::uint64_t kPoolAutoTrimInterval = 1u << 15;
 
 class BufferPool {
  public:
-  // Monotonic totals since process start (thread-safe snapshot; the
-  // per-run RuntimeStats pool gauges are maintained by Buffer<T>).
+  // Thread-safe counter snapshot.  hits/misses/returns read the RuntimeStats
+  // pool gauges — the pool increments those directly (one relaxed RMW per
+  // event, no duplicate bookkeeping), so reset_stats() restarts them;
+  // trimmed/drained are pool-internal and monotonic since process start.
   struct Totals {
     std::uint64_t hits = 0;       // allocations served from a free list
     std::uint64_t misses = 0;     // allocations that fell through to malloc
@@ -107,6 +109,12 @@ class BufferPool {
  private:
   BufferPool();
   ~BufferPool() = default;
+
+  // The real alloc/release paths; the public entry points only bracket them
+  // with telemetry when obs is enabled, so the magazine fast path carries no
+  // span-object frame cost while telemetry is off.
+  void* allocate_impl(std::size_t bytes, bool* from_cache);
+  void deallocate_impl(void* p, std::size_t bytes) noexcept;
 
   Impl* impl_;
 };

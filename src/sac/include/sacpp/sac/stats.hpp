@@ -4,11 +4,47 @@
 // The paper's scalability analysis hinges on the cost of dynamic memory
 // management on small grids; these counters make that cost observable
 // (tests assert on them, bench/abl_memory reports them, and the machine
-// model's per-operation overhead constant is motivated by them).
+// model's per-operation overhead constant is motivated by them).  The
+// sacpp_obs metrics dump exports them (config.cpp registers the collector),
+// so one run artifact carries the whole memory-management story.
 
+#include <atomic>
 #include <cstdint>
 
 namespace sacpp::sac {
+
+// A relaxed-atomic counter that behaves like a plain uint64_t field
+// (copyable, +=, implicit read).  Used for the counters that worker threads
+// mutate: the pool's per-thread magazines serve worker-side allocations, so
+// pool hit/miss/return increments can race with the coordinator.  Relaxed is
+// enough — these are statistics, not synchronisation.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(std::uint64_t v = 0) noexcept : v_(v) {}  // NOLINT(*-explicit-*)
+  RelaxedCounter(const RelaxedCounter& o) noexcept : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t fetch_add(std::uint64_t d) noexcept {
+    return v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const noexcept { return load(); }  // NOLINT(*-explicit-*)
+  std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
 
 struct RuntimeStats {
   std::uint64_t allocations = 0;       // fresh buffers allocated
@@ -19,14 +55,16 @@ struct RuntimeStats {
   std::uint64_t with_loops = 0;        // with-loop executions
   std::uint64_t elements = 0;          // generator elements processed
   std::uint64_t parallel_regions = 0;  // with-loops run multithreaded
-  std::uint64_t pool_hits = 0;         // buffers served from the BufferPool
-  std::uint64_t pool_misses = 0;       // pooled allocations that hit malloc
-  std::uint64_t pool_returns = 0;      // buffers recycled into the pool
+  RelaxedCounter pool_hits;            // buffers served from the BufferPool
+  RelaxedCounter pool_misses;          // pooled allocations that hit malloc
+  RelaxedCounter pool_returns;         // buffers recycled into the pool
 };
 
-// Mutable access to the process-global counters.  The counters are plain
-// (non-atomic) because all mutation happens on the coordinating thread:
-// workers only execute loop bodies.
+// Mutable access to the process-global counters.  The plain (non-atomic)
+// counters are mutated only on the coordinating thread: workers only execute
+// loop bodies.  The pool gauges are RelaxedCounters because buffers created
+// or released inside worker-thread code paths (e.g. msg rank bodies) go
+// through each thread's own pool magazine.
 RuntimeStats& stats();
 
 // Reset all counters to zero (benchmark phases call this between sections).

@@ -29,6 +29,7 @@
 #include "sacpp/common/error.hpp"
 #include "sacpp/common/index_space.hpp"
 #include "sacpp/common/shape.hpp"
+#include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/array.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/runtime.hpp"
@@ -163,12 +164,15 @@ inline bool run_parallel(const ResolvedGen& g) {
 }
 
 // Assign body values into `out` over the generator set.  This is the heart
-// of every with-loop variant.
+// of every with-loop variant.  The loops live in execute_assign_loops and
+// execute_assign brackets the single call with plain clock reads instead of
+// an obs::ScopedSpan: a span object in the loops' frame costs ~5% on the
+// dense stencil path even when disabled (its non-trivial destructor pins
+// extra live state and exception cleanups around the hot loops), and a
+// second call site for the loops stops them inlining into the caller.
 template <typename T, typename Body>
-void execute_assign(T* out, const Shape& shape, const ResolvedGen& g,
-                    const Body& body) {
-  stats().with_loops += 1;
-  stats().elements += static_cast<std::uint64_t>(g.count);
+void execute_assign_loops(T* out, const Shape& shape, const ResolvedGen& g,
+                          const Body& body) {
   const IndexVec strides = shape.strides();
   const std::size_t rank = shape.rank();
 
@@ -211,6 +215,20 @@ void execute_assign(T* out, const Shape& shape, const ResolvedGen& g,
   }
 }
 
+template <typename T, typename Body>
+void execute_assign(T* out, const Shape& shape, const ResolvedGen& g,
+                    const Body& body) {
+  stats().with_loops += 1;
+  stats().elements += static_cast<std::uint64_t>(g.count);
+  std::int64_t t0 = -1;
+  if (obs::enabled()) [[unlikely]] t0 = obs::now_ns();
+  execute_assign_loops(out, shape, g, body);
+  if (t0 >= 0) [[unlikely]] {
+    obs::record_span(obs::SpanKind::kWithLoop, "with_loop", t0,
+                     obs::now_ns() - t0, g.count);
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -250,15 +268,13 @@ Array<T> with_modarray(Array<T> base, const Gen& gen, const Body& body) {
   return base;
 }
 
-// with (gen) fold(op, neutral, body(iv)).  `op` must be associative and
-// commutative (SAC's fold requirement); partial results of parallel chunks
-// are combined with the same op.
+namespace detail {
+
+// Loop bodies of with_fold; see execute_assign_loops for why the telemetry
+// span must not share a frame with these loops.
 template <typename T, typename FoldOp, typename Body>
-T with_fold(const FoldOp& op, T neutral, const Shape& space, const Gen& gen,
-            const Body& body) {
-  const auto g = detail::resolve(gen, space);
-  stats().with_loops += 1;
-  stats().elements += static_cast<std::uint64_t>(g.count);
+T with_fold_loops(const FoldOp& op, T neutral, const Shape& space,
+                  const ResolvedGen& g, const Body& body) {
   const IndexVec strides = space.strides();
 
   if (space.rank() == 0) {
@@ -290,6 +306,27 @@ T with_fold(const FoldOp& op, T neutral, const Shape& space, const Gen& gen,
                        acc = op(acc, body(iv));
                      });
   return acc;
+}
+
+}  // namespace detail
+
+// with (gen) fold(op, neutral, body(iv)).  `op` must be associative and
+// commutative (SAC's fold requirement); partial results of parallel chunks
+// are combined with the same op.
+template <typename T, typename FoldOp, typename Body>
+T with_fold(const FoldOp& op, T neutral, const Shape& space, const Gen& gen,
+            const Body& body) {
+  const auto g = detail::resolve(gen, space);
+  stats().with_loops += 1;
+  stats().elements += static_cast<std::uint64_t>(g.count);
+  std::int64_t t0 = -1;
+  if (obs::enabled()) [[unlikely]] t0 = obs::now_ns();
+  T result = detail::with_fold_loops(op, neutral, space, g, body);
+  if (t0 >= 0) [[unlikely]] {
+    obs::record_span(obs::SpanKind::kFold, "fold", t0, obs::now_ns() - t0,
+                     g.count);
+  }
+  return result;
 }
 
 // Wrap a rank-3 element function f(i, j, k) into a body usable on both the

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 
+#include "sacpp/obs/export.hpp"
+#include "sacpp/obs/obs.hpp"
+#include "sacpp/sac/pool.hpp"
 #include "sacpp/sac/stats.hpp"
 
 namespace sacpp::sac {
@@ -12,19 +15,80 @@ SacConfig config_from_env() {
   cfg.check = check != nullptr && check[0] != '\0' && check[0] != '0';
   const char* pool = std::getenv("SACPP_POOL");
   if (pool != nullptr && pool[0] != '\0') cfg.pool = pool[0] != '0';
+  const char* obs = std::getenv("SACPP_OBS");
+  cfg.obs = obs != nullptr && obs[0] != '\0' && obs[0] != '0';
   return cfg;
 }
 
+namespace {
+
+// RuntimeStats and pool totals in the sacpp_obs metrics dump — registered
+// once, on first config() use, so every binary that touches the array system
+// exports the same counter set (the "one source of truth" for what npb_mg
+// used to print ad hoc).
+void collect_stats(obs::MetricSink& sink) {
+  const RuntimeStats& st = stats();
+  sink.counter("sacpp_allocations_total",
+               static_cast<double>(st.allocations), "fresh buffers allocated");
+  sink.counter("sacpp_releases_total", static_cast<double>(st.releases),
+               "buffers freed (refcount reached 0)");
+  sink.counter("sacpp_bytes_allocated_total",
+               static_cast<double>(st.bytes_allocated),
+               "total bytes of fresh buffers");
+  sink.counter("sacpp_reuses_total", static_cast<double>(st.reuses),
+               "buffers stolen via uniqueness reuse");
+  sink.counter("sacpp_copies_on_write_total",
+               static_cast<double>(st.copies_on_write),
+               "deep copies forced by shared buffers");
+  sink.counter("sacpp_with_loops_total", static_cast<double>(st.with_loops),
+               "with-loop executions");
+  sink.counter("sacpp_elements_total", static_cast<double>(st.elements),
+               "generator elements processed");
+  sink.counter("sacpp_parallel_regions_total",
+               static_cast<double>(st.parallel_regions),
+               "with-loops run multithreaded");
+  sink.counter("sacpp_pool_hits_total", static_cast<double>(st.pool_hits),
+               "buffers served from the BufferPool");
+  sink.counter("sacpp_pool_misses_total",
+               static_cast<double>(st.pool_misses),
+               "pooled allocations that fell through to malloc");
+  sink.counter("sacpp_pool_returns_total",
+               static_cast<double>(st.pool_returns),
+               "buffers recycled into the pool");
+  const BufferPool::Totals t = BufferPool::instance().totals();
+  sink.counter("sacpp_pool_trimmed_total", static_cast<double>(t.trimmed),
+               "blocks freed by epoch trim");
+  sink.gauge("sacpp_pool_depot_cached_bytes",
+             static_cast<double>(BufferPool::instance().depot_cached_bytes()),
+             "bytes currently cached in the depot free lists");
+}
+
+}  // namespace
+
 SacConfig& config() {
-  static SacConfig cfg = config_from_env();
+  static SacConfig cfg = [] {
+    SacConfig c = config_from_env();
+    obs::set_enabled(c.obs);
+    obs::register_collector(collect_stats);
+    return c;
+  }();
   return cfg;
+}
+
+void set_obs(bool on) {
+  config().obs = on;
+  obs::set_enabled(on);
 }
 
 ScopedConfig::ScopedConfig(const SacConfig& cfg) : saved_(config()) {
   config() = cfg;
+  obs::set_enabled(cfg.obs);
 }
 
-ScopedConfig::~ScopedConfig() { config() = saved_; }
+ScopedConfig::~ScopedConfig() {
+  obs::set_enabled(saved_.obs);
+  config() = saved_;
+}
 
 RuntimeStats& stats() {
   static RuntimeStats s;

@@ -6,8 +6,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/check_events.hpp"
 #include "sacpp/sac/config.hpp"
+#include "sacpp/sac/stats.hpp"
 
 namespace sacpp::sac {
 
@@ -67,11 +69,11 @@ struct MagazineSlot {
 // -- pool implementation ------------------------------------------------------
 
 struct BufferPool::Impl {
+  // hit/miss/return counting lives in the RuntimeStats pool gauges
+  // (stats().pool_*): one relaxed RMW per event, shared with the per-run
+  // counters instead of duplicated here.
   Shard shards[kShards];
   std::atomic<std::uint64_t> epoch{1};
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::atomic<std::uint64_t> returns{0};
   std::atomic<std::uint64_t> trimmed{0};
   std::atomic<std::uint64_t> drained{0};
 
@@ -182,10 +184,19 @@ BufferPool& BufferPool::instance() {
 }
 
 void* BufferPool::allocate(std::size_t bytes, bool* from_cache) {
+  if (!obs::enabled()) [[likely]] return allocate_impl(bytes, from_cache);
+  const std::int64_t t0 = obs::now_ns();
+  void* p = allocate_impl(bytes, from_cache);
+  obs::record_span(obs::SpanKind::kPoolAlloc, "pool_alloc", t0,
+                   obs::now_ns() - t0, static_cast<std::int64_t>(bytes));
+  return p;
+}
+
+void* BufferPool::allocate_impl(std::size_t bytes, bool* from_cache) {
   Magazine* mag = magazine();
   if (mag != nullptr) {
     if (MagazineSlot* slot = mag->find(bytes); slot != nullptr && slot->n > 0) {
-      impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      stats().pool_hits += 1;
       if (from_cache != nullptr) *from_cache = true;
       return slot->blocks[--slot->n];
     }
@@ -207,19 +218,26 @@ void* BufferPool::allocate(std::size_t bytes, bool* from_cache) {
         }
       }
     }
-    impl_->hits.fetch_add(1, std::memory_order_relaxed);
+    stats().pool_hits += 1;
     if (from_cache != nullptr) *from_cache = true;
     return batch[0];
   }
 
-  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  stats().pool_misses += 1;
   if (from_cache != nullptr) *from_cache = false;
   return std::aligned_alloc(kBufferAlignment, bytes);
 }
 
 void BufferPool::deallocate(void* p, std::size_t bytes) noexcept {
   if (p == nullptr) return;
+  if (!obs::enabled()) [[likely]] return deallocate_impl(p, bytes);
+  const std::int64_t t0 = obs::now_ns();
+  deallocate_impl(p, bytes);
+  obs::record_span(obs::SpanKind::kPoolRelease, "pool_release", t0,
+                   obs::now_ns() - t0, static_cast<std::int64_t>(bytes));
+}
 
+void BufferPool::deallocate_impl(void* p, std::size_t bytes) noexcept {
   Magazine* mag = magazine();
 
   if (config().check) [[unlikely]] {
@@ -243,8 +261,7 @@ void BufferPool::deallocate(void* p, std::size_t bytes) noexcept {
     }
   }
 
-  const std::uint64_t returned =
-      impl_->returns.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t returned = stats().pool_returns.fetch_add(1) + 1;
 
   bool cached = false;
   if (mag != nullptr) {
@@ -344,9 +361,9 @@ void BufferPool::flush_thread_cache() {
 
 BufferPool::Totals BufferPool::totals() const {
   Totals t;
-  t.hits = impl_->hits.load(std::memory_order_relaxed);
-  t.misses = impl_->misses.load(std::memory_order_relaxed);
-  t.returns = impl_->returns.load(std::memory_order_relaxed);
+  t.hits = stats().pool_hits.load();
+  t.misses = stats().pool_misses.load();
+  t.returns = stats().pool_returns.load();
   t.trimmed = impl_->trimmed.load(std::memory_order_relaxed);
   t.drained = impl_->drained.load(std::memory_order_relaxed);
   return t;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/check_events.hpp"
 #include "sacpp/sac/config.hpp"
 
@@ -30,6 +31,7 @@ struct ThreadPool::Impl {
   }
 
   void worker_loop(unsigned worker_id) {
+    obs::set_thread_name("sac-worker-" + std::to_string(worker_id));
     std::uint64_t seen_epoch = 0;
     for (;;) {
       {
@@ -61,6 +63,15 @@ struct ThreadPool::Impl {
   std::atomic<int> pending{0};
   const std::function<void(extent_t, extent_t, unsigned)>* task = nullptr;
   std::vector<extent_t> chunk_bounds;  // size = participants + 1
+
+  // Telemetry scratch (one slot per participant, reused across regions).
+  // Workers write only their own slot; the coordinator reads after the join,
+  // which the `pending` acquire/release pair orders.
+  struct ChunkTiming {
+    std::int64_t start_ns = 0;
+    std::int64_t busy_ns = 0;
+  };
+  std::vector<ChunkTiming> obs_timing;
 };
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
@@ -111,7 +122,34 @@ void ThreadPool::parallel_for(
     }
   }
 
-  impl_->task = &fn;
+  // Telemetry: wrap the task so every participant times its chunk on its own
+  // ring; the coordinator derives the region's busy/idle/imbalance numbers at
+  // the join and attributes them to the current V-cycle level.  The disabled
+  // path touches none of this (one relaxed load + branch).
+  const bool obs_on = obs::enabled();
+  std::uint64_t region_id = 0;
+  std::int64_t fork_ns = 0;
+  std::function<void(extent_t, extent_t, unsigned)> instrumented;
+  const std::function<void(extent_t, extent_t, unsigned)>* run = &fn;
+  std::vector<Impl::ChunkTiming>& timing = impl_->obs_timing;
+  if (obs_on) [[unlikely]] {
+    region_id = obs::next_region_id();
+    timing.assign(participants, Impl::ChunkTiming{});
+    instrumented = [&fn, &timing, region_id](extent_t lo, extent_t hi,
+                                             unsigned who) {
+      const std::int64_t t0 = obs::now_ns();
+      fn(lo, hi, who);
+      const std::int64_t t1 = obs::now_ns();
+      timing[who].start_ns = t0;
+      timing[who].busy_ns = t1 - t0;
+      obs::record_span(obs::SpanKind::kWorkerChunk, "chunk", t0, t1 - t0,
+                       static_cast<std::int64_t>(who), region_id);
+    };
+    run = &instrumented;
+    fork_ns = obs::now_ns();
+  }
+
+  impl_->task = run;
   impl_->pending.store(static_cast<int>(participants - 1),
                        std::memory_order_release);
   {
@@ -121,7 +159,7 @@ void ThreadPool::parallel_for(
   impl_->work_ready.notify_all();
 
   // Participant 0 (this thread) runs the first chunk.
-  if (bounds[0] < bounds[1]) fn(bounds[0], bounds[1], 0);
+  if (bounds[0] < bounds[1]) (*run)(bounds[0], bounds[1], 0);
 
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
@@ -132,6 +170,33 @@ void ThreadPool::parallel_for(
   }
   if (checked) [[unlikely]] {
     check_detail::end_parallel_region();
+  }
+
+  if (obs_on) [[unlikely]] {
+    const std::int64_t join_ns = obs::now_ns();
+    obs::RegionSample sample;
+    sample.level = obs::current_level();
+    sample.participants = participants;
+    sample.region_ns = join_ns - fork_ns;
+    std::int64_t first_worker_start = 0;
+    for (unsigned p = 0; p < participants; ++p) {
+      sample.busy_total_ns += timing[p].busy_ns;
+      sample.busy_max_ns = std::max(sample.busy_max_ns, timing[p].busy_ns);
+      // Fork latency: how long after the fork the first *worker* (not the
+      // coordinator, which starts immediately) began real work — the paper's
+      // fixed fork/join overhead on small grids.
+      if (p > 0 && timing[p].busy_ns > 0 &&
+          (first_worker_start == 0 || timing[p].start_ns < first_worker_start)) {
+        first_worker_start = timing[p].start_ns;
+      }
+    }
+    if (first_worker_start > fork_ns) {
+      sample.fork_latency_ns = first_worker_start - fork_ns;
+    }
+    obs::record_span(obs::SpanKind::kParallelRegion, "parallel_region",
+                     fork_ns, sample.region_ns,
+                     static_cast<std::int64_t>(participants), region_id);
+    obs::record_region_sample(sample);
   }
 }
 

@@ -1,0 +1,78 @@
+// RuntimeStats counter semantics: the pool counters are touched from worker
+// threads (Buffer construction inside instrumented regions), so they are
+// relaxed atomics behind a plain-uint64 facade.  The concurrent test is the
+// TSan regression for that contract; the facade tests pin the drop-in
+// compatibility (copy, assignment, arithmetic) existing call sites rely on.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sacpp/sac/config.hpp"
+#include "sacpp/sac/stats.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+TEST(RelaxedCounterTest, ActsLikeAPlainCounter) {
+  RelaxedCounter c;
+  EXPECT_EQ(c, 0u);
+  c += 5;
+  c += 3;
+  EXPECT_EQ(c.load(), 8u);
+  EXPECT_EQ(static_cast<std::uint64_t>(c), 8u);
+
+  RelaxedCounter copy = c;  // copyable (RuntimeStats assignment)
+  EXPECT_EQ(copy.load(), 8u);
+  copy += 1;
+  EXPECT_EQ(copy.load(), 9u);
+  EXPECT_EQ(c.load(), 8u);  // value copy, not aliasing
+
+  c = RelaxedCounter{};
+  EXPECT_EQ(c.load(), 0u);
+}
+
+TEST(RelaxedCounterTest, StatsStructCopiesAndResets) {
+  reset_stats();
+  stats().pool_hits += 2;
+  stats().pool_misses += 3;
+  stats().pool_returns += 4;
+  const RuntimeStats snapshot = stats();  // copy of atomics via facade
+  EXPECT_EQ(snapshot.pool_hits + snapshot.pool_misses, 5u);
+  EXPECT_EQ(snapshot.pool_returns, 4u);
+  reset_stats();
+  EXPECT_EQ(stats().pool_hits, 0u);
+  EXPECT_EQ(stats().pool_misses, 0u);
+  EXPECT_EQ(stats().pool_returns, 0u);
+}
+
+// Concurrent increments from many threads must be exact (no lost updates)
+// and data-race-free under TSan — the scenario the old plain uint64 counters
+// could not survive once pool traffic moved onto worker threads.
+TEST(RelaxedCounterTest, ConcurrentIncrementsAreExact) {
+  reset_stats();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIncrements; ++i) {
+        stats().pool_hits += 1;
+        stats().pool_misses += 1;
+        stats().pool_returns += 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t expect =
+      static_cast<std::uint64_t>(kThreads) * kIncrements;
+  EXPECT_EQ(stats().pool_hits.load(), expect);
+  EXPECT_EQ(stats().pool_misses.load(), expect);
+  EXPECT_EQ(stats().pool_returns.load(), expect);
+  reset_stats();
+}
+
+}  // namespace
+}  // namespace sacpp::sac

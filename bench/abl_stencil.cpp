@@ -4,11 +4,18 @@
 //              mathematics),
 //   grouped    4 multiplications per point by summing coefficient classes
 //              first (what sac2c reaches implicitly),
-//   shared     the Fortran-77 hand optimisation: partial line sums shared
-//              between neighbouring points through plane buffers (12-20
-//              additions per point — the trick the paper says sac2c lacks).
+//   planes     the same factorisation as the Fortran hand optimisation,
+//              expressed generically in the SAC stencil engine
+//              (StencilMode::kPlanes, docs/stencil.md): per-class row sums
+//              shared across the k loop through pooled scratch,
+//   shared     the hand-coded Fortran-77 resid kernel itself (mg_ref), the
+//              upper bound the paper says sac2c lacks.
 //
-// One google-benchmark timing per rung and grid size.
+// One google-benchmark timing per rung and level size (the MG ladder 10,
+// 18, 34, 66, 130).  kPlanes runs with the production small-grid cutover,
+// so sizes below it report the grouped fallback — exactly what the engine
+// does at the bottom of the V-cycle.  bench/run_all.sh gates the
+// planes-vs-grouped improvement at the class-W-sized grid (n = 66).
 
 #include <benchmark/benchmark.h>
 
@@ -53,6 +60,16 @@ void BM_StencilGrouped(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2) * (n - 2));
 }
 
+void BM_StencilPlanes(benchmark::State& state) {
+  const extent_t n = state.range(0);
+  auto a = input_grid(n);
+  for (auto _ : state) {
+    auto r = sac::relax_kernel(a, kA, sac::StencilMode::kPlanes);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2) * (n - 2));
+}
+
 void BM_StencilSharedPlanes(benchmark::State& state) {
   const extent_t n = state.range(0);
   auto a = input_grid(n);
@@ -70,11 +87,13 @@ void BM_StencilSharedPlanes(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_StencilNaive)->Arg(34)->Arg(66)->Arg(130)
+BENCHMARK(BM_StencilNaive)->Arg(10)->Arg(18)->Arg(34)->Arg(66)->Arg(130)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_StencilGrouped)->Arg(34)->Arg(66)->Arg(130)
+BENCHMARK(BM_StencilGrouped)->Arg(10)->Arg(18)->Arg(34)->Arg(66)->Arg(130)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_StencilSharedPlanes)->Arg(34)->Arg(66)->Arg(130)
+BENCHMARK(BM_StencilPlanes)->Arg(10)->Arg(18)->Arg(34)->Arg(66)->Arg(130)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StencilSharedPlanes)->Arg(10)->Arg(18)->Arg(34)->Arg(66)->Arg(130)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

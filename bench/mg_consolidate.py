@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Consolidate the MG timing + stencil-ablation runs into BENCH_mg.json.
+
+Usage:
+    mg_consolidate.py ABL_JSON SCHEMA_JSON OUT_JSON MIN_IMPROVEMENT_PCT \
+        RUN_TXT... [meta...]
+
+ABL_JSON is abl_stencil's google-benchmark JSON output; each RUN_TXT is one
+teed npb_mg result block.  The summary records per-run wall time / Mop/s /
+verification verdict (plus stencil mode and reused-row count for the SAC
+variants) and the per-kernel ns/point ladder, then gates the kPlanes
+improvement over kGrouped at the class-W-sized grid (n = 66): less than
+MIN_IMPROVEMENT_PCT, an unparseable run, or an UNSUCCESSFUL verification is
+a bench failure, not a silent artifact.  The file is written only after the
+summary validates against the checked-in schema.
+
+Extra ``key=value`` arguments are stored under ``"run"``.
+Uses only the Python standard library (plus the sibling obs_consolidate
+module for the shared schema validator).
+"""
+
+import json
+import re
+import sys
+
+from obs_consolidate import validate
+
+GATE_N = 66  # the class-W-sized rung of the abl_stencil ladder
+
+# Lines of the npb_mg result block (driver.cpp npb_report + the npb_mg
+# stencil-mode trailer).  Anchored loosely so column-width tweaks survive.
+RUN_FIELDS = {
+    "impl": (r"^ Implementation\s+= (.+)$", str),
+    "class": (r"^ Class\s+= (.+)$", str),
+    "seconds": (r"^ Time in seconds\s+= ([0-9.eE+-]+)$", float),
+    "mops": (r"^ Mop/s total\s+= ([0-9.eE+-]+)$", float),
+    "verification": (r"^ Verification\s+= (.+)$", str),
+    "stencil_mode": (r"^ Stencil mode\s+= (.+)$", str),
+    "rows_reused": (r"^ Rows reused\s+= ([0-9]+)$", int),
+}
+OPTIONAL_FIELDS = {"stencil_mode", "rows_reused"}
+
+
+def parse_run(path):
+    with open(path) as f:
+        text = f.read()
+    row = {}
+    for field, (pattern, kind) in RUN_FIELDS.items():
+        m = re.search(pattern, text, re.MULTILINE)
+        if m:
+            row[field] = kind(m.group(1).strip())
+    missing = set(RUN_FIELDS) - OPTIONAL_FIELDS - set(row)
+    if missing:
+        raise ValueError(f"{path}: missing {sorted(missing)}")
+    return row
+
+
+def parse_ablation(path):
+    """abl_stencil gbench JSON -> [{kernel, n, ns_per_point}]."""
+    with open(path) as f:
+        doc = json.load(f)
+    points = []
+    for b in doc.get("benchmarks", []):
+        m = re.match(r"^BM_Stencil(\w+)/(\d+)$", b.get("name", ""))
+        if not m or "items_per_second" not in b:
+            continue
+        points.append(
+            {
+                "kernel": m.group(1).lower(),
+                "n": int(m.group(2)),
+                "ns_per_point": 1e9 / b["items_per_second"],
+            }
+        )
+    return points
+
+
+def main(argv):
+    if len(argv) < 6:
+        sys.stderr.write(__doc__)
+        return 2
+    abl_path, schema_path, out_path = argv[1:4]
+    min_improvement = float(argv[4])
+    run_paths = [a for a in argv[5:] if "=" not in a]
+    run_meta = dict(kv.split("=", 1) for kv in argv[5:] if "=" in kv)
+
+    runs = [parse_run(p) for p in run_paths]
+    bad = [r for r in runs if r["verification"] == "UNSUCCESSFUL"]
+    if bad:
+        for r in bad:
+            sys.stderr.write(
+                f"UNSUCCESSFUL verification: {r['impl']} class {r['class']}\n"
+            )
+        return 1
+
+    points = parse_ablation(abl_path)
+    ladder = {(p["kernel"], p["n"]): p["ns_per_point"] for p in points}
+    try:
+        grouped = ladder[("grouped", GATE_N)]
+        planes = ladder[("planes", GATE_N)]
+    except KeyError as e:
+        sys.stderr.write(f"{abl_path}: no ns/point sample for {e}\n")
+        return 1
+    improvement = 100.0 * (1.0 - planes / grouped)
+
+    summary = {
+        "run": run_meta,
+        "runs": runs,
+        "stencil": {
+            "points": points,
+            "gate": {
+                "n": GATE_N,
+                "grouped_ns_per_point": grouped,
+                "planes_ns_per_point": planes,
+                "improvement_pct": improvement,
+                "min_improvement_pct": min_improvement,
+            },
+        },
+    }
+
+    with open(schema_path) as f:
+        schema = json.load(f)
+    errors = validate(summary, schema)
+    if errors:
+        sys.stderr.write("BENCH_mg.json failed schema validation:\n")
+        for e in errors:
+            sys.stderr.write(f"  {e}\n")
+        return 1
+
+    with open(out_path, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(
+        f"{out_path}: {len(runs)} runs, {len(points)} stencil samples, "
+        f"planes vs grouped at n={GATE_N}: {improvement:.1f}% faster "
+        f"(gate {min_improvement:.0f}%)"
+    )
+    if improvement < min_improvement:
+        sys.stderr.write(
+            f"GATE FAILED: kPlanes improves on kGrouped by only "
+            f"{improvement:.1f}% at n={GATE_N} "
+            f"(required {min_improvement:.0f}%)\n"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -42,7 +42,8 @@ run ext_mpi             "$BUILD/bench/ext_mpi" --classes W,A
 run ext_classes         "$BUILD/bench/ext_classes"
 run ext_rank            "$BUILD/bench/ext_rank"
 run abl_graph           "$BUILD/bench/abl_graph"
-run abl_stencil         "$BUILD/bench/abl_stencil" --benchmark_min_time=0.2
+run abl_stencil         "$BUILD/bench/abl_stencil" --benchmark_min_time=0.2 \
+  --benchmark_out="$OUT/abl_stencil.json" --benchmark_out_format=json
 run abl_specialize      "$BUILD/bench/abl_specialize" --benchmark_min_time=0.2
 run micro_sac           "$BUILD/bench/micro_sac" --benchmark_min_time=0.2
 
@@ -56,6 +57,26 @@ run obs_npb_mg "$BUILD/examples/npb_mg" --class W --impl sac --obs \
 run obs_consolidate python3 "$(dirname "$0")/obs_consolidate.py" \
   "$OUT/obs_trace.json" "$OUT/obs_metrics.txt" \
   "$(dirname "$0")/obs_schema.json" "$OUT/BENCH_obs.json" class=W impl=sac
+
+# MG timing artifact: every variant at classes S and W, the SAC variants in
+# both the grouped and the shared plane-sum (kPlanes) stencil engines
+# (docs/stencil.md).  The consolidator joins these wall times with
+# abl_stencil's ns/point ladder into BENCH_mg.json, validates it against
+# bench/mg_schema.json, and gates the planes-vs-grouped improvement at the
+# class-W-sized grid (n = 66): under 20% fails the bench run.
+for cls in S W; do
+  for mode in grouped planes; do
+    run "time_mg_sac_${cls}_${mode}" "$BUILD/examples/npb_mg" \
+      --class "$cls" --impl sac --stencil-mode "$mode"
+    run "time_mg_direct_${cls}_${mode}" "$BUILD/examples/npb_mg" \
+      --class "$cls" --impl direct --stencil-mode "$mode"
+  done
+  run "time_mg_f77_${cls}" "$BUILD/examples/npb_mg" --class "$cls" --impl f77
+  run "time_mg_omp_${cls}" "$BUILD/examples/npb_mg" --class "$cls" --impl omp
+done
+run mg_consolidate python3 "$(dirname "$0")/mg_consolidate.py" \
+  "$OUT/abl_stencil.json" "$(dirname "$0")/mg_schema.json" \
+  "$OUT/BENCH_mg.json" 20 "$OUT"/time_mg_*.txt
 
 echo
 if [[ ${#FAILED[@]} -ne 0 ]]; then

@@ -88,6 +88,9 @@ int main(int argc, char** argv) {
   cli.add_flag("check", "run under the sacpp_check runtime analyses");
   cli.add_option("pool", "",
                  "buffer pool: on | off (default: config / SACPP_POOL)");
+  cli.add_option("stencil-mode", "",
+                 "stencil evaluation: grouped | naive | planes "
+                 "(default: config / SACPP_STENCIL_MODE)");
   cli.add_flag("obs", "record telemetry and print the end-of-run summary");
   cli.add_option("threads", "",
                  "run multithreaded with N workers (0 = hardware)");
@@ -103,6 +106,16 @@ int main(int argc, char** argv) {
   const std::string pool_arg = cli.get("pool");
   if (!pool_arg.empty()) {
     sac::config().pool = pool_arg == "on" || pool_arg == "1";
+  }
+  const std::string stencil_arg = cli.get("stencil-mode");
+  if (!stencil_arg.empty() &&
+      !sac::parse_stencil_mode(stencil_arg.c_str(),
+                               &sac::config().stencil_mode)) {
+    std::fprintf(stderr,
+                 "npb_mg: unknown --stencil-mode '%s' "
+                 "(grouped | naive | planes)\n",
+                 stencil_arg.c_str());
+    return 1;
   }
   const std::string threads_arg = cli.get("threads");
   if (!threads_arg.empty()) {
@@ -149,6 +162,15 @@ int main(int argc, char** argv) {
     std::printf(" Buffer pool         = on (%llu hits, %llu misses)\n",
                 static_cast<unsigned long long>(st.pool_hits),
                 static_cast<unsigned long long>(st.pool_misses));
+  }
+  if (variant == Variant::kSac || variant == Variant::kSacDirect) {
+    std::printf(" Stencil mode        = %s\n",
+                sac::stencil_mode_name(sac::config().stencil_mode));
+    if (sac::config().stencil_mode == sac::StencilMode::kPlanes) {
+      std::printf(" Rows reused         = %llu\n",
+                  static_cast<unsigned long long>(
+                      sac::stats().stencil_rows_reused));
+    }
   }
 
   if (obs_summary) print_obs_summary();

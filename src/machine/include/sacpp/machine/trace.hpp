@@ -96,6 +96,18 @@ struct TraceOptions {
   // so the real rate is ~1 minus a cold-start term).
   bool sac_pool = false;
   double sac_pool_hit_rate = 1.0;
+  // SAC: kPlanes shared plane-sum stencil engine (SacConfig::stencil_mode,
+  // docs/stencil.md).  Off by default — the paper's sac2c runtime had only
+  // the grouped form, so the calibrated Fig. 11-13 traces stay byte
+  // identical.  When on, relaxation-sweep regions (kResid/kPsinv — the ops
+  // the row path serves) on levels whose grid extent reaches
+  // sac_planes_cutover have their flops scaled by sac_planes_flop_scale:
+  // the factorised 4-mult/~16-add per-point cost over the grouped
+  // 4-mult/26-add one.  Folded rprj3 regions (kRprj3) are never scaled —
+  // the condensed gather evaluates per point in the real engine too.
+  bool sac_planes = false;
+  double sac_planes_cutover = 18.0;
+  double sac_planes_flop_scale = 20.0 / 31.0;
 };
 
 // Build the single-iteration trace of one implementation.

@@ -28,6 +28,30 @@ void check_extended(const Array<double>& a) {
   }
 }
 
+// Loop body of add_smooth_fused: z[i,j,k] + (S r)[i,j,k], reading the output
+// array in place.  Carries the kPlanes row protocol by delegating to
+// StencilExpr::accumulate_row — the output row is z's own row, which the
+// stencil never reads (it reads the bordered residual), so accumulating in
+// place is alias-safe and boundary positions simply keep their z value.
+struct AddSmoothBody {
+  const StencilExpr& st;
+  const double* self;
+  extent_t e1, e2;
+
+  double operator()(extent_t i, extent_t j, extent_t k) const {
+    return self[(i * e1 + j) * e2 + k] + st(i, j, k);
+  }
+  double operator()(const IndexVec& iv) const {
+    return (*this)(iv[0], iv[1], iv[2]);
+  }
+  bool row_fill_enabled() const { return st.row_fill_enabled(); }
+  sac::PlaneScratch make_row_state() const { return st.make_row_state(); }
+  void fill_row(sac::PlaneScratch& s, extent_t i, extent_t j, double* out,
+                extent_t k_lo, extent_t k_hi) const {
+    st.accumulate_row(s, i, j, out, k_lo, k_hi);
+  }
+};
+
 }  // namespace
 
 Array<double> MgSac::setup_periodic_border(Array<double> a) {
@@ -113,13 +137,9 @@ Array<double> MgSac::add_smooth_fused(Array<double> z,
   double* self = z.mutable_data();  // in place when uniquely owned
   const auto g = sac::detail::resolve(sac::gen_all(), shp);
   if (shp.rank() == 3) {
-    const extent_t e1 = shp.extent(1), e2 = shp.extent(2);
     sac::detail::execute_assign(
         self, shp, g,
-        sac::rank3_body([&st, self, e1, e2](extent_t i, extent_t j,
-                                            extent_t k) {
-          return self[(i * e1 + j) * e2 + k] + st(i, j, k);
-        }));
+        AddSmoothBody{st, self, shp.extent(1), shp.extent(2)});
   } else {
     sac::detail::execute_assign(self, shp, g, [&](const IndexVec& iv) {
       return self[shp.linearize(iv)] + st(iv);

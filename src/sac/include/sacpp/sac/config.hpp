@@ -11,6 +11,22 @@
 
 namespace sacpp::sac {
 
+// Stencil evaluation strategy (stencil.hpp; docs/stencil.md).  Lives here —
+// not in stencil.hpp — so SacConfig can carry the process-wide default
+// without a circular include.
+//  * kGrouped — sum the neighbours of each coefficient class first, then one
+//    multiplication per class (4 mults / 26 adds for rank 3); sac2c reaches
+//    this form implicitly, and it is our default.
+//  * kNaive — one multiply-add per stencil point (27 mults / 26 adds).
+//  * kPlanes — the NPB Fortran hand optimisation: per-class row partial sums
+//    shared between neighbouring output points (4 mults / ~16 adds with
+//    reuse).  Falls back to kGrouped per-point evaluation on grids below
+//    SacConfig::stencil_planes_cutover.
+enum class StencilMode { kGrouped, kNaive, kPlanes };
+
+// Canonical names used by SACPP_STENCIL_MODE / --stencil-mode / BENCH_mg.
+const char* stencil_mode_name(StencilMode mode);
+
 struct SacConfig {
   // D1: with-loop folding.  When true, the high-level MG code composes lazy
   // array expressions that fuse into a single traversal; when false every
@@ -65,6 +81,21 @@ struct SacConfig {
   // V-cycle.  Toggleable at any time (pool blocks are ordinary aligned
   // allocations).  SACPP_POOL=0 disables it at startup.
   bool pool = true;
+
+  // Stencil evaluation strategy used when a call site does not pick one
+  // explicitly (docs/stencil.md).  kGrouped keeps the historical association
+  // order, so goldens and the frozen machine-model calibration are
+  // unaffected unless kPlanes is opted into via SACPP_STENCIL_MODE=planes
+  // or npb_mg --stencil-mode=planes.
+  StencilMode stencil_mode = StencilMode::kGrouped;
+
+  // Small-grid cutover for kPlanes: grids whose smallest extent is below
+  // this fall back to kGrouped per-point evaluation — at the bottom of the
+  // V-cycle the row scratch setup costs more than the additions it saves
+  // (the same small-grid economics as mt_threshold / the pool's role on
+  // small levels, docs/memory.md).  The MG level ladder is 4, 6, 10, 18,
+  // 34, 66, ...; 18 keeps the two coarsest meaningful levels on kGrouped.
+  std::int64_t stencil_planes_cutover = 18;
 };
 
 // Process-global configuration used by all with-loop executions.
@@ -72,9 +103,14 @@ SacConfig& config();
 
 // The configuration a fresh process starts from: defaults plus environment
 // overrides (SACPP_CHECK=1 enables the verification passes, SACPP_POOL=0/1
-// disables/enables the pooled allocator, SACPP_OBS=1 enables telemetry).
+// disables/enables the pooled allocator, SACPP_OBS=1 enables telemetry,
+// SACPP_STENCIL_MODE=grouped|naive|planes selects the stencil strategy).
 // Exposed so tests can exercise the environment parsing directly.
 SacConfig config_from_env();
+
+// Parse a stencil mode name ("grouped" | "naive" | "planes").  Returns false
+// (leaving `out` untouched) on anything else.
+bool parse_stencil_mode(const char* name, StencilMode* out);
 
 // Toggle telemetry recording: sets both SacConfig::obs and the obs layer's
 // own flag (the one instrumentation points actually test).

@@ -63,6 +63,35 @@ struct EwiseBinaryExpr {
   {
     return op(lhs(i, j, k), rhs(i, j, k));
   }
+
+  // Row-fill pass-through (detail::RowFillBody): when the right side offers
+  // the kPlanes row path (a stencil over a concrete array — the only shape
+  // the folding heuristic allows), the fused with-loop still lands on it.
+  // The rhs row goes into the output row first, then the combine reads it
+  // back per point — safe because force()/genarray materialise into a fresh
+  // buffer, so the output row cannot alias either operand.
+  bool row_fill_enabled() const
+    requires(Rank3Expr<L> && detail::RowFillBody<R, double>)
+  {
+    return rhs.row_fill_enabled();
+  }
+
+  auto make_row_state() const
+    requires(Rank3Expr<L> && detail::RowFillBody<R, double>)
+  {
+    return rhs.make_row_state();
+  }
+
+  template <typename State>
+  void fill_row(State& st, extent_t i, extent_t j, double* out,
+                extent_t k_lo, extent_t k_hi) const
+    requires(Rank3Expr<L> && detail::RowFillBody<R, double>)
+  {
+    rhs.fill_row(st, i, j, out, k_lo, k_hi);
+    for (extent_t k = k_lo; k < k_hi; ++k) {
+      out[k] = op(lhs(i, j, k), out[k]);
+    }
+  }
 };
 
 // Element-wise transformation of one expression.
@@ -219,20 +248,14 @@ auto lazy_embed(const IndexVec& shp, const IndexVec& pos, E inner) {
 // ---------------------------------------------------------------------------
 
 // Materialise an expression with a single with-loop over its full shape.
+// The expression is passed through as the loop body unchanged, so any access
+// form it offers — index-vector, unpacked rank-3, or the kPlanes row-fill
+// protocol — stays visible to the execution-path selection in with_loop.hpp
+// (wrapping in a lambda used to erase the row path).
 template <ArrayExpr E>
 Array<expr_value_t<E>> force(const E& e) {
-  using T = expr_value_t<E>;
-  if constexpr (Rank3Expr<E>) {
-    if (e.shape().rank() == 3) {
-      return with_genarray<T>(
-          e.shape(), gen_all(),
-          rank3_body([&e](extent_t i, extent_t j, extent_t k) {
-            return e(i, j, k);
-          }));
-    }
-  }
-  return with_genarray<T>(e.shape(),
-                          [&e](const IndexVec& iv) { return e(iv); });
+  return with_genarray<expr_value_t<E>>(e.shape(), gen_all(), e,
+                                        expr_value_t<E>{});
 }
 
 // Arrays force to themselves (useful in generic code).

@@ -17,6 +17,7 @@
 // The expression participates in with-loop folding exactly like
 // StencilExpr (it satisfies ArrayExpr / Rank3Expr).
 
+#include <algorithm>
 #include <array>
 
 #include "sacpp/common/error.hpp"
@@ -29,22 +30,28 @@ namespace sacpp::sac {
 
 class PeriodicStencilExpr {
  public:
-  PeriodicStencilExpr(Array<double> a, const StencilCoeffs& coeffs)
-      : a_(std::move(a)), c_(coeffs) {
+  PeriodicStencilExpr(Array<double> a, const StencilCoeffs& coeffs,
+                      StencilMode mode = config().stencil_mode)
+      : a_(std::move(a)), c_(coeffs), mode_(mode) {
     const Shape& shp = a_.shape();
     SACPP_REQUIRE(shp.rank() >= 1, "stencil needs rank >= 1");
+    extent_t min_extent = shp.extent(0);
     for (std::size_t d = 0; d < shp.rank(); ++d) {
       SACPP_REQUIRE(shp.extent(d) >= 2,
                     "periodic stencil needs extent >= 2 per dimension");
+      min_extent = std::min(min_extent, shp.extent(d));
     }
     if (shp.rank() == 3) {
       s0_ = shp.extent(1) * shp.extent(2);
       s1_ = shp.extent(2);
+      planes_rows_ = mode_ == StencilMode::kPlanes &&
+                     min_extent >= config().stencil_planes_cutover;
     }
   }
 
   const Shape& shape() const { return a_.shape(); }
   const Array<double>& argument() const { return a_; }
+  StencilMode mode() const { return mode_; }
 
   double operator()(const IndexVec& iv) const {
     const Shape& shp = a_.shape();
@@ -61,6 +68,63 @@ class PeriodicStencilExpr {
       return direct3((i * n1 + j) * n2 + k);
     }
     return wrapped3(i, j, k);
+  }
+
+  // -- kPlanes row-fill protocol (detail::RowFillBody) ------------------------
+  //
+  // Unlike the fixed-boundary StencilExpr, the factorised form here covers
+  // EVERY output row: the nine source rows are taken with their i/j
+  // coordinates wrapped, so the boundary ring needs no per-point modular
+  // fallback, and only the first/last k positions pay a wrapped combine.
+
+  bool row_fill_enabled() const { return planes_rows_; }
+
+  PlaneScratch make_row_state() const {
+    return PlaneScratch(a_.shape().extent(2));
+  }
+
+  void fill_row(PlaneScratch& st, extent_t i, extent_t j, double* out,
+                extent_t k_lo, extent_t k_hi) const {
+    const Shape& shp = a_.shape();
+    const extent_t n0 = shp[0], n1 = shp[1], n2 = shp[2];
+    const extent_t iw = (i + n0 - 1) % n0, ie = (i + 1) % n0;
+    const extent_t jw = (j + n1 - 1) % n1, je = (j + 1) % n1;
+    const double* base = a_.data();
+    auto row = [&](extent_t x, extent_t y) {
+      return base + x * s0_ + y * s1_;
+    };
+    {
+      // Reads only — overlapping pointers on extent-2 axes stay legal.
+      const double* __restrict im = row(iw, j);
+      const double* __restrict ip = row(ie, j);
+      const double* __restrict jm = row(i, jw);
+      const double* __restrict jp = row(i, je);
+      const double* __restrict imm = row(iw, jw);
+      const double* __restrict imp = row(iw, je);
+      const double* __restrict ipm = row(ie, jw);
+      const double* __restrict ipp = row(ie, je);
+      double* __restrict u1 = st.u1();
+      double* __restrict u2 = st.u2();
+      for (extent_t k = 0; k < n2; ++k) {
+        u1[k] = ((im[k] + ip[k]) + jm[k]) + jp[k];
+        u2[k] = ((imm[k] + imp[k]) + ipm[k]) + ipp[k];
+      }
+    }
+    const double* __restrict uc = row(i, j);
+    const double* __restrict u1 = st.u1();
+    const double* __restrict u2 = st.u2();
+    double* __restrict o = out;
+    auto combine = [&](extent_t k, extent_t km, extent_t kp) {
+      o[k] = c_[0] * uc[k] + c_[1] * ((u1[k] + uc[km]) + uc[kp]) +
+             c_[2] * ((u2[k] + u1[km]) + u1[kp]) +
+             c_[3] * (u2[km] + u2[kp]);
+    };
+    if (k_lo == 0) combine(0, n2 - 1, 1 % n2);
+    const extent_t lo = std::max<extent_t>(k_lo, 1);
+    const extent_t hi = std::min<extent_t>(k_hi, n2 - 1);
+    for (extent_t k = lo; k < hi; ++k) combine(k, k - 1, k + 1);
+    if (k_hi == n2 && n2 >= 2) combine(n2 - 1, n2 - 2, 0);
+    st.rows += 1;
   }
 
  private:
@@ -129,12 +193,16 @@ class PeriodicStencilExpr {
 
   Array<double> a_;
   StencilCoeffs c_;
+  StencilMode mode_;
   extent_t s0_ = 0;
   extent_t s1_ = 0;
+  bool planes_rows_ = false;  // kPlanes row path active (rank 3, >= cutover)
 };
 
-// Eager form: one with-loop over the whole (ghost-free) grid.
+// Eager form: one with-loop over the whole (ghost-free) grid.  The default
+// mode is the process-wide SacConfig::stencil_mode (evaluated per call).
 Array<double> relax_kernel_periodic(const Array<double>& a,
-                                    const StencilCoeffs& coeffs);
+                                    const StencilCoeffs& coeffs,
+                                    StencilMode mode = config().stencil_mode);
 
 }  // namespace sacpp::sac

@@ -58,6 +58,11 @@ struct RuntimeStats {
   RelaxedCounter pool_hits;            // buffers served from the BufferPool
   RelaxedCounter pool_misses;          // pooled allocations that hit malloc
   RelaxedCounter pool_returns;         // buffers recycled into the pool
+  // Output rows computed through the kPlanes shared plane-sum path
+  // (docs/stencil.md): each counted row reused its u1/u2 partial sums across
+  // the whole k inner loop.  RelaxedCounter because MT chunks flush their
+  // per-chunk row tally from worker threads.
+  RelaxedCounter stencil_rows_reused;
 };
 
 // Mutable access to the process-global counters.  The plain (non-atomic)

@@ -7,24 +7,39 @@
 // rank 3).  A coefficient vector c[0..3] therefore fully describes the four
 // stencils A, P, Q and S of the benchmark.
 //
-// Two evaluation modes reproduce the paper's performance discussion:
+// Three evaluation modes reproduce the paper's performance discussion
+// (StencilMode lives in config.hpp; docs/stencil.md):
 //  * kGrouped — sum the neighbours of each class first, then apply one
 //    multiplication per class (4 mults / 26 adds for rank 3).  sac2c reaches
 //    this form implicitly; it is our default.
 //  * kNaive — one multiply-add per stencil point (27 mults / 26 adds),
 //    what a direct translation of the mathematics would do.  Kept for the
 //    abl_stencil ablation.
+//  * kPlanes — the NPB Fortran hand optimisation (mg.f resid/psinv): for
+//    each output row (i, j) the four class-1 row sums u1[k] and the four
+//    class-2 diagonal row sums u2[k] are computed once into scratch, then
+//    every output point reuses three of each (4 mults / ~16 adds per point,
+//    contiguous auto-vectorisable loops).  Executed through the with-loop
+//    row-fill path (detail::RowFillBody); grids below
+//    SacConfig::stencil_planes_cutover fall back to kGrouped per-point
+//    evaluation, where the scratch setup would dominate.
 //
 // StencilExpr is the lazy form (expr.hpp): stencil value on interior
 // points, 0 on the boundary ring, exactly the result RelaxKernel
 // materialises.  It fuses with surrounding expressions (with-loop folding).
 
+#include <algorithm>
 #include <array>
+#include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "sacpp/common/error.hpp"
 #include "sacpp/common/shape.hpp"
 #include "sacpp/sac/array.hpp"
+#include "sacpp/sac/config.hpp"
+#include "sacpp/sac/pool.hpp"
+#include "sacpp/sac/stats.hpp"
 #include "sacpp/sac/with_loop.hpp"
 
 namespace sacpp::sac {
@@ -36,7 +51,59 @@ struct StencilCoeffs {
   double operator[](std::size_t cls) const { return c[cls]; }
 };
 
-enum class StencilMode { kGrouped, kNaive };
+// Per-chunk scratch of the kPlanes row path: one block holding the u1
+// (class-1) and u2 (class-2) partial-sum rows, plus the tally flushed into
+// stats().stencil_rows_reused on destruction (once per chunk, so the hot
+// loop never touches the shared counter).  Deliberately NOT a Buffer<T>:
+// chunk states live and die on worker threads, and Buffer ownership is
+// coordinator-only by contract (buffer.hpp) — BufferPool itself is
+// thread-safe through its per-thread magazines, which is exactly what keeps
+// bottom-of-V-cycle levels from re-allocating scratch (docs/memory.md).
+class PlaneScratch {
+ public:
+  explicit PlaneScratch(extent_t row_len) {
+    bytes_ = pool_block_bytes(2 * static_cast<std::size_t>(row_len) *
+                              sizeof(double));
+    pooled_ = config().pool;
+    void* raw = pooled_ ? BufferPool::instance().allocate(bytes_)
+                        : std::aligned_alloc(kBufferAlignment, bytes_);
+    SACPP_REQUIRE(raw != nullptr, "stencil plane scratch allocation failed");
+    u1_ = static_cast<double*>(raw);
+    u2_ = u1_ + row_len;
+  }
+  PlaneScratch(PlaneScratch&& o) noexcept
+      : rows(std::exchange(o.rows, 0)),
+        u1_(std::exchange(o.u1_, nullptr)),
+        u2_(std::exchange(o.u2_, nullptr)),
+        bytes_(o.bytes_),
+        pooled_(o.pooled_) {}
+  PlaneScratch(const PlaneScratch&) = delete;
+  PlaneScratch& operator=(const PlaneScratch&) = delete;
+  PlaneScratch& operator=(PlaneScratch&&) = delete;
+  ~PlaneScratch() {
+    if (u1_ != nullptr) {
+      if (pooled_) {
+        BufferPool::instance().deallocate(u1_, bytes_);
+      } else {
+        std::free(u1_);
+      }
+    }
+    if (rows != 0) stats().stencil_rows_reused += rows;
+  }
+
+  double* u1() noexcept { return u1_; }
+  double* u2() noexcept { return u2_; }
+  const double* u1() const noexcept { return u1_; }
+  const double* u2() const noexcept { return u2_; }
+
+  std::uint64_t rows = 0;  // output rows filled with this scratch
+
+ private:
+  double* u1_ = nullptr;
+  double* u2_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool pooled_ = false;
+};
 
 // All offsets in {-1, 0, 1}^rank with their distance class; cached per rank.
 class StencilTable {
@@ -60,13 +127,15 @@ class StencilTable {
 class StencilExpr {
  public:
   StencilExpr(Array<double> a, const StencilCoeffs& coeffs,
-              StencilMode mode = StencilMode::kGrouped)
+              StencilMode mode = config().stencil_mode)
       : a_(std::move(a)), c_(coeffs), mode_(mode) {
     const Shape& shp = a_.shape();
     SACPP_REQUIRE(shp.rank() >= 1, "stencil needs rank >= 1");
+    extent_t min_extent = shp.extent(0);
     for (std::size_t d = 0; d < shp.rank(); ++d) {
       SACPP_REQUIRE(shp.extent(d) >= 3,
                     "stencil needs extent >= 3 in every dimension");
+      min_extent = std::min(min_extent, shp.extent(d));
     }
     const IndexVec strides = shp.strides();
     for (const auto& e : StencilTable::for_rank(shp.rank()).entries()) {
@@ -79,11 +148,16 @@ class StencilExpr {
     if (shp.rank() == 3) {
       s0_ = strides[0];
       s1_ = strides[1];
+      // Small-grid cutover: below it the scratch setup costs more than the
+      // shared additions save, so kPlanes degrades to kGrouped per point.
+      planes_rows_ = mode_ == StencilMode::kPlanes &&
+                     min_extent >= config().stencil_planes_cutover;
     }
   }
 
   const Shape& shape() const { return a_.shape(); }
   const Array<double>& argument() const { return a_; }
+  StencilMode mode() const { return mode_; }
 
   bool is_interior(const IndexVec& iv) const {
     const Shape& shp = a_.shape();
@@ -97,7 +171,9 @@ class StencilExpr {
     if (!is_interior(iv)) return 0.0;
     // Rank 3 delegates to the same evaluator as the unpacked access so that
     // specialised and generic execution paths produce bitwise-equal values.
-    if (mode_ == StencilMode::kGrouped && iv.size() == 3) {
+    // kPlanes evaluated per point (below the cutover, or through a fused
+    // expression with no row path) uses the grouped association tree.
+    if (mode_ != StencilMode::kNaive && iv.size() == 3) {
       return at_linear3(a_.shape().linearize(iv));
     }
     return at_linear(a_.shape().linearize(iv));
@@ -109,10 +185,67 @@ class StencilExpr {
     if (i < 1 || i >= shp[0] - 1 || j < 1 || j >= shp[1] - 1 || k < 1 ||
         k >= shp[2] - 1)
       return 0.0;
-    if (mode_ == StencilMode::kGrouped) {
+    if (mode_ != StencilMode::kNaive) {
       return at_linear3((i * shp[1] + j) * shp[2] + k);
     }
     return at_linear((i * shp[1] + j) * shp[2] + k);
+  }
+
+  // -- kPlanes row-fill protocol (detail::RowFillBody) ------------------------
+  //
+  // fill_row writes the whole output row (i, j) in one pass: the u1/u2
+  // partial sums are computed once over the full row length, then every
+  // output point combines three entries of each.  The u1 association tree
+  // matches the grouped faces sum left-to-right, but the per-point combine
+  // reassociates the class-2/3 sums — kPlanes results are therefore equal to
+  // kGrouped only up to rounding (tests use 1e-12 relative), while staying
+  // bit-identical across thread counts (rows are computed independently).
+
+  bool row_fill_enabled() const { return planes_rows_; }
+
+  PlaneScratch make_row_state() const {
+    return PlaneScratch(a_.shape().extent(2));
+  }
+
+  // Assign-form row fill: boundary rows and boundary k positions get the
+  // fixed-boundary 0, interior points the plane-sum combination.
+  void fill_row(PlaneScratch& st, extent_t i, extent_t j, double* out,
+                extent_t k_lo, extent_t k_hi) const {
+    const Shape& shp = a_.shape();
+    if (i < 1 || i >= shp[0] - 1 || j < 1 || j >= shp[1] - 1) {
+      std::fill(out + k_lo, out + k_hi, 0.0);
+      return;
+    }
+    const extent_t n2 = shp[2];
+    if (k_lo < 1) out[0] = 0.0;
+    if (k_hi > n2 - 1) out[n2 - 1] = 0.0;
+    sum_planes(st, i, j);
+    combine_row(st, i, j, out, std::max<extent_t>(k_lo, 1),
+                std::min<extent_t>(k_hi, n2 - 1));
+    st.rows += 1;
+  }
+
+  // Accumulate-form row fill (out[k] += stencil) for in-place updates like
+  // psinv's u += C r; boundary positions add the stencil's 0, i.e. nothing.
+  // `out` must not alias the stencil argument (it is the array being
+  // updated, the stencil reads another).
+  void accumulate_row(PlaneScratch& st, extent_t i, extent_t j, double* out,
+                      extent_t k_lo, extent_t k_hi) const {
+    const Shape& shp = a_.shape();
+    if (i < 1 || i >= shp[0] - 1 || j < 1 || j >= shp[1] - 1) return;
+    sum_planes(st, i, j);
+    const double* __restrict uc = a_.data() + i * s0_ + j * s1_;
+    const double* __restrict u1 = st.u1();
+    const double* __restrict u2 = st.u2();
+    double* __restrict o = out;
+    const extent_t lo = std::max<extent_t>(k_lo, 1);
+    const extent_t hi = std::min<extent_t>(k_hi, shp[2] - 1);
+    for (extent_t k = lo; k < hi; ++k) {
+      o[k] += c_[0] * uc[k] + c_[1] * ((u1[k] + uc[k - 1]) + uc[k + 1]) +
+              c_[2] * ((u2[k] + u1[k - 1]) + u1[k + 1]) +
+              c_[3] * (u2[k - 1] + u2[k + 1]);
+    }
+    st.rows += 1;
   }
 
   // Unrolled grouped evaluation for rank 3 (the dominant path): nine row
@@ -157,17 +290,57 @@ class StencilExpr {
   }
 
  private:
+  // The NPB u1/u2 plane sums for output row (i, j): u1[k] sums the four
+  // class-1 neighbours in the i/j directions, u2[k] the four class-2
+  // diagonal rows.  The nine source rows are pairwise disjoint segments of
+  // the argument and the scratch is a separate block, so __restrict holds.
+  void sum_planes(PlaneScratch& st, extent_t i, extent_t j) const {
+    const double* c = a_.data() + i * s0_ + j * s1_;
+    const double* __restrict im = c - s0_;
+    const double* __restrict ip = c + s0_;
+    const double* __restrict jm = c - s1_;
+    const double* __restrict jp = c + s1_;
+    const double* __restrict imm = im - s1_;
+    const double* __restrict imp = im + s1_;
+    const double* __restrict ipm = ip - s1_;
+    const double* __restrict ipp = ip + s1_;
+    double* __restrict u1 = st.u1();
+    double* __restrict u2 = st.u2();
+    const extent_t n2 = a_.shape().extent(2);
+    for (extent_t k = 0; k < n2; ++k) {
+      u1[k] = ((im[k] + ip[k]) + jm[k]) + jp[k];
+      u2[k] = ((imm[k] + imp[k]) + ipm[k]) + ipp[k];
+    }
+  }
+
+  // Per-point combine: centre row plus three u1 and three u2 entries —
+  // 4 multiplications, 8 additions per point after the shared row sums.
+  void combine_row(const PlaneScratch& st, extent_t i, extent_t j,
+                   double* out, extent_t lo, extent_t hi) const {
+    const double* __restrict uc = a_.data() + i * s0_ + j * s1_;
+    const double* __restrict u1 = st.u1();
+    const double* __restrict u2 = st.u2();
+    double* __restrict o = out;
+    for (extent_t k = lo; k < hi; ++k) {
+      o[k] = c_[0] * uc[k] + c_[1] * ((u1[k] + uc[k - 1]) + uc[k + 1]) +
+             c_[2] * ((u2[k] + u1[k - 1]) + u1[k + 1]) +
+             c_[3] * (u2[k - 1] + u2[k + 1]);
+    }
+  }
+
   Array<double> a_;
   StencilCoeffs c_;
   StencilMode mode_;
   std::array<std::vector<extent_t>, 4> by_class_;
   extent_t s0_ = 0;  // rank-3 row strides for the unrolled evaluator
   extent_t s1_ = 0;
+  bool planes_rows_ = false;  // kPlanes row path active (rank 3, >= cutover)
 };
 
 // Eager RelaxKernel: one with-loop over the interior, zero boundary ring —
-// the fixed-boundary relaxation step of the paper's Fig. 6/7.
+// the fixed-boundary relaxation step of the paper's Fig. 6/7.  The default
+// mode is the process-wide SacConfig::stencil_mode (evaluated per call).
 Array<double> relax_kernel(const Array<double>& a, const StencilCoeffs& coeffs,
-                           StencilMode mode = StencilMode::kGrouped);
+                           StencilMode mode = config().stencil_mode);
 
 }  // namespace sacpp::sac

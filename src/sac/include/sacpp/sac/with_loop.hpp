@@ -70,7 +70,16 @@ inline Gen gen_range(IndexVec lower, IndexVec upper) {
 }
 
 // Interior of a shape with a margin on every side (common stencil pattern).
+// An extent smaller than 2*margin would make upper < lower on that axis —
+// a silently empty generator that has hidden real bugs — so it is rejected
+// with the same diagnostic contract as the other degenerate generators in
+// detail::resolve (extent == 2*margin is a legal empty interior).
 inline Gen gen_interior(const Shape& shp, extent_t margin = 1) {
+  SACPP_REQUIRE(margin >= 0, "gen_interior margin must be >= 0");
+  for (std::size_t d = 0; d < shp.rank(); ++d) {
+    SACPP_REQUIRE(shp.extent(d) >= 2 * margin,
+                  "gen_interior extent smaller than 2*margin");
+  }
   return gen_range(uniform_vec(shp.rank(), margin), shp.extents() - margin);
 }
 
@@ -127,6 +136,21 @@ inline ResolvedGen resolve(const Gen& g, const Shape& result_shape) {
 template <typename Body>
 concept TripleIndexBody = requires(const Body& b, extent_t i) { b(i, i, i); };
 
+// Bodies that can produce a whole contiguous k-row at once, carrying scratch
+// state across rows (the kPlanes shared plane-sum protocol, docs/stencil.md):
+//  * row_fill_enabled() — dynamic opt-in (mode and grid-size cutover);
+//  * make_row_state()   — per-chunk scratch (each parallel chunk owns one,
+//                         so worker threads never share row buffers);
+//  * fill_row(state, i, j, out_row, k_lo, k_hi) — write out_row[k_lo..k_hi).
+template <typename Body, typename T>
+concept RowFillBody = requires(const Body& b, T* out, extent_t i) {
+  { b.row_fill_enabled() } -> std::convertible_to<bool>;
+  b.make_row_state();
+  requires requires(decltype(b.make_row_state())& st) {
+    b.fill_row(st, i, i, out, i, i);
+  };
+};
+
 // -- element walkers ---------------------------------------------------------
 
 // Walk one generator over a sub-range of the outermost axis, calling
@@ -175,6 +199,40 @@ void execute_assign_loops(T* out, const Shape& shape, const ResolvedGen& g,
                           const Body& body) {
   const IndexVec strides = shape.strides();
   const std::size_t rank = shape.rank();
+
+  // Rank-3 dense row-fill path: the body produces whole k-rows, reusing
+  // per-chunk scratch across rows (kPlanes plane sums).  Checked before the
+  // per-point specialisation so fused stencil expressions land here.  The
+  // nested span uses plain clock reads for the same reason execute_assign
+  // does — a span object in this frame would tax the loops even when off.
+  if constexpr (RowFillBody<Body, T>) {
+    if (rank == 3 && g.dense && config().specialize &&
+        body.row_fill_enabled()) {
+      const extent_t s0 = strides[0], s1 = strides[1];
+      std::int64_t t0 = -1;
+      if (obs::enabled()) [[unlikely]] t0 = obs::now_ns();
+      auto chunk = [&](extent_t lo0, extent_t hi0, unsigned) {
+        auto state = body.make_row_state();
+        for (extent_t i = lo0; i < hi0; ++i) {
+          for (extent_t j = g.lower[1]; j < g.upper[1]; ++j) {
+            body.fill_row(state, i, j, out + i * s0 + j * s1, g.lower[2],
+                          g.upper[2]);
+          }
+        }
+      };
+      if (run_parallel(g)) {
+        stats().parallel_regions += 1;
+        runtime().parallel_for(g.lower[0], g.upper[0], 1, chunk);
+      } else {
+        chunk(g.lower[0], g.upper[0], 0);
+      }
+      if (t0 >= 0) [[unlikely]] {
+        obs::record_span(obs::SpanKind::kWithLoop, "with_loop_rows", t0,
+                         obs::now_ns() - t0, g.count);
+      }
+      return;
+    }
+  }
 
   // Rank-3 dense specialised path (with-loop scalarisation + IVE).
   if constexpr (TripleIndexBody<Body>) {

@@ -1,6 +1,7 @@
 #include "sacpp/sac/config.hpp"
 
 #include <cstdlib>
+#include <cstring>
 
 #include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
@@ -8,6 +9,29 @@
 #include "sacpp/sac/stats.hpp"
 
 namespace sacpp::sac {
+
+const char* stencil_mode_name(StencilMode mode) {
+  switch (mode) {
+    case StencilMode::kGrouped: return "grouped";
+    case StencilMode::kNaive: return "naive";
+    case StencilMode::kPlanes: return "planes";
+  }
+  return "grouped";
+}
+
+bool parse_stencil_mode(const char* name, StencilMode* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "grouped") == 0) {
+    *out = StencilMode::kGrouped;
+  } else if (std::strcmp(name, "naive") == 0) {
+    *out = StencilMode::kNaive;
+  } else if (std::strcmp(name, "planes") == 0) {
+    *out = StencilMode::kPlanes;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 SacConfig config_from_env() {
   SacConfig cfg;
@@ -17,6 +41,10 @@ SacConfig config_from_env() {
   if (pool != nullptr && pool[0] != '\0') cfg.pool = pool[0] != '0';
   const char* obs = std::getenv("SACPP_OBS");
   cfg.obs = obs != nullptr && obs[0] != '\0' && obs[0] != '0';
+  // Unknown values are ignored rather than fatal: a stale SACPP_STENCIL_MODE
+  // must not break every binary in the tree.
+  const char* mode = std::getenv("SACPP_STENCIL_MODE");
+  if (mode != nullptr) parse_stencil_mode(mode, &cfg.stencil_mode);
   return cfg;
 }
 
@@ -55,6 +83,9 @@ void collect_stats(obs::MetricSink& sink) {
   sink.counter("sacpp_pool_returns_total",
                static_cast<double>(st.pool_returns),
                "buffers recycled into the pool");
+  sink.counter("sacpp_stencil_rows_reused_total",
+               static_cast<double>(st.stencil_rows_reused),
+               "output rows computed via the kPlanes shared plane-sum path");
   const BufferPool::Totals t = BufferPool::instance().totals();
   sink.counter("sacpp_pool_trimmed_total", static_cast<double>(t.trimmed),
                "blocks freed by epoch trim");

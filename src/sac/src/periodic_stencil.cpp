@@ -3,18 +3,12 @@
 namespace sacpp::sac {
 
 Array<double> relax_kernel_periodic(const Array<double>& a,
-                                    const StencilCoeffs& coeffs) {
-  const PeriodicStencilExpr st(a, coeffs);
-  const Shape& shp = a.shape();
-  if (shp.rank() == 3) {
-    return with_genarray<double>(
-        shp, gen_all(),
-        rank3_body([&st](extent_t i, extent_t j, extent_t k) {
-          return st(i, j, k);
-        }));
-  }
-  return with_genarray<double>(shp,
-                               [&st](const IndexVec& iv) { return st(iv); });
+                                    const StencilCoeffs& coeffs,
+                                    StencilMode mode) {
+  // As in relax_kernel, the expression is the body: the with-loop engine
+  // picks row-fill (kPlanes), unpacked rank-3, or index-vector access.
+  const PeriodicStencilExpr st(a, coeffs, mode);
+  return with_genarray<double>(a.shape(), gen_all(), st, 0.0);
 }
 
 }  // namespace sacpp::sac

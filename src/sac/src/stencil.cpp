@@ -36,19 +36,12 @@ const StencilTable& StencilTable::for_rank(std::size_t rank) {
 
 Array<double> relax_kernel(const Array<double>& a, const StencilCoeffs& coeffs,
                            StencilMode mode) {
+  // The expression itself is the loop body: it offers index-vector, unpacked
+  // rank-3 and (in kPlanes mode) row-fill access, so every execution path —
+  // generic, D3-specialised, and the shared plane-sum row path — picks the
+  // best form available.
   const StencilExpr st(a, coeffs, mode);
-  const Shape& shp = a.shape();
-  if (shp.rank() == 3) {
-    return with_genarray<double>(
-        shp, gen_interior(shp),
-        rank3_body([&st](extent_t i, extent_t j, extent_t k) {
-          return st(i, j, k);
-        }),
-        0.0);
-  }
-  return with_genarray<double>(
-      shp, gen_interior(shp), [&st](const IndexVec& iv) { return st(iv); },
-      0.0);
+  return with_genarray<double>(a.shape(), gen_interior(a.shape()), st, 0.0);
 }
 
 }  // namespace sacpp::sac

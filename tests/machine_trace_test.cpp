@@ -118,6 +118,41 @@ TEST(Trace, WorkScalesWithGridVolume) {
   EXPECT_NEAR(ratio, 8.0, 0.8);  // one refinement octuples the volume
 }
 
+TEST(Trace, PlanesOptionScalesOnlyLargeRelaxationSweeps) {
+  TraceOptions opts;
+  const Trace base = build_trace(mg::Variant::kSac, kSpecS, opts);
+  opts.sac_planes = true;
+  opts.sac_planes_cutover = 18.0;
+  const Trace planes = build_trace(mg::Variant::kSac, kSpecS, opts);
+  ASSERT_EQ(base.regions.size(), planes.regions.size());
+  const double scale = opts.sac_planes_flop_scale;
+  const double ghost = 2.0;  // kSac carries the artificial boundary layer
+  for (std::size_t i = 0; i < base.regions.size(); ++i) {
+    const Region& b = base.regions[i];
+    const Region& p = planes.regions[i];
+    const bool relax = b.op == Op::kResid || b.op == Op::kPsinv;
+    const bool above =
+        std::pow(2.0, b.level) + ghost >= opts.sac_planes_cutover;
+    if (relax && above) {
+      EXPECT_NEAR(p.flops, b.flops * scale, 1e-9) << op_name(b.op);
+    } else {
+      EXPECT_EQ(p.flops, b.flops) << op_name(b.op) << " level " << b.level;
+    }
+  }
+  // The option genuinely engages somewhere and leaves the bottom alone.
+  EXPECT_LT(planes.total_flops(), base.total_flops());
+}
+
+TEST(Trace, PlanesOptionOffByDefaultKeepsCalibratedTrace) {
+  const Trace a = build_trace(mg::Variant::kSac, kSpecS);
+  TraceOptions opts;  // defaults: sac_planes = false
+  const Trace b = build_trace(mg::Variant::kSac, kSpecS, opts);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].flops, b.regions[i].flops);
+  }
+}
+
 TEST(Trace, OpNamesComplete) {
   EXPECT_STREQ(op_name(Op::kResid), "resid");
   EXPECT_STREQ(op_name(Op::kPsinv), "psinv");

@@ -1,11 +1,13 @@
-// Coefficient-class stencils: grouped and naive evaluation against a
-// brute-force reference, across ranks, plus linearity and symmetry
-// properties.
+// Coefficient-class stencils: grouped, naive and shared-plane-sum (kPlanes)
+// evaluation against a brute-force reference, across ranks, plus linearity
+// and symmetry properties.
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <random>
 
+#include "sacpp/sac/periodic_stencil.hpp"
 #include "sacpp/sac/sac.hpp"
 
 namespace sacpp::sac {
@@ -80,7 +82,140 @@ TEST_P(RelaxRank, NaiveMatchesGrouped) {
   }
 }
 
+// kPlanes reassociates the class-2/3 sums (docs/stencil.md), so it matches
+// kGrouped only up to rounding — hence NEAR at 1e-12, not bitwise equality.
+TEST_P(RelaxRank, PlanesMatchesGroupedOnRandomInput) {
+  const int rank = GetParam();
+  const Shape shp = cube_shape(static_cast<std::size_t>(rank), 8);
+  auto a = random_array(shp, 23);
+  SacConfig cfg = config();
+  cfg.stencil_planes_cutover = 0;  // row path active even on this small grid
+  ScopedConfig guard(cfg);
+  auto grouped = relax_kernel(a, kTestCoeffs, StencilMode::kGrouped);
+  auto planes = relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);
+  for (extent_t i = 0; i < grouped.elem_count(); ++i) {
+    ASSERT_NEAR(grouped.at_linear(i), planes.at_linear(i), 1e-12) << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Ranks, RelaxRank, ::testing::Values(1, 2, 3));
+
+TEST(Planes, BelowCutoverFallsBackToGroupedBitwise) {
+  // Grids under the cutover evaluate kPlanes per point through the grouped
+  // association tree, so the fallback is bit-identical, not just close.
+  auto a = random_array(Shape{6, 6, 6}, 29);
+  auto grouped = relax_kernel(a, kTestCoeffs, StencilMode::kGrouped);
+  auto planes = relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);
+  for (extent_t i = 0; i < grouped.elem_count(); ++i) {
+    ASSERT_DOUBLE_EQ(grouped.at_linear(i), planes.at_linear(i)) << i;
+  }
+}
+
+TEST(Planes, RowPathCountsReusedRows) {
+  const Shape shp{20, 20, 20};
+  auto a = random_array(shp, 31);
+  const std::uint64_t before = stats().stencil_rows_reused;
+  auto r = relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);  // cutover 18
+  (void)r;
+  // One row per interior (i, j) pair.
+  EXPECT_EQ(stats().stencil_rows_reused - before, 18u * 18u);
+}
+
+TEST(Planes, MatchesBruteForceOnRandomInput) {
+  const Shape shp{10, 9, 11};  // non-cube: catches stride mix-ups
+  auto a = random_array(shp, 37);
+  SacConfig cfg = config();
+  cfg.stencil_planes_cutover = 0;
+  ScopedConfig guard(cfg);
+  auto expect = brute_force_relax(a, kTestCoeffs);
+  auto got = relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);
+  for (extent_t i = 0; i < got.elem_count(); ++i) {
+    ASSERT_NEAR(got.at_linear(i), expect.at_linear(i), 1e-12) << i;
+  }
+}
+
+TEST(Planes, FusedEwiseLandsOnRowPathAndMatchesGrouped) {
+  const Shape shp{12, 12, 12};
+  auto a = random_array(shp, 41);
+  auto v = random_array(shp, 43);
+  SacConfig cfg = config();
+  cfg.stencil_planes_cutover = 0;
+  ScopedConfig guard(cfg);
+  auto grouped = force(
+      ewise(v, StencilExpr(a, kTestCoeffs, StencilMode::kGrouped),
+            std::minus<>{}));
+  const std::uint64_t before = stats().stencil_rows_reused;
+  auto planes = force(
+      ewise(v, StencilExpr(a, kTestCoeffs, StencilMode::kPlanes),
+            std::minus<>{}));
+  EXPECT_GT(stats().stencil_rows_reused, before);  // took the row path
+  for (extent_t i = 0; i < grouped.elem_count(); ++i) {
+    ASSERT_NEAR(grouped.at_linear(i), planes.at_linear(i), 1e-12) << i;
+  }
+}
+
+TEST(Planes, MultithreadedSweepBitIdenticalToSerial) {
+  // Rows are computed independently, so the planes sweep must not depend on
+  // the chunking: MT and serial results are bitwise equal.
+  const Shape shp{24, 24, 24};
+  auto a = random_array(shp, 47);
+  SacConfig cfg = config();
+  cfg.stencil_planes_cutover = 0;
+  Array<double> serial;
+  {
+    ScopedConfig guard(cfg);
+    serial = relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);
+  }
+  cfg.mt_enabled = true;
+  cfg.mt_threads = 4;
+  cfg.mt_threshold = 1;
+  ScopedConfig guard(cfg);
+  auto mt = relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);
+  for (extent_t i = 0; i < serial.elem_count(); ++i) {
+    ASSERT_DOUBLE_EQ(serial.at_linear(i), mt.at_linear(i)) << i;
+  }
+}
+
+TEST(PlanesPeriodic, MatchesGroupedEverywhereIncludingBoundary) {
+  const Shape shp{8, 6, 10};
+  auto a = random_array(shp, 53);
+  SacConfig cfg = config();
+  cfg.stencil_planes_cutover = 0;
+  ScopedConfig guard(cfg);
+  auto grouped = relax_kernel_periodic(a, kTestCoeffs, StencilMode::kGrouped);
+  auto planes = relax_kernel_periodic(a, kTestCoeffs, StencilMode::kPlanes);
+  for (extent_t i = 0; i < grouped.elem_count(); ++i) {
+    ASSERT_NEAR(grouped.at_linear(i), planes.at_linear(i), 1e-12) << i;
+  }
+}
+
+TEST(PlanesPeriodic, WrappedRowsMatchGenericReference) {
+  // Cross-check the wrapped row pointers and the k-wrap peel against the
+  // rank-generic modular evaluator on every point, boundary ring included.
+  const Shape shp{6, 7, 9};
+  auto a = random_array(shp, 59);
+  SacConfig cfg = config();
+  cfg.stencil_planes_cutover = 0;
+  ScopedConfig guard(cfg);
+  const PeriodicStencilExpr ref(a, kTestCoeffs, StencilMode::kGrouped);
+  auto planes = relax_kernel_periodic(a, kTestCoeffs, StencilMode::kPlanes);
+  for_each_index(shp, [&](const IndexVec& iv) {
+    ASSERT_NEAR(planes[iv], ref(iv), 1e-12);
+  });
+}
+
+TEST(Planes, ScratchComesFromThePoolWhenEnabled) {
+  const Shape shp{20, 20, 20};
+  auto a = random_array(shp, 61);
+  SacConfig cfg = config();
+  cfg.pool = true;
+  ScopedConfig guard(cfg);
+  relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);  // warm the size class
+  const std::uint64_t hits_before = stats().pool_hits;
+  relax_kernel(a, kTestCoeffs, StencilMode::kPlanes);
+  // The second run's scratch block recycles the first run's release.
+  EXPECT_GT(stats().pool_hits, hits_before);
+}
 
 TEST(Relax, BoundaryRingIsZero) {
   auto a = random_array(Shape{5, 5, 5}, 3);

@@ -59,6 +59,18 @@ TEST(Genarray, GenInteriorMargin) {
   EXPECT_EQ(count, 1);  // only the centre element
 }
 
+TEST(Genarray, GenInteriorDegenerateExtentThrows) {
+  // An extent smaller than twice the margin would give upper < lower and a
+  // negative-length axis; the generator must reject it, not wrap around.
+  EXPECT_THROW(gen_interior(Shape{1, 5, 5}), ContractError);
+  EXPECT_THROW(gen_interior(Shape{5, 5}, 3), ContractError);
+  EXPECT_THROW(gen_interior(Shape{5, 5}, -1), ContractError);
+  // Exactly 2 * margin is a legal empty interior: no elements, no throw.
+  auto a = with_genarray<int>(Shape{4, 4}, gen_interior(Shape{4, 4}, 2),
+                              [](const IndexVec&) { return 1; }, 0);
+  for (extent_t i = 0; i < a.elem_count(); ++i) EXPECT_EQ(a.at_linear(i), 0);
+}
+
 TEST(Genarray, BoundsOutsideShapeThrow) {
   EXPECT_THROW(with_genarray<int>(Shape{3}, gen_range({0}, {4}),
                                   [](const IndexVec&) { return 0; }, 0),

@@ -78,6 +78,16 @@ run mg_consolidate python3 "$(dirname "$0")/mg_consolidate.py" \
   "$OUT/abl_stencil.json" "$(dirname "$0")/mg_schema.json" \
   "$OUT/BENCH_mg.json" 20 "$OUT"/time_mg_*.txt
 
+# Serving artifact: class-S throughput (serialized vs 8 concurrent clients)
+# plus the 2x-overload shedding/latency phase.  serve_bench gates itself on
+# core-scaled targets; the consolidator validates the summary against
+# bench/serve_schema.json before emitting BENCH_serve.json.
+run serve_bench "$BUILD/bench/serve_bench" --class S --clients 8 \
+  --requests 24 --json "$OUT/serve_raw.json"
+run serve_consolidate python3 "$(dirname "$0")/serve_consolidate.py" \
+  "$OUT/serve_raw.json" "$(dirname "$0")/serve_schema.json" \
+  "$OUT/BENCH_serve.json"
+
 echo
 if [[ ${#FAILED[@]} -ne 0 ]]; then
   echo "FAILED: ${FAILED[*]}" >&2

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Consolidate a serve_bench raw summary into BENCH_serve.json.
+
+Usage:
+    serve_consolidate.py RAW_JSON SCHEMA_JSON OUT_JSON [meta...]
+
+Reads serve_bench's --json output, folds its run identity (class, clients,
+plus any extra ``key=value`` arguments) under ``"run"``, validates the
+result against bench/serve_schema.json, and writes OUT_JSON only when it
+validates AND the bench's own gates passed (``"ok": true``).  A summary
+that fails either check is a bench failure, not a silent artifact.
+
+Uses only the Python standard library; the JSON-Schema subset validator is
+shared with obs_consolidate.py.
+"""
+
+import json
+import sys
+
+from obs_consolidate import validate
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    raw_path, schema_path, out_path = argv[1:4]
+    with open(raw_path) as f:
+        raw = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    run = {
+        "class": raw.pop("class", "?"),
+        "clients": raw.pop("clients", 0),
+    }
+    for arg in argv[4:]:
+        key, _, value = arg.partition("=")
+        run[key] = value
+    summary = {"run": run}
+    summary.update(raw)
+
+    errors = validate(summary, schema)
+    if errors:
+        for err in errors:
+            print(f"serve_consolidate: {err}", file=sys.stderr)
+        return 1
+    if not summary.get("ok", False):
+        print("serve_consolidate: serve_bench gates failed (ok=false); "
+              "refusing to write the artifact", file=sys.stderr)
+        return 1
+
+    with open(out_path, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"serve_consolidate: wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,292 @@
+// mg_loadgen: open-loop load generator for the MG solver service.
+//
+//   $ mg_loadgen --requests 32 --rate 8 --arrival poisson
+//   $ mg_loadgen --arrival burst --burst-size 8 --high-frac 0.25
+//   $ mg_loadgen --connect 127.0.0.1:7733 --requests 64
+//
+// Open-loop means arrivals follow a precomputed schedule (Poisson, uniform,
+// or bursts) regardless of completions — the generator keeps offering load
+// when the server falls behind, which is exactly what exercises admission
+// control, priority eviction, and deadline shedding.  By default it drives
+// an in-process SolverService; --connect sends the same wire frames to a
+// running mg_server instead.
+//
+// The exit summary reports offered vs. achieved throughput, per-status
+// counts, and e2e latency percentiles split by priority lane.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "sacpp/common/cli.hpp"
+#include "sacpp/common/table.hpp"
+#include "sacpp/mg/driver.hpp"
+#include "sacpp/obs/obs.hpp"
+#include "sacpp/serve/server.hpp"
+#include "sacpp/serve/wire.hpp"
+
+using namespace sacpp;
+
+namespace {
+
+// Arrival offsets (ns from start) for `n` requests at `rate` req/s.
+std::vector<std::int64_t> make_schedule(const std::string& arrival,
+                                        std::size_t n, double rate,
+                                        std::size_t burst_size,
+                                        std::uint64_t seed) {
+  std::vector<std::int64_t> at(n, 0);
+  std::mt19937_64 rng(seed);
+  if (arrival == "poisson") {
+    std::exponential_distribution<double> gap(rate);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      at[i] = static_cast<std::int64_t>(t * 1e9);
+      t += gap(rng);
+    }
+  } else if (arrival == "burst") {
+    // Bursts of `burst_size` back-to-back requests; gaps keep the long-run
+    // rate at `rate`.
+    const double gap_s = static_cast<double>(burst_size) / rate;
+    for (std::size_t i = 0; i < n; ++i) {
+      at[i] = static_cast<std::int64_t>(
+          static_cast<double>(i / burst_size) * gap_s * 1e9);
+    }
+  } else {  // uniform
+    for (std::size_t i = 0; i < n; ++i) {
+      at[i] = static_cast<std::int64_t>(static_cast<double>(i) / rate * 1e9);
+    }
+  }
+  return at;
+}
+
+serve::Priority sample_priority(double high_frac, double low_frac,
+                                std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double r = uni(rng);
+  if (r < high_frac) return serve::Priority::kHigh;
+  if (r < high_frac + low_frac) return serve::Priority::kLow;
+  return serve::Priority::kNormal;
+}
+
+struct Tally {
+  std::vector<serve::SolveResult> results;
+  double wall_seconds = 0.0;
+};
+
+void print_tally(const Tally& tally, double offered_rate) {
+  std::size_t per_status[6] = {};
+  std::vector<double> e2e_ms[serve::kPriorityLanes];
+  std::size_t completed = 0;
+  for (const serve::SolveResult& r : tally.results) {
+    per_status[static_cast<std::size_t>(r.status)] += 1;
+    if (serve::solve_completed(r.status)) {
+      completed += 1;
+      e2e_ms[0].push_back(static_cast<double>(r.e2e_ns) * 1e-6);
+    }
+  }
+  std::printf("mg_loadgen: offered %.2f req/s, achieved %.2f solves/s "
+              "(%zu/%zu completed in %.2fs)\n",
+              offered_rate,
+              tally.wall_seconds > 0.0
+                  ? static_cast<double>(completed) / tally.wall_seconds
+                  : 0.0,
+              completed, tally.results.size(), tally.wall_seconds);
+  Table statuses({"status", "count"});
+  for (std::size_t s = 0; s < 6; ++s) {
+    if (per_status[s] == 0) continue;
+    statuses.add_row(
+        {serve::solve_status_name(static_cast<serve::SolveStatus>(s)),
+         std::to_string(per_status[s])});
+  }
+  std::printf("%s", statuses.to_ascii("outcomes").c_str());
+  std::vector<double>& lat = e2e_ms[0];
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    const auto pick = [&](double q) {
+      const std::size_t idx = std::min(
+          lat.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(lat.size())));
+      return lat[idx];
+    };
+    std::printf("mg_loadgen: e2e p50 %.2fms p95 %.2fms p99 %.2fms "
+                "max %.2fms\n",
+                pick(0.50), pick(0.95), pick(0.99), lat.back());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connect-mode plumbing (same reader as mg_server's client side)
+// ---------------------------------------------------------------------------
+
+bool write_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_to(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) return -1;
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::stoi(endpoint.substr(colon + 1));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("requests", "16", "number of requests to offer");
+  cli.add_option("rate", "8", "offered arrival rate, requests/second");
+  cli.add_option("arrival", "poisson", "arrival process: poisson|uniform|burst");
+  cli.add_option("burst-size", "8", "requests per burst (--arrival burst)");
+  cli.add_option("class", "S", "benchmark class for every request");
+  cli.add_option("variant", "direct", "solver variant (sac|f77|omp|direct)");
+  cli.add_option("nit", "0", "iteration override (0 = class default)");
+  cli.add_option("gang", "0", "worker threads per job (0 = server policy)");
+  cli.add_option("deadline-ms", "0", "per-request deadline (0 = none)");
+  cli.add_option("high-frac", "0.1", "fraction of requests at high priority");
+  cli.add_option("low-frac", "0.2", "fraction of requests at low priority");
+  cli.add_option("seed", "42", "RNG seed for arrivals and priorities");
+  cli.add_option("connect", "",
+                 "host:port of a running mg_server (default: in-process)");
+  cli.add_option("cores", "0", "in-process core budget (0 = hardware)");
+  cli.add_option("queue-cap", "64", "in-process admission queue capacity");
+  cli.add_flag("obs", "enable telemetry in the in-process service");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto n = static_cast<std::size_t>(cli.get_int("requests"));
+  const double rate = cli.get_double("rate");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const double high_frac = cli.get_double("high-frac");
+  const double low_frac = cli.get_double("low-frac");
+  if (cli.get_flag("obs")) obs::set_enabled(true);
+
+  const std::vector<std::int64_t> schedule =
+      make_schedule(cli.get("arrival"), n, rate,
+                    static_cast<std::size_t>(cli.get_int("burst-size")),
+                    seed);
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<serve::SolveRequest> requests(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::SolveRequest& req = requests[i];
+    req.id = i + 1;
+    req.cls = mg::parse_class(cli.get("class"));
+    req.variant = mg::parse_variant(cli.get("variant"));
+    req.nit = static_cast<std::uint32_t>(cli.get_int("nit"));
+    req.gang = static_cast<std::uint32_t>(cli.get_int("gang"));
+    req.deadline_ns = cli.get_int("deadline-ms") * 1'000'000;
+    req.priority = sample_priority(high_frac, low_frac, rng);
+  }
+
+  Tally tally;
+  tally.results.reserve(n);
+  const auto start = std::chrono::steady_clock::now();
+  const auto at = [&](std::size_t i) {
+    return start + std::chrono::nanoseconds(schedule[i]);
+  };
+
+  const std::string endpoint = cli.get("connect");
+  if (endpoint.empty()) {
+    serve::ServeConfig cfg;
+    cfg.total_cores = static_cast<unsigned>(cli.get_int("cores"));
+    cfg.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap"));
+    serve::SolverService service(cfg);
+    std::vector<std::future<serve::SolveResult>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::this_thread::sleep_until(at(i));  // open loop: never waits on results
+      futures.push_back(service.submit(requests[i]));
+    }
+    for (auto& f : futures) tally.results.push_back(f.get());
+    tally.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    print_tally(tally, rate);
+    const serve::ServerSnapshot snap = service.snapshot();
+    std::printf("mg_loadgen: service peak queue depth %zu, shed %llu, "
+                "evicted %llu, rejected %llu\n",
+                snap.counters.queue.peak_depth,
+                static_cast<unsigned long long>(
+                    snap.counters.queue.shed_deadline),
+                static_cast<unsigned long long>(snap.counters.queue.evicted),
+                static_cast<unsigned long long>(
+                    snap.counters.queue.rejected));
+  } else {
+    const int fd = connect_to(endpoint);
+    if (fd < 0) {
+      std::fprintf(stderr, "mg_loadgen: cannot connect to %s\n",
+                   endpoint.c_str());
+      return 1;
+    }
+    std::vector<serve::SolveResult> results;
+    results.reserve(n);
+    std::thread reader([fd, n, &results] {
+      std::vector<std::uint8_t> buffer;
+      std::vector<std::uint8_t> frame;
+      while (results.size() < n) {
+        const std::size_t size = serve::frame_size(buffer);
+        if (size != 0) {
+          frame.assign(buffer.begin(),
+                       buffer.begin() + static_cast<std::ptrdiff_t>(size));
+          buffer.erase(buffer.begin(),
+                       buffer.begin() + static_cast<std::ptrdiff_t>(size));
+          serve::SolveResult res;
+          std::string error;
+          if (!serve::decode_result(frame, &res, &error)) {
+            std::fprintf(stderr, "mg_loadgen: %s\n", error.c_str());
+            return;
+          }
+          results.push_back(std::move(res));
+          continue;
+        }
+        std::uint8_t chunk[4096];
+        const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+        if (got <= 0) return;
+        buffer.insert(buffer.end(), chunk, chunk + got);
+      }
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      std::this_thread::sleep_until(at(i));
+      if (!write_all(fd, serve::encode_request(requests[i]))) {
+        std::fprintf(stderr, "mg_loadgen: server went away mid-send\n");
+        break;
+      }
+    }
+    reader.join();
+    ::close(fd);
+    tally.results = std::move(results);
+    tally.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    print_tally(tally, rate);
+  }
+  return 0;
+}

@@ -1,0 +1,327 @@
+// mg_server: the MG solver service behind a TCP socket.
+//
+//   $ mg_server --port 7733 --cores 4 --queue-cap 64
+//   $ mg_server --selftest          # loopback round trip, then exit
+//
+// Clients speak the sacpp_serve wire protocol (length-prefixed binary
+// frames, see sacpp/serve/wire.hpp): each connection streams SolveRequest
+// frames and receives one SolveResult frame per request, in request order.
+// Requests from all connections funnel into one in-process SolverService,
+// which schedules them across the core budget by priority and deadline
+// (docs/serve.md).  examples/mg_loadgen.cpp is the matching client.
+//
+// With --obs the run records spans/histograms and the exit summary includes
+// a Prometheus metrics dump with the sacpp_serve_* gauges.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sacpp/common/cli.hpp"
+#include "sacpp/obs/export.hpp"
+#include "sacpp/obs/obs.hpp"
+#include "sacpp/serve/server.hpp"
+#include "sacpp/serve/wire.hpp"
+
+using namespace sacpp;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_listen_fd{-1};
+
+void on_signal(int) {
+  g_stop.store(true);
+  // Closing the listener breaks the blocking accept() so the main loop can
+  // wind down.
+  const int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
+
+bool write_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Accumulates stream bytes and peels complete frames off the front.
+struct FrameReader {
+  int fd;
+  std::vector<std::uint8_t> buffer;
+
+  bool next(std::vector<std::uint8_t>* frame) {
+    for (;;) {
+      const std::size_t size = serve::frame_size(buffer);
+      if (size != 0) {
+        frame->assign(buffer.begin(),
+                      buffer.begin() + static_cast<std::ptrdiff_t>(size));
+        buffer.erase(buffer.begin(),
+                     buffer.begin() + static_cast<std::ptrdiff_t>(size));
+        return true;
+      }
+      std::uint8_t chunk[4096];
+      const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
+      if (got <= 0) return false;  // clean close or error: connection done
+      buffer.insert(buffer.end(), chunk, chunk + got);
+    }
+  }
+};
+
+// One connection: a reader streaming requests into the service and a writer
+// sending results back in request order (responses pipeline behind slower
+// requests, but ordering keeps the protocol trivial for clients).
+void serve_connection(int fd, serve::SolverService& service) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::future<serve::SolveResult>> pending;
+  bool reader_done = false;
+
+  std::thread writer([&] {
+    obs::set_thread_name("serve-writer");
+    bool client_alive = true;
+    for (;;) {
+      std::future<serve::SolveResult> next;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return reader_done || !pending.empty(); });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      // Always drain the future (the job may still be running); only write
+      // while the client is reachable.
+      serve::SolveResult result = next.get();
+      if (client_alive) {
+        client_alive = write_all(fd, serve::encode_result(result));
+      }
+    }
+  });
+
+  FrameReader reader{fd, {}};
+  std::vector<std::uint8_t> frame;
+  while (!g_stop.load() && reader.next(&frame)) {
+    serve::SolveRequest request;
+    std::string error;
+    if (!serve::decode_request(frame, &request, &error)) {
+      // One malformed frame poisons the rest of the byte stream, so report
+      // it in-band and drop the connection (frames are length-prefixed; we
+      // cannot resynchronise reliably).
+      std::fprintf(stderr, "mg_server: dropping connection: %s\n",
+                   error.c_str());
+      serve::SolveResult bad;
+      bad.status = serve::SolveStatus::kError;
+      bad.error = error;
+      std::promise<serve::SolveResult> ready;
+      ready.set_value(std::move(bad));
+      std::lock_guard<std::mutex> lock(mutex);
+      pending.push_back(ready.get_future());
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      pending.push_back(service.submit(request));
+    }
+    cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    reader_done = true;
+  }
+  cv.notify_all();
+  writer.join();
+  ::close(fd);
+}
+
+int make_listener(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+void print_summary(const serve::SolverService& service) {
+  const serve::ServerSnapshot snap = service.snapshot();
+  std::printf(
+      "mg_server: uptime %.1fs  submitted %llu  ok %llu  wrong %llu  "
+      "errors %llu  shed(deadline %llu, capacity %llu+%llu)  late %llu\n",
+      snap.uptime_seconds,
+      static_cast<unsigned long long>(snap.counters.submitted),
+      static_cast<unsigned long long>(snap.counters.completed_ok),
+      static_cast<unsigned long long>(snap.counters.wrong_answer),
+      static_cast<unsigned long long>(snap.counters.errors),
+      static_cast<unsigned long long>(snap.counters.queue.shed_deadline),
+      static_cast<unsigned long long>(snap.counters.queue.rejected),
+      static_cast<unsigned long long>(snap.counters.queue.evicted),
+      static_cast<unsigned long long>(snap.counters.deadline_miss));
+  if (snap.exec.count > 0) {
+    std::printf(
+        "mg_server: exec mean %.2fms p50 %.2fms p95 %.2fms p99 %.2fms "
+        "(%llu solves)\n",
+        snap.exec.mean_ms, snap.exec.p50_ms, snap.exec.p95_ms,
+        snap.exec.p99_ms, static_cast<unsigned long long>(snap.exec.count));
+  }
+}
+
+// Loopback round trip: spawn a client that sends three requests over TCP and
+// checks the answers come back verified and in order.
+int run_selftest(serve::SolverService& service, int listen_fd, int port) {
+  std::thread client([port] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      std::fprintf(stderr, "mg_server selftest: connect failed\n");
+      std::exit(1);
+    }
+    constexpr int kRequests = 3;
+    for (int i = 0; i < kRequests; ++i) {
+      serve::SolveRequest req;
+      req.id = static_cast<std::uint64_t>(100 + i);
+      req.priority =
+          i == 0 ? serve::Priority::kHigh : serve::Priority::kNormal;
+      if (!write_all(fd, serve::encode_request(req))) std::exit(1);
+    }
+    FrameReader reader{fd, {}};
+    std::vector<std::uint8_t> frame;
+    for (int i = 0; i < kRequests; ++i) {
+      if (!reader.next(&frame)) {
+        std::fprintf(stderr, "mg_server selftest: connection died\n");
+        std::exit(1);
+      }
+      serve::SolveResult res;
+      std::string error;
+      if (!serve::decode_result(frame, &res, &error)) {
+        std::fprintf(stderr, "mg_server selftest: %s\n", error.c_str());
+        std::exit(1);
+      }
+      if (res.id != static_cast<std::uint64_t>(100 + i) || !res.verified) {
+        std::fprintf(stderr,
+                     "mg_server selftest: request %d came back id=%llu "
+                     "status=%s verified=%d\n",
+                     i, static_cast<unsigned long long>(res.id),
+                     serve::solve_status_name(res.status), res.verified);
+        std::exit(1);
+      }
+      std::printf("mg_server selftest: id %llu ok (norm %.15e, %.1fms)\n",
+                  static_cast<unsigned long long>(res.id), res.final_norm,
+                  static_cast<double>(res.e2e_ns) * 1e-6);
+    }
+    ::close(fd);
+  });
+
+  const int conn = ::accept(listen_fd, nullptr, nullptr);
+  if (conn < 0) {
+    std::fprintf(stderr, "mg_server selftest: accept failed\n");
+    return 1;
+  }
+  serve_connection(conn, service);
+  client.join();
+  print_summary(service);
+  std::printf("mg_server selftest: PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.add_option("port", "7733", "TCP port to listen on (0 = ephemeral)");
+  cli.add_option("cores", "0", "core budget shared by jobs (0 = hardware)");
+  cli.add_option("executors", "0", "executor threads (0 = cores)");
+  cli.add_option("queue-cap", "64", "admission queue capacity");
+  cli.add_option("max-gang", "0", "largest per-job gang (0 = cores)");
+  cli.add_option("deadline-ms", "0",
+                 "default deadline for requests without one (0 = none)");
+  cli.add_option("max-conns", "0", "exit after N connections (0 = forever)");
+  cli.add_flag("obs", "enable telemetry; dump metrics at exit");
+  cli.add_flag("selftest", "loopback round trip over TCP, then exit");
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (cli.get_flag("obs")) obs::set_enabled(true);
+
+  serve::ServeConfig cfg;
+  cfg.total_cores = static_cast<unsigned>(cli.get_int("cores"));
+  cfg.executors = static_cast<unsigned>(cli.get_int("executors"));
+  cfg.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap"));
+  cfg.max_gang = static_cast<unsigned>(cli.get_int("max-gang"));
+  cfg.default_deadline_ns = cli.get_int("deadline-ms") * 1'000'000;
+  serve::SolverService service(cfg);
+
+  int port = static_cast<int>(cli.get_int("port"));
+  if (cli.get_flag("selftest")) port = 0;  // never collide in CI
+  int bound_port = 0;
+  const int listen_fd = make_listener(port, &bound_port);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "mg_server: cannot listen on port %d\n", port);
+    return 1;
+  }
+  g_listen_fd.store(listen_fd);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  if (cli.get_flag("selftest")) {
+    const int rc = run_selftest(service, listen_fd, bound_port);
+    const int fd = g_listen_fd.exchange(-1);
+    if (fd >= 0) ::close(fd);
+    return rc;
+  }
+
+  std::printf("mg_server: listening on 127.0.0.1:%d (cores %u, queue %zu)\n",
+              bound_port, service.config().total_cores,
+              service.config().queue_capacity);
+  const long long max_conns = cli.get_int("max-conns");
+  long long accepted = 0;
+  std::vector<std::thread> connections;
+  while (!g_stop.load()) {
+    const int fd = g_listen_fd.load();
+    if (fd < 0) break;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) break;  // listener closed by signal
+    connections.emplace_back(
+        [conn, &service] { serve_connection(conn, service); });
+    accepted += 1;
+    if (max_conns > 0 && accepted >= max_conns) break;
+  }
+  for (auto& t : connections) t.join();
+  service.drain();
+  print_summary(service);
+  if (cli.get_flag("obs")) {
+    obs::write_prometheus_file("mg_server_metrics.txt");
+    std::printf("mg_server: metrics written to mg_server_metrics.txt\n");
+  }
+  const int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) ::close(fd);
+  return 0;
+}

@@ -102,7 +102,7 @@ Array<double> MgSac::smooth(const Array<double>& r) const {
 
 Array<double> MgSac::fine2coarse(const Array<double>& r) const {
   obs::ScopedSpan span(obs::SpanKind::kKernel, "rprj3");
-  if (sac::config().folding) return fine2coarse_fused(r);
+  if (sac::active_config().folding) return fine2coarse_fused(r);
   Array<double> rs = setup_periodic_border(r);
   Array<double> rr = relax_kernel(rs, spec_.p);
   Array<double> rc = sac::condense(2, rr);
@@ -111,7 +111,7 @@ Array<double> MgSac::fine2coarse(const Array<double>& r) const {
 
 Array<double> MgSac::coarse2fine(const Array<double>& rn) const {
   obs::ScopedSpan span(obs::SpanKind::kKernel, "interp");
-  if (sac::config().folding) return coarse2fine_fused(rn);
+  if (sac::active_config().folding) return coarse2fine_fused(rn);
   Array<double> rp = setup_periodic_border(rn);
   Array<double> rs = sac::scatter(2, rp);
   Array<double> rt = sac::take(rs.shape().extents() - 2, rs);
@@ -172,7 +172,7 @@ Array<double> MgSac::coarse2fine_fused(const Array<double>& rn) const {
 Array<double> MgSac::residual(const Array<double>& v,
                               const Array<double>& u) const {
   SACPP_REQUIRE(v.shape() == u.shape(), "residual shape mismatch");
-  return sac::config().folding ? sub_resid_fused(v, u) : v - resid(u);
+  return sac::active_config().folding ? sub_resid_fused(v, u) : v - resid(u);
 }
 
 // -- the V-cycle --------------------------------------------------------------
@@ -193,7 +193,7 @@ int level_of(const Array<double>& a) {
 }  // namespace
 
 Array<double> MgSac::vcycle(const Array<double>& r) const {
-  const bool folded = sac::config().folding;
+  const bool folded = sac::active_config().folding;
   const int level = level_of(r);
   if (r.shape().extent(0) > 2 + 2) {
     Array<double> rn;
@@ -217,7 +217,7 @@ Array<double> MgSac::vcycle(const Array<double>& r) const {
 
 Array<double> MgSac::mgrid(const Array<double>& v, int iter) const {
   check_extended(v);
-  const bool folded = sac::config().folding;
+  const bool folded = sac::active_config().folding;
   (void)folded;
   Array<double> u = sac::genarray_const(v.shape(), 0.0);
   for (int i = 0; i < iter; ++i) {

@@ -54,7 +54,7 @@ Array<double> MgSacDirect::smooth(const Array<double>& r) const {
 
 Array<double> MgSacDirect::fine2coarse(const Array<double>& r) const {
   obs::ScopedSpan span(obs::SpanKind::kKernel, "rprj3");
-  if (sac::config().folding) {
+  if (sac::active_config().folding) {
     // One with-loop: the P stencil evaluated at the condensed points only.
     return force(sac::lazy_condense(2, PeriodicStencilExpr(r, spec_.p),
                                     kPhase));
@@ -72,7 +72,7 @@ Array<double> MgSacDirect::coarse2fine(const Array<double>& zn) const {
 Array<double> MgSacDirect::residual(const Array<double>& v,
                                     const Array<double>& u) const {
   SACPP_REQUIRE(v.shape() == u.shape(), "residual shape mismatch");
-  if (sac::config().folding) {
+  if (sac::active_config().folding) {
     return force(
         sac::ewise(v, PeriodicStencilExpr(u, spec_.a), std::minus<>{}));
   }
@@ -91,11 +91,11 @@ Array<double> MgSacDirect::vcycle(const Array<double>& r) const {
     LevelScope scope(level);
     Array<double> z = coarse2fine(zn);
     Array<double> r2 =
-        sac::config().folding
+        sac::active_config().folding
             ? force(sac::ewise(r, PeriodicStencilExpr(z, spec_.a),
                                std::minus<>{}))
             : r - resid(z);
-    if (sac::config().folding) {
+    if (sac::active_config().folding) {
       return force(sac::ewise(z, PeriodicStencilExpr(std::move(r2), spec_.s),
                               std::plus<>{}));
     }

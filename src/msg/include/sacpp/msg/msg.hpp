@@ -14,6 +14,7 @@
 // Message counts and byte volumes are tallied per world; the distributed
 // machine model uses the same communication structure analytically.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -95,13 +96,23 @@ struct WorldStats {
   std::uint64_t bytes = 0;     // point-to-point payload bytes
   std::uint64_t barriers = 0;
   std::uint64_t reductions = 0;
+  std::uint64_t send_blocked = 0;  // sends that hit mailbox backpressure
 };
 
 // The shared SPMD world.  Construct with the rank count, then run() one or
 // more SPMD programs; each run spawns `ranks` threads and joins them.
+//
+// Mailboxes are unbounded by default (the historical buffered-send
+// semantics mg_mpi relies on).  Under service load a fast producer paired
+// with a slow consumer would grow a mailbox without limit, so a world may
+// opt into bounded mailboxes (`max_mailbox_messages`): a send to a full
+// mailbox blocks until the consumer drains below the cap — classic
+// credit-style backpressure.  Collectives use reserved tags and are exempt
+// from the cap (they are self-limiting: at most one in flight per rank), so
+// bounding point-to-point traffic cannot deadlock a barrier.
 class World {
  public:
-  explicit World(int ranks);
+  explicit World(int ranks, std::size_t max_mailbox_messages = 0);
 
   int size() const noexcept { return ranks_; }
 
@@ -111,6 +122,13 @@ class World {
 
   const WorldStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = WorldStats{}; }
+
+  // Messages currently queued in rank `self`'s mailbox (tests assert the
+  // bounded-mailbox cap holds under a slow consumer).
+  std::size_t mailbox_depth(int self) const;
+
+  // The bounded-mailbox cap (0 = unbounded).
+  std::size_t mailbox_capacity() const noexcept { return mailbox_cap_; }
 
   // Internal (used by Comm and Comm::Request): blocking and non-blocking
   // message matching for rank `self`.
@@ -129,6 +147,7 @@ class World {
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable arrived;
+    std::condition_variable drained;  // backpressured senders wait here
     std::list<Message> messages;
   };
 
@@ -136,8 +155,21 @@ class World {
   void barrier_wait();
   double reduce(int rank, double value, bool maximum);
 
+  // Wake every mailbox waiter so blocked receives/sends re-check the
+  // running/finished state (called when a rank's program returns and when
+  // run() completes).
+  void wake_all_mailboxes();
+
   int ranks_;
+  std::size_t mailbox_cap_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Lifecycle: receives and backpressured sends consult these instead of
+  // waiting forever on traffic that can no longer arrive (or drain).  The
+  // flags are written before the per-mailbox notify (under each box mutex),
+  // so waiters cannot miss the transition.
+  std::atomic<bool> running_{false};
+  std::unique_ptr<std::atomic<bool>[]> rank_done_;
 
   // barrier state (central, generation-counted)
   std::mutex barrier_mutex_;

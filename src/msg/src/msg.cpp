@@ -13,19 +13,49 @@ namespace sacpp::msg {
 // World
 // ---------------------------------------------------------------------------
 
-World::World(int ranks) : ranks_(ranks) {
+namespace {
+// Collective traffic uses reserved negative tags (broadcast/gather/scatter);
+// it is exempt from the bounded-mailbox cap because it is self-limiting (at
+// most one collective message per rank pair in flight).
+bool collective_tag(int tag) noexcept { return tag <= -1000; }
+}  // namespace
+
+World::World(int ranks, std::size_t max_mailbox_messages)
+    : ranks_(ranks), mailbox_cap_(max_mailbox_messages) {
   SACPP_REQUIRE(ranks >= 1, "message-passing world needs >= 1 rank");
   mailboxes_.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
   reduce_slots_.assign(static_cast<std::size_t>(ranks), 0.0);
+  rank_done_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    rank_done_[static_cast<std::size_t>(r)].store(true,
+                                                  std::memory_order_relaxed);
+  }
+}
+
+void World::wake_all_mailboxes() {
+  // Take each box mutex before notifying: a waiter that checked the state
+  // flags and decided to sleep holds the mutex until it actually waits, so
+  // locking here guarantees the notification lands after it is parked.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->arrived.notify_all();
+    box->drained.notify_all();
+  }
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
   threads.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    rank_done_[static_cast<std::size_t>(r)].store(false,
+                                                  std::memory_order_relaxed);
+  }
+  running_.store(true, std::memory_order_release);
   for (int r = 0; r < ranks_; ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
       obs::set_thread_name("rank-" + std::to_string(r));
@@ -35,9 +65,16 @@ void World::run(const std::function<void(Comm&)>& fn) {
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
+      // This rank's program is over: peers blocked on a recv from it (or on
+      // backpressure toward it) must fail with a diagnostic, not hang.
+      rank_done_[static_cast<std::size_t>(r)].store(
+          true, std::memory_order_release);
+      wake_all_mailboxes();
     });
   }
   for (auto& t : threads) t.join();
+  running_.store(false, std::memory_order_release);
+  wake_all_mailboxes();
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -53,8 +90,31 @@ void World::deliver(int source, int dest, int tag,
     obs::observe(obs::Hist::kMsgBytes, payload_bytes);
   }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  bool blocked = false;
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
+    std::unique_lock<std::mutex> lock(box.mutex);
+    if (mailbox_cap_ > 0 && !collective_tag(tag)) {
+      // Bounded mailbox: block until the consumer drains below the cap —
+      // credit-style backpressure instead of unbounded queue growth.  A
+      // consumer that already finished (or a torn-down world) can never
+      // drain, so that is an error, not a hang.
+      while (box.messages.size() >= mailbox_cap_) {
+        SACPP_REQUIRE(
+            running_.load(std::memory_order_acquire),
+            "msg: send to a full mailbox after world shutdown (rank " +
+                std::to_string(dest) + ", mailbox at capacity " +
+                std::to_string(mailbox_cap_) + ")");
+        SACPP_REQUIRE(
+            !rank_done_[static_cast<std::size_t>(dest)].load(
+                std::memory_order_acquire),
+            "msg: send blocked on backpressure toward rank " +
+                std::to_string(dest) +
+                ", whose program already finished (mailbox at capacity " +
+                std::to_string(mailbox_cap_) + " and can never drain)");
+        blocked = true;
+        box.drained.wait(lock);
+      }
+    }
     box.messages.push_back(
         Message{source, tag, std::vector<double>(data.begin(), data.end())});
   }
@@ -63,6 +123,7 @@ void World::deliver(int source, int dest, int tag,
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.messages += 1;
     stats_.bytes += data.size() * sizeof(double);
+    if (blocked) stats_.send_blocked += 1;
   }
 }
 
@@ -80,8 +141,26 @@ void World::receive(int self, int source, int tag, std::span<double> out) {
                     "message length does not match receive buffer");
       std::copy(it->payload.begin(), it->payload.end(), out.begin());
       box.messages.erase(it);
+      lock.unlock();
+      box.drained.notify_all();
       return;
     }
+    // No matching message.  Waiting is only correct while one can still
+    // arrive: a world whose program has ended, or a source rank that already
+    // returned, will never send again — diagnose instead of hanging.
+    SACPP_REQUIRE(running_.load(std::memory_order_acquire),
+                  "msg: recv(source=" + std::to_string(source) + ", tag=" +
+                      std::to_string(tag) + ") on rank " +
+                      std::to_string(self) +
+                      " after world shutdown — no program is running, the "
+                      "message can never arrive");
+    SACPP_REQUIRE(!rank_done_[static_cast<std::size_t>(source)].load(
+                      std::memory_order_acquire),
+                  "msg: recv(source=" + std::to_string(source) + ", tag=" +
+                      std::to_string(tag) + ") on rank " +
+                      std::to_string(self) + " but rank " +
+                      std::to_string(source) +
+                      "'s program already finished without sending it");
     box.arrived.wait(lock);
   }
 }
@@ -90,17 +169,27 @@ bool World::try_receive(int self, int source, int tag,
                         std::span<double> out) {
   SACPP_REQUIRE(source >= 0 && source < ranks_, "recv source out of range");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  const auto it = std::find_if(
-      box.messages.begin(), box.messages.end(), [&](const Message& m) {
-        return m.source == source && m.tag == tag;
-      });
-  if (it == box.messages.end()) return false;
-  SACPP_REQUIRE(it->payload.size() == out.size(),
-                "message length does not match receive buffer");
-  std::copy(it->payload.begin(), it->payload.end(), out.begin());
-  box.messages.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it == box.messages.end()) return false;
+    SACPP_REQUIRE(it->payload.size() == out.size(),
+                  "message length does not match receive buffer");
+    std::copy(it->payload.begin(), it->payload.end(), out.begin());
+    box.messages.erase(it);
+  }
+  box.drained.notify_all();
   return true;
+}
+
+std::size_t World::mailbox_depth(int self) const {
+  SACPP_REQUIRE(self >= 0 && self < ranks_, "mailbox rank out of range");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return box.messages.size();
 }
 
 void World::barrier_wait() {

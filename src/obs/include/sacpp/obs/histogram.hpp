@@ -73,6 +73,10 @@ enum class Hist : int {
   kCollectiveNs,
   kAllocBytes,  // buffer allocation payload sizes
   kMsgBytes,    // point-to-point message payload bytes
+  // Serving subsystem (docs/serve.md): fed explicitly by sacpp_serve.
+  kServeQueueNs,  // admission-to-dispatch time in queue
+  kServeJobNs,    // dispatch-to-completion execution time
+  kServeE2eNs,    // submit-to-completion end-to-end latency
   kCount,
 };
 

@@ -71,6 +71,9 @@ const char* hist_name(Hist h) noexcept {
     case Hist::kCollectiveNs: return "sacpp_collective_duration_ns";
     case Hist::kAllocBytes: return "sacpp_alloc_bytes";
     case Hist::kMsgBytes: return "sacpp_msg_bytes";
+    case Hist::kServeQueueNs: return "sacpp_serve_queue_wait_ns";
+    case Hist::kServeJobNs: return "sacpp_serve_job_duration_ns";
+    case Hist::kServeE2eNs: return "sacpp_serve_e2e_latency_ns";
     case Hist::kCount: break;
   }
   return "?";
@@ -90,6 +93,9 @@ const char* hist_help(Hist h) noexcept {
     case Hist::kCollectiveNs: return "msg collective time";
     case Hist::kAllocBytes: return "buffer allocation payload bytes";
     case Hist::kMsgBytes: return "point-to-point payload bytes";
+    case Hist::kServeQueueNs: return "solve request time in admission queue";
+    case Hist::kServeJobNs: return "solve job execution time";
+    case Hist::kServeE2eNs: return "solve request submit-to-done latency";
     case Hist::kCount: break;
   }
   return "?";

@@ -95,7 +95,7 @@ class Array {
   // the reuse ablation switch — with reuse disabled a fresh buffer is always
   // taken, modelling a SAC runtime without reference-counting reuse.
   void ensure_unique() {
-    if (buf_.unique() && config().reuse) {
+    if (buf_.unique() && active_config().reuse) {
       stats().reuses += 1;
       return;
     }
@@ -118,7 +118,7 @@ class Array {
   // is in fact still aliased (refcount > 1) — writing through this pointer
   // would then be visible through every alias.
   T* raw_data_unchecked() noexcept {
-    if (config().check) [[unlikely]] {
+    if (active_config().check) [[unlikely]] {
       buf_.note_unchecked_write();
     }
     return buf_.data();

@@ -94,7 +94,7 @@ class Buffer {
   // Checked-mode hook for the uniqueness/alias checker: record a raw
   // in-place write that bypassed the copy-on-write path while this buffer
   // was still aliased (SAC's use-after-steal).  Callers guard on
-  // config().check; see Array::raw_data_unchecked().
+  // active_config().check; see Array::raw_data_unchecked().
   void note_unchecked_write() const noexcept {
     if (ctrl_ && ctrl_->refs > 1) {
       check_detail::record_buffer_event(
@@ -115,7 +115,7 @@ class Buffer {
         obs::observe(obs::Hist::kAllocBytes, n * sizeof(T));
       }
       void* raw = nullptr;
-      if (config().pool) {
+      if (active_config().pool) {
         // The pool maintains the stats().pool_hits/misses gauges itself.
         raw = BufferPool::instance().allocate(bytes);
       } else {
@@ -126,7 +126,7 @@ class Buffer {
       check_detail::note_buffer_alloc();
     }
     ~Control() {
-      if (config().pool) {
+      if (active_config().pool) {
         BufferPool::instance().deallocate(elems,
                                           pool_block_bytes(count * sizeof(T)));
       } else {

@@ -101,6 +101,43 @@ struct SacConfig {
 // Process-global configuration used by all with-loop executions.
 SacConfig& config();
 
+namespace detail {
+// Per-thread configuration override (see ConfigBinding).  Read on every hot
+// path through active_config(); nullptr means "use the process global".
+extern thread_local const SacConfig* tl_config;
+}  // namespace detail
+
+// The configuration governing work on the calling thread: the thread's bound
+// per-job snapshot when one is installed, the process global otherwise.
+// Every optimisation/strategy decision in the array system reads this — not
+// config() directly — so concurrent solves with different knobs (stencil
+// mode, pool, MT) cannot bleed into each other (docs/serve.md).  The MT
+// runtime propagates the coordinator's binding to its workers for the
+// duration of each parallel region.
+inline const SacConfig& active_config() noexcept {
+  const SacConfig* bound = detail::tl_config;
+  return bound != nullptr ? *bound : config();
+}
+
+// RAII: bind a per-job configuration snapshot to the calling thread.  The
+// snapshot must outlive the binding (the serve executors keep it in the job
+// frame).  Bindings nest; destruction restores the previous binding.  Unlike
+// ScopedConfig this touches no global state, so any number of threads can
+// hold different bindings concurrently.
+class ConfigBinding {
+ public:
+  explicit ConfigBinding(const SacConfig* cfg) noexcept
+      : prev_(detail::tl_config) {
+    detail::tl_config = cfg;
+  }
+  ~ConfigBinding() { detail::tl_config = prev_; }
+  ConfigBinding(const ConfigBinding&) = delete;
+  ConfigBinding& operator=(const ConfigBinding&) = delete;
+
+ private:
+  const SacConfig* prev_;
+};
+
 // The configuration a fresh process starts from: defaults plus environment
 // overrides (SACPP_CHECK=1 enables the verification passes, SACPP_POOL=0/1
 // disables/enables the pooled allocator, SACPP_OBS=1 enables telemetry,

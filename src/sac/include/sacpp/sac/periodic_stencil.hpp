@@ -31,7 +31,7 @@ namespace sacpp::sac {
 class PeriodicStencilExpr {
  public:
   PeriodicStencilExpr(Array<double> a, const StencilCoeffs& coeffs,
-                      StencilMode mode = config().stencil_mode)
+                      StencilMode mode = active_config().stencil_mode)
       : a_(std::move(a)), c_(coeffs), mode_(mode) {
     const Shape& shp = a_.shape();
     SACPP_REQUIRE(shp.rank() >= 1, "stencil needs rank >= 1");
@@ -45,7 +45,7 @@ class PeriodicStencilExpr {
       s0_ = shp.extent(1) * shp.extent(2);
       s1_ = shp.extent(2);
       planes_rows_ = mode_ == StencilMode::kPlanes &&
-                     min_extent >= config().stencil_planes_cutover;
+                     min_extent >= active_config().stencil_planes_cutover;
     }
   }
 
@@ -203,6 +203,6 @@ class PeriodicStencilExpr {
 // mode is the process-wide SacConfig::stencil_mode (evaluated per call).
 Array<double> relax_kernel_periodic(const Array<double>& a,
                                     const StencilCoeffs& coeffs,
-                                    StencilMode mode = config().stencil_mode);
+                                    StencilMode mode = active_config().stencil_mode);
 
 }  // namespace sacpp::sac

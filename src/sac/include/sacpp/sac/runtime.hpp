@@ -43,12 +43,39 @@ class ThreadPool {
   unsigned threads_;
 };
 
-// Process-global runtime, created on first use with the configured thread
-// count (SacConfig::mt_threads; 0 = hardware concurrency).  Re-created when
-// the requested thread count changes.
+// The runtime serving the calling thread: the thread's bound per-job pool
+// when one is installed (RuntimeBinding), else the process-global pool,
+// created on first use with the configured thread count
+// (SacConfig::mt_threads; 0 = hardware concurrency) and re-created when the
+// requested count changes.  The global pool is intended for one coordinator
+// at a time; concurrent solves each bind their own pool (docs/serve.md).
 ThreadPool& runtime();
 
 // Tear down the global runtime (tests use this to exercise re-creation).
+// Does not touch bound per-job pools.
 void shutdown_runtime();
+
+namespace runtime_detail {
+extern thread_local ThreadPool* tl_pool;
+}  // namespace runtime_detail
+
+// RAII: route the calling thread's with-loops through a private ThreadPool
+// instead of the process-global one.  The serve scheduler gives each
+// gang-scheduled job its own pool so concurrent solves never contend for
+// (or race on) the shared pool's single task slot.  Bindings nest; the pool
+// must outlive the binding.
+class RuntimeBinding {
+ public:
+  explicit RuntimeBinding(ThreadPool* pool) noexcept
+      : prev_(runtime_detail::tl_pool) {
+    runtime_detail::tl_pool = pool;
+  }
+  ~RuntimeBinding() { runtime_detail::tl_pool = prev_; }
+  RuntimeBinding(const RuntimeBinding&) = delete;
+  RuntimeBinding& operator=(const RuntimeBinding&) = delete;
+
+ private:
+  ThreadPool* prev_;
+};
 
 }  // namespace sacpp::sac

@@ -46,33 +46,45 @@ class RelaxedCounter {
   std::atomic<std::uint64_t> v_;
 };
 
+// Every counter is a RelaxedCounter: since the serving subsystem
+// (docs/serve.md) runs multiple solves concurrently, each job's executor
+// thread is a coordinating thread of its own, so even the counters that a
+// single-solve process mutates "only on the coordinator" (with_loops,
+// allocations, ...) are now incremented from many threads at once.  Relaxed
+// is enough — these are statistics, not synchronisation — and the copy
+// constructor gives a consistent-enough snapshot for deltas.
 struct RuntimeStats {
-  std::uint64_t allocations = 0;       // fresh buffers allocated
-  std::uint64_t releases = 0;          // buffers freed (refcount reached 0)
-  std::uint64_t bytes_allocated = 0;   // total bytes of fresh buffers
-  std::uint64_t reuses = 0;            // buffers stolen via uniqueness reuse
-  std::uint64_t copies_on_write = 0;   // deep copies forced by shared buffers
-  std::uint64_t with_loops = 0;        // with-loop executions
-  std::uint64_t elements = 0;          // generator elements processed
-  std::uint64_t parallel_regions = 0;  // with-loops run multithreaded
+  RelaxedCounter allocations;          // fresh buffers allocated
+  RelaxedCounter releases;             // buffers freed (refcount reached 0)
+  RelaxedCounter bytes_allocated;      // total bytes of fresh buffers
+  RelaxedCounter reuses;               // buffers stolen via uniqueness reuse
+  RelaxedCounter copies_on_write;      // deep copies forced by shared buffers
+  RelaxedCounter with_loops;           // with-loop executions
+  RelaxedCounter elements;             // generator elements processed
+  RelaxedCounter parallel_regions;     // with-loops run multithreaded
   RelaxedCounter pool_hits;            // buffers served from the BufferPool
   RelaxedCounter pool_misses;          // pooled allocations that hit malloc
   RelaxedCounter pool_returns;         // buffers recycled into the pool
   // Output rows computed through the kPlanes shared plane-sum path
   // (docs/stencil.md): each counted row reused its u1/u2 partial sums across
-  // the whole k inner loop.  RelaxedCounter because MT chunks flush their
-  // per-chunk row tally from worker threads.
+  // the whole k inner loop.
   RelaxedCounter stencil_rows_reused;
 };
 
-// Mutable access to the process-global counters.  The plain (non-atomic)
-// counters are mutated only on the coordinating thread: workers only execute
-// loop bodies.  The pool gauges are RelaxedCounters because buffers created
-// or released inside worker-thread code paths (e.g. msg rank bodies) go
-// through each thread's own pool magazine.
+// Mutable access to the process-global counters.
 RuntimeStats& stats();
 
 // Reset all counters to zero (benchmark phases call this between sections).
+// Safe against concurrent increments in the data-race sense (every field is
+// atomic), but the reset is not a transaction across fields: call it at a
+// quiescent point when exact cross-counter consistency matters.  A serving
+// process should prefer stats_snapshot() deltas over resetting (resetting
+// under live jobs silently truncates their tallies).
 void reset_stats();
+
+// A plain-value copy of the counters (each field loaded relaxed).  The serve
+// layer and benches compute per-phase deltas from two snapshots instead of
+// resetting the globals under live traffic.
+RuntimeStats stats_snapshot();
 
 }  // namespace sacpp::sac

@@ -64,7 +64,7 @@ class PlaneScratch {
   explicit PlaneScratch(extent_t row_len) {
     bytes_ = pool_block_bytes(2 * static_cast<std::size_t>(row_len) *
                               sizeof(double));
-    pooled_ = config().pool;
+    pooled_ = active_config().pool;
     void* raw = pooled_ ? BufferPool::instance().allocate(bytes_)
                         : std::aligned_alloc(kBufferAlignment, bytes_);
     SACPP_REQUIRE(raw != nullptr, "stencil plane scratch allocation failed");
@@ -127,7 +127,7 @@ class StencilTable {
 class StencilExpr {
  public:
   StencilExpr(Array<double> a, const StencilCoeffs& coeffs,
-              StencilMode mode = config().stencil_mode)
+              StencilMode mode = active_config().stencil_mode)
       : a_(std::move(a)), c_(coeffs), mode_(mode) {
     const Shape& shp = a_.shape();
     SACPP_REQUIRE(shp.rank() >= 1, "stencil needs rank >= 1");
@@ -151,7 +151,7 @@ class StencilExpr {
       // Small-grid cutover: below it the scratch setup costs more than the
       // shared additions save, so kPlanes degrades to kGrouped per point.
       planes_rows_ = mode_ == StencilMode::kPlanes &&
-                     min_extent >= config().stencil_planes_cutover;
+                     min_extent >= active_config().stencil_planes_cutover;
     }
   }
 
@@ -341,6 +341,6 @@ class StencilExpr {
 // the fixed-boundary relaxation step of the paper's Fig. 6/7.  The default
 // mode is the process-wide SacConfig::stencil_mode (evaluated per call).
 Array<double> relax_kernel(const Array<double>& a, const StencilCoeffs& coeffs,
-                           StencilMode mode = config().stencil_mode);
+                           StencilMode mode = active_config().stencil_mode);
 
 }  // namespace sacpp::sac

@@ -180,7 +180,7 @@ void walk_range(const ResolvedGen& g, const IndexVec& strides,
 
 // Decide whether this generator runs multithreaded under the current config.
 inline bool run_parallel(const ResolvedGen& g) {
-  const SacConfig& cfg = config();
+  const SacConfig& cfg = active_config();
   if (!cfg.mt_enabled) return false;
   if (g.count < cfg.mt_threshold) return false;
   if (g.lower.empty()) return false;  // rank-0
@@ -206,7 +206,7 @@ void execute_assign_loops(T* out, const Shape& shape, const ResolvedGen& g,
   // nested span uses plain clock reads for the same reason execute_assign
   // does — a span object in this frame would tax the loops even when off.
   if constexpr (RowFillBody<Body, T>) {
-    if (rank == 3 && g.dense && config().specialize &&
+    if (rank == 3 && g.dense && active_config().specialize &&
         body.row_fill_enabled()) {
       const extent_t s0 = strides[0], s1 = strides[1];
       std::int64_t t0 = -1;
@@ -236,7 +236,7 @@ void execute_assign_loops(T* out, const Shape& shape, const ResolvedGen& g,
 
   // Rank-3 dense specialised path (with-loop scalarisation + IVE).
   if constexpr (TripleIndexBody<Body>) {
-    if (rank == 3 && g.dense && config().specialize) {
+    if (rank == 3 && g.dense && active_config().specialize) {
       const extent_t s0 = strides[0], s1 = strides[1];
       auto chunk = [&](extent_t lo0, extent_t hi0, unsigned) {
         for (extent_t i = lo0; i < hi0; ++i) {

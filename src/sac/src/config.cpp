@@ -96,6 +96,10 @@ void collect_stats(obs::MetricSink& sink) {
 
 }  // namespace
 
+namespace detail {
+thread_local const SacConfig* tl_config = nullptr;
+}  // namespace detail
+
 SacConfig& config() {
   static SacConfig cfg = [] {
     SacConfig c = config_from_env();
@@ -127,5 +131,7 @@ RuntimeStats& stats() {
 }
 
 void reset_stats() { stats() = RuntimeStats{}; }
+
+RuntimeStats stats_snapshot() { return stats(); }
 
 }  // namespace sacpp::sac

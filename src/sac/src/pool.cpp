@@ -240,7 +240,7 @@ void BufferPool::deallocate(void* p, std::size_t bytes) noexcept {
 void BufferPool::deallocate_impl(void* p, std::size_t bytes) noexcept {
   Magazine* mag = magazine();
 
-  if (config().check) [[unlikely]] {
+  if (active_config().check) [[unlikely]] {
     // Double-release screen: a block already sitting on a free list must not
     // be pushed again (two future allocations would alias).  Report and
     // drop.  Best effort: other threads' magazines are not scanned.

@@ -107,12 +107,27 @@ void ThreadPool::parallel_for(
   }
   bounds[participants] = end;
 
+  // Propagate the coordinator's per-job configuration binding (serve jobs)
+  // into the workers: chunk bodies read active_config() for pool/stencil
+  // decisions, and workers are shared process machinery that must observe
+  // the job's snapshot, not the process global.
+  const SacConfig* bound_cfg = detail::tl_config;
+  std::function<void(extent_t, extent_t, unsigned)> cfg_wrapped;
+  const std::function<void(extent_t, extent_t, unsigned)>* base = &fn;
+  if (bound_cfg != nullptr) [[unlikely]] {
+    cfg_wrapped = [&fn, bound_cfg](extent_t lo, extent_t hi, unsigned who) {
+      ConfigBinding bind(bound_cfg);
+      fn(lo, hi, who);
+    };
+    base = &cfg_wrapped;
+  }
+
   // Checked mode: log this region and the interval each worker will write,
   // so the race detector (src/check) can verify the chunks tile [begin, end)
   // disjointly with aligned starts, and the ownership watch can flag any
   // buffer retain/release performed off the coordinating thread while the
   // region runs.
-  const bool checked = config().check;
+  const bool checked = active_config().check;
   if (checked) [[unlikely]] {
     const std::uint64_t region =
         check_detail::begin_parallel_region(begin, end, align);
@@ -130,15 +145,15 @@ void ThreadPool::parallel_for(
   std::uint64_t region_id = 0;
   std::int64_t fork_ns = 0;
   std::function<void(extent_t, extent_t, unsigned)> instrumented;
-  const std::function<void(extent_t, extent_t, unsigned)>* run = &fn;
+  const std::function<void(extent_t, extent_t, unsigned)>* run = base;
   std::vector<Impl::ChunkTiming>& timing = impl_->obs_timing;
   if (obs_on) [[unlikely]] {
     region_id = obs::next_region_id();
     timing.assign(participants, Impl::ChunkTiming{});
-    instrumented = [&fn, &timing, region_id](extent_t lo, extent_t hi,
-                                             unsigned who) {
+    instrumented = [base, &timing, region_id](extent_t lo, extent_t hi,
+                                              unsigned who) {
       const std::int64_t t0 = obs::now_ns();
-      fn(lo, hi, who);
+      (*base)(lo, hi, who);
       const std::int64_t t1 = obs::now_ns();
       timing[who].start_ns = t0;
       timing[who].busy_ns = t1 - t0;
@@ -200,20 +215,34 @@ void ThreadPool::parallel_for(
   }
 }
 
+namespace runtime_detail {
+thread_local ThreadPool* tl_pool = nullptr;
+}  // namespace runtime_detail
+
 namespace {
 std::unique_ptr<ThreadPool> g_pool;
+// Guards creation/re-creation of the global pool.  Concurrent *use* of the
+// global pool from several coordinators remains unsupported (its task slot
+// is single); concurrent solves bind private pools instead.
+std::mutex g_pool_mutex;
 }
 
 ThreadPool& runtime() {
-  unsigned want = config().mt_threads;
+  if (ThreadPool* bound = runtime_detail::tl_pool) return *bound;
+  const SacConfig& cfg = active_config();
+  unsigned want = cfg.mt_threads;
   if (want == 0) want = std::max(1u, std::thread::hardware_concurrency());
-  if (!config().mt_enabled) want = 1;
+  if (!cfg.mt_enabled) want = 1;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
   if (!g_pool || g_pool->thread_count() != want) {
     g_pool = std::make_unique<ThreadPool>(want);
   }
   return *g_pool;
 }
 
-void shutdown_runtime() { g_pool.reset(); }
+void shutdown_runtime() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool.reset();
+}
 
 }  // namespace sacpp::sac

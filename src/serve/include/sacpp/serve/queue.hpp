@@ -1,0 +1,112 @@
+#pragma once
+// Bounded admission queue with priority lanes and deadline shedding.
+//
+// One FIFO lane per Priority.  The queue owns each queued job's result
+// promise, so every admission decision — accept, reject-at-capacity, evict a
+// lower-priority job, shed an expired deadline — fulfils the affected
+// promise immediately; callers always get an answer, never a dangling
+// future.
+//
+// Backpressure policy (docs/serve.md):
+//   * Total depth is bounded by `capacity`.  A push into a full queue evicts
+//     the NEWEST job of the LOWEST non-empty lane that is strictly lower
+//     priority than the incoming job (its promise resolves kShedCapacity);
+//     with no such victim the incoming job itself is rejected.
+//   * pop_best() sweeps expired deadlines first (kShedDeadline), then scans
+//     lanes high -> low, FIFO within a lane, returning the first job whose
+//     gang fits the caller's free core budget.
+//   * A small job may bypass a too-big head-of-line job at most
+//     kMaxHeadBypass consecutive times; after that the queue holds dispatch
+//     until the head job fits, so wide gangs cannot starve.
+//
+// Thread safety: fully internally synchronised; any thread may push, pop,
+// or poke.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "sacpp/serve/job.hpp"
+
+namespace sacpp::serve {
+
+// A request plus the bookkeeping the scheduler needs.  Timestamps are on the
+// obs::now_ns() steady clock.
+struct QueuedJob {
+  SolveRequest request;
+  std::uint32_t gang = 1;        // resolved worker-thread grant
+  std::int64_t submit_ns = 0;    // submit() entry
+  std::int64_t enqueue_ns = 0;   // admission into the queue
+  std::int64_t deadline_ns = 0;  // absolute deadline; 0 = none
+  std::promise<SolveResult> promise;
+};
+
+struct QueueCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;       // pushed into a full queue, no victim
+  std::uint64_t evicted = 0;        // displaced by a higher-priority push
+  std::uint64_t shed_deadline = 0;  // expired before dispatch
+  std::uint64_t dispatched = 0;
+  std::size_t peak_depth = 0;
+};
+
+class AdmissionQueue {
+ public:
+  // Consecutive dispatches allowed to jump over a head-of-line job that does
+  // not fit the free-core budget before the queue insists on draining it.
+  static constexpr std::uint32_t kMaxHeadBypass = 8;
+
+  explicit AdmissionQueue(std::size_t capacity);
+
+  enum class Admit : std::uint8_t {
+    kAccepted,
+    kAcceptedEvicted,  // accepted; a lower-priority job was displaced
+    kRejected,         // full and nothing lower-priority to displace
+    kClosed,           // queue closed (service stopping)
+  };
+
+  // Always consumes `job`: on kRejected / kClosed its promise is fulfilled
+  // (kShedCapacity) before returning, so the caller only keeps the future.
+  Admit push(QueuedJob&& job);
+
+  // Non-blocking: shed expired jobs, then hand out the best dispatchable job
+  // whose gang fits `free_cores`.  `now_ns` is obs::now_ns() at the call.
+  bool pop_best(unsigned free_cores, std::int64_t now_ns, QueuedJob* out);
+
+  // Park until a push/poke/close arrives or `timeout_ns` elapses.
+  void wait_for_work(std::int64_t timeout_ns);
+
+  // Wake all waiters (e.g. cores were just freed, so a parked scheduler
+  // should rescan).
+  void poke();
+
+  // Stop admitting; subsequent pushes return kClosed.  Queued jobs remain
+  // poppable so a draining shutdown can finish them.
+  void close();
+  bool closed() const;
+
+  // Fulfil every queued job's promise with `status` and empty the queue
+  // (non-draining shutdown).  Returns how many were flushed.
+  std::size_t shed_all(SolveStatus status, const std::string& why);
+
+  std::size_t depth() const;
+  std::size_t lane_depth(Priority p) const;
+  QueueCounters counters() const;
+
+ private:
+  std::size_t depth_locked() const;
+  static void settle(QueuedJob&& job, SolveStatus status,
+                     const std::string& why);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<QueuedJob> lanes_[kPriorityLanes];
+  QueueCounters counters_;
+  std::uint32_t head_bypass_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sacpp::serve

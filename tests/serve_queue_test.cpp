@@ -1,0 +1,212 @@
+// AdmissionQueue tests: priority ordering, bounded capacity with eviction,
+// deadline shedding, gang-fit scheduling with bounded head-of-line bypass,
+// and shutdown settling.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "sacpp/serve/queue.hpp"
+
+using namespace sacpp::serve;
+
+namespace {
+
+struct Handle {
+  std::future<SolveResult> future;
+};
+
+QueuedJob make_job(std::uint64_t id, Priority priority, Handle* handle,
+                   std::uint32_t gang = 1, std::int64_t deadline_ns = 0) {
+  QueuedJob job;
+  job.request.id = id;
+  job.request.priority = priority;
+  job.gang = gang;
+  job.deadline_ns = deadline_ns;
+  handle->future = job.promise.get_future();
+  return job;
+}
+
+bool settled(Handle& handle) {
+  return handle.future.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+TEST(ServeQueue, PriorityThenFifoOrder) {
+  AdmissionQueue queue(8);
+  Handle h[5];
+  queue.push(make_job(1, Priority::kLow, &h[0]));
+  queue.push(make_job(2, Priority::kNormal, &h[1]));
+  queue.push(make_job(3, Priority::kHigh, &h[2]));
+  queue.push(make_job(4, Priority::kHigh, &h[3]));
+  queue.push(make_job(5, Priority::kNormal, &h[4]));
+
+  std::vector<std::uint64_t> order;
+  QueuedJob job;
+  while (queue.pop_best(/*free_cores=*/8, /*now_ns=*/0, &job)) {
+    order.push_back(job.request.id);
+    job.promise.set_value({});  // settle so the promise is not abandoned
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{3, 4, 2, 5, 1}));
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(ServeQueue, RejectsWhenFullOfEqualPriority) {
+  AdmissionQueue queue(2);
+  Handle h[3];
+  EXPECT_EQ(queue.push(make_job(1, Priority::kNormal, &h[0])),
+            AdmissionQueue::Admit::kAccepted);
+  EXPECT_EQ(queue.push(make_job(2, Priority::kNormal, &h[1])),
+            AdmissionQueue::Admit::kAccepted);
+  EXPECT_EQ(queue.push(make_job(3, Priority::kNormal, &h[2])),
+            AdmissionQueue::Admit::kRejected);
+  // The rejected job's future resolves immediately with a shed status.
+  ASSERT_TRUE(settled(h[2]));
+  const SolveResult res = h[2].future.get();
+  EXPECT_EQ(res.status, SolveStatus::kShedCapacity);
+  EXPECT_EQ(res.id, 3u);
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.counters().rejected, 1u);
+}
+
+TEST(ServeQueue, HighPriorityEvictsNewestLowest) {
+  AdmissionQueue queue(3);
+  Handle h[4];
+  queue.push(make_job(1, Priority::kLow, &h[0]));
+  queue.push(make_job(2, Priority::kLow, &h[1]));
+  queue.push(make_job(3, Priority::kNormal, &h[2]));
+  EXPECT_EQ(queue.push(make_job(4, Priority::kHigh, &h[3])),
+            AdmissionQueue::Admit::kAcceptedEvicted);
+  // The NEWEST low job (id 2) is the victim; the older one keeps its slot.
+  ASSERT_TRUE(settled(h[1]));
+  EXPECT_EQ(h[1].future.get().status, SolveStatus::kShedCapacity);
+  EXPECT_FALSE(settled(h[0]));
+  EXPECT_EQ(queue.depth(), 3u);
+  EXPECT_EQ(queue.counters().evicted, 1u);
+
+  QueuedJob job;
+  ASSERT_TRUE(queue.pop_best(1, 0, &job));
+  EXPECT_EQ(job.request.id, 4u);  // the high job went to the front
+  job.promise.set_value({});
+  ASSERT_TRUE(queue.pop_best(1, 0, &job));
+  job.promise.set_value({});
+  ASSERT_TRUE(queue.pop_best(1, 0, &job));
+  EXPECT_EQ(job.request.id, 1u);
+  job.promise.set_value({});
+}
+
+TEST(ServeQueue, LowestPriorityPushIntoFullQueueIsRejected) {
+  AdmissionQueue queue(1);
+  Handle h[2];
+  queue.push(make_job(1, Priority::kHigh, &h[0]));
+  // A low push cannot evict the high occupant.
+  EXPECT_EQ(queue.push(make_job(2, Priority::kLow, &h[1])),
+            AdmissionQueue::Admit::kRejected);
+  EXPECT_FALSE(settled(h[0]));
+}
+
+TEST(ServeQueue, DeadlineShedAtPop) {
+  AdmissionQueue queue(8);
+  Handle expired, alive;
+  queue.push(make_job(1, Priority::kNormal, &expired, 1, /*deadline=*/100));
+  queue.push(make_job(2, Priority::kNormal, &alive, 1, /*deadline=*/1000));
+
+  QueuedJob job;
+  // At now=500 job 1 is past its deadline: shed, never dispatched.
+  ASSERT_TRUE(queue.pop_best(8, /*now_ns=*/500, &job));
+  EXPECT_EQ(job.request.id, 2u);
+  job.promise.set_value({});
+  ASSERT_TRUE(settled(expired));
+  EXPECT_EQ(expired.future.get().status, SolveStatus::kShedDeadline);
+  EXPECT_EQ(queue.counters().shed_deadline, 1u);
+}
+
+TEST(ServeQueue, GangTooWideIsHeldNotDropped) {
+  AdmissionQueue queue(8);
+  Handle wide;
+  queue.push(make_job(1, Priority::kNormal, &wide, /*gang=*/4));
+  QueuedJob job;
+  EXPECT_FALSE(queue.pop_best(/*free_cores=*/2, 0, &job));
+  EXPECT_EQ(queue.depth(), 1u);  // still queued, waiting for cores
+  EXPECT_TRUE(queue.pop_best(/*free_cores=*/4, 0, &job));
+  job.promise.set_value({});
+}
+
+TEST(ServeQueue, SmallJobsBypassWideHeadOnlyBoundedly) {
+  AdmissionQueue queue(64);
+  Handle wide;
+  queue.push(make_job(1, Priority::kHigh, &wide, /*gang=*/8));
+  std::vector<Handle> small(AdmissionQueue::kMaxHeadBypass + 2);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    queue.push(
+        make_job(100 + i, Priority::kNormal, &small[i], /*gang=*/1));
+  }
+  // With only 2 free cores the wide head never fits; small jobs may jump it
+  // at most kMaxHeadBypass consecutive times, then dispatch stalls.
+  QueuedJob job;
+  for (std::uint32_t i = 0; i < AdmissionQueue::kMaxHeadBypass; ++i) {
+    ASSERT_TRUE(queue.pop_best(2, 0, &job)) << "bypass " << i;
+    EXPECT_GE(job.request.id, 100u);
+    job.promise.set_value({});
+  }
+  EXPECT_FALSE(queue.pop_best(2, 0, &job))
+      << "bypass budget exhausted: the queue must hold for the head job";
+  // Once the wide job fits, it dispatches and the bypass budget resets.
+  ASSERT_TRUE(queue.pop_best(8, 0, &job));
+  EXPECT_EQ(job.request.id, 1u);
+  job.promise.set_value({});
+  ASSERT_TRUE(queue.pop_best(2, 0, &job));
+  job.promise.set_value({});
+}
+
+TEST(ServeQueue, CloseSettlesSubsequentPushes) {
+  AdmissionQueue queue(4);
+  Handle before, after;
+  queue.push(make_job(1, Priority::kNormal, &before));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.push(make_job(2, Priority::kNormal, &after)),
+            AdmissionQueue::Admit::kClosed);
+  ASSERT_TRUE(settled(after));
+  EXPECT_EQ(after.future.get().status, SolveStatus::kShedCapacity);
+  // Jobs queued before the close stay poppable (draining shutdown)...
+  QueuedJob job;
+  ASSERT_TRUE(queue.pop_best(4, 0, &job));
+  job.promise.set_value({});
+}
+
+TEST(ServeQueue, ShedAllSettlesEverything) {
+  AdmissionQueue queue(8);
+  std::vector<Handle> handles(5);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    queue.push(make_job(i + 1, Priority::kLow, &handles[i]));
+  }
+  EXPECT_EQ(queue.shed_all(SolveStatus::kShedCapacity, "stopping"), 5u);
+  EXPECT_EQ(queue.depth(), 0u);
+  for (Handle& h : handles) {
+    ASSERT_TRUE(settled(h));
+    const SolveResult res = h.future.get();
+    EXPECT_EQ(res.status, SolveStatus::kShedCapacity);
+    EXPECT_EQ(res.error, "stopping");
+  }
+}
+
+TEST(ServeQueue, CountersAndPeakDepth) {
+  AdmissionQueue queue(4);
+  Handle h[4];
+  for (int i = 0; i < 4; ++i) {
+    queue.push(make_job(static_cast<std::uint64_t>(i), Priority::kNormal,
+                        &h[i]));
+  }
+  QueuedJob job;
+  while (queue.pop_best(4, 0, &job)) job.promise.set_value({});
+  const QueueCounters counters = queue.counters();
+  EXPECT_EQ(counters.accepted, 4u);
+  EXPECT_EQ(counters.dispatched, 4u);
+  EXPECT_EQ(counters.peak_depth, 4u);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Wire framing tests: request/result round trips, stream reassembly,
+// malformed-frame rejection, and the double-packed msg::World transport.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sacpp/msg/msg.hpp"
+#include "sacpp/serve/wire.hpp"
+
+using namespace sacpp;
+using namespace sacpp::serve;
+
+namespace {
+
+SolveRequest sample_request() {
+  SolveRequest req;
+  req.id = 0x0123456789abcdefull;
+  req.cls = mg::MgClass::W;
+  req.variant = mg::Variant::kSac;
+  req.nit = 7;
+  req.priority = Priority::kHigh;
+  req.stencil_mode = sac::StencilMode::kPlanes;
+  req.gang = 3;
+  req.deadline_ns = 1'500'000'000;
+  req.record_norms = true;
+  return req;
+}
+
+SolveResult sample_result() {
+  SolveResult res;
+  res.id = 42;
+  res.status = SolveStatus::kDeadlineMiss;
+  res.final_norm = 5.307707005734909e-05;
+  res.seconds = 0.125;
+  res.queue_ns = 1234;
+  res.e2e_ns = 56789;
+  res.gang = 2;
+  res.verified = true;
+  res.error = "late by 3ms";
+  return res;
+}
+
+TEST(ServeWire, RequestRoundTrip) {
+  const SolveRequest req = sample_request();
+  const std::vector<std::uint8_t> frame = encode_request(req);
+  ASSERT_EQ(frame_size(frame), frame.size());
+
+  SolveRequest back;
+  std::string error;
+  ASSERT_TRUE(decode_request(frame, &back, &error)) << error;
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.cls, req.cls);
+  EXPECT_EQ(back.variant, req.variant);
+  EXPECT_EQ(back.nit, req.nit);
+  EXPECT_EQ(back.priority, req.priority);
+  EXPECT_EQ(back.stencil_mode, req.stencil_mode);
+  EXPECT_EQ(back.gang, req.gang);
+  EXPECT_EQ(back.deadline_ns, req.deadline_ns);
+  EXPECT_EQ(back.record_norms, req.record_norms);
+}
+
+TEST(ServeWire, ResultRoundTrip) {
+  const SolveResult res = sample_result();
+  const std::vector<std::uint8_t> frame = encode_result(res);
+  ASSERT_EQ(frame_size(frame), frame.size());
+
+  SolveResult back;
+  std::string error;
+  ASSERT_TRUE(decode_result(frame, &back, &error)) << error;
+  EXPECT_EQ(back.id, res.id);
+  EXPECT_EQ(back.status, res.status);
+  EXPECT_EQ(back.final_norm, res.final_norm);  // bit-exact through the wire
+  EXPECT_EQ(back.seconds, res.seconds);
+  EXPECT_EQ(back.queue_ns, res.queue_ns);
+  EXPECT_EQ(back.e2e_ns, res.e2e_ns);
+  EXPECT_EQ(back.gang, res.gang);
+  EXPECT_EQ(back.verified, res.verified);
+  EXPECT_EQ(back.error, res.error);
+}
+
+TEST(ServeWire, StreamReassembly) {
+  // Two frames concatenated: frame_size peels them one at a time, and a
+  // partial prefix reports "incomplete" instead of guessing.
+  const std::vector<std::uint8_t> a = encode_request(sample_request());
+  const std::vector<std::uint8_t> b = encode_result(sample_result());
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  ASSERT_EQ(frame_size(stream), a.size());
+  const std::span<const std::uint8_t> rest =
+      std::span<const std::uint8_t>(stream).subspan(a.size());
+  ASSERT_EQ(frame_size(rest), b.size());
+
+  for (std::size_t cut = 0; cut < a.size(); ++cut) {
+    EXPECT_EQ(frame_size(std::span<const std::uint8_t>(a.data(), cut)), 0u)
+        << "prefix of " << cut << " bytes should be incomplete";
+  }
+}
+
+TEST(ServeWire, RejectsWrongMagic) {
+  std::vector<std::uint8_t> frame = encode_request(sample_request());
+  frame[4] ^= 0xff;  // corrupt the magic
+  SolveRequest out;
+  std::string error;
+  EXPECT_FALSE(decode_request(frame, &out, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  // A result frame is not a request frame either.
+  EXPECT_FALSE(decode_request(encode_result(sample_result()), &out, &error));
+}
+
+TEST(ServeWire, RejectsBadVersion) {
+  std::vector<std::uint8_t> frame = encode_request(sample_request());
+  frame[8] = kWireVersion + 1;
+  SolveRequest out;
+  std::string error;
+  EXPECT_FALSE(decode_request(frame, &out, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(ServeWire, RejectsTruncatedAndOversized) {
+  const std::vector<std::uint8_t> frame = encode_request(sample_request());
+  SolveRequest out;
+  std::string error;
+  // Truncated: drop the last byte.
+  EXPECT_FALSE(decode_request(
+      std::span<const std::uint8_t>(frame.data(), frame.size() - 1), &out,
+      &error));
+  // Length prefix beyond the cap: frame_size clamps, decode reports.
+  std::vector<std::uint8_t> huge = frame;
+  huge[0] = 0xff;
+  huge[1] = 0xff;
+  huge[2] = 0xff;
+  huge[3] = 0x7f;
+  EXPECT_FALSE(decode_request(huge, &out, &error));
+}
+
+TEST(ServeWire, RejectsOutOfRangeEnums) {
+  // Priority byte sits after length(4) + magic(4) + version(1) + id(8) +
+  // cls(1) + variant(1).
+  std::vector<std::uint8_t> frame = encode_request(sample_request());
+  frame[19] = 99;
+  SolveRequest out;
+  std::string error;
+  EXPECT_FALSE(decode_request(frame, &out, &error));
+  EXPECT_NE(error.find("priority"), std::string::npos) << error;
+}
+
+TEST(ServeWire, DoublePackingRoundTrip) {
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    std::vector<std::uint8_t> bytes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    }
+    const std::vector<double> packed = frame_to_doubles(bytes);
+    EXPECT_EQ(frame_from_doubles(packed), bytes) << "n=" << n;
+  }
+}
+
+TEST(ServeWire, RpcOverMsgWorld) {
+  // Full request/response over the SPMD substrate: rank 0 is the client,
+  // rank 1 decodes, "solves", and answers.
+  msg::World world(2);
+  world.run([](msg::Comm& comm) {
+    constexpr int kTag = 7;
+    if (comm.rank() == 0) {
+      send_frame(comm, 1, kTag, encode_request(sample_request()));
+      const std::vector<std::uint8_t> reply = recv_frame(comm, 1, kTag);
+      SolveResult res;
+      std::string error;
+      ASSERT_TRUE(decode_result(reply, &res, &error)) << error;
+      EXPECT_EQ(res.id, sample_request().id);
+      EXPECT_EQ(res.status, SolveStatus::kOk);
+    } else {
+      const std::vector<std::uint8_t> frame = recv_frame(comm, 0, kTag);
+      SolveRequest req;
+      std::string error;
+      ASSERT_TRUE(decode_request(frame, &req, &error)) << error;
+      SolveResult res;
+      res.id = req.id;
+      res.status = SolveStatus::kOk;
+      send_frame(comm, 0, kTag, encode_result(res));
+    }
+  });
+}
+
+}  // namespace

@@ -29,9 +29,11 @@
 #include <thread>
 #include <vector>
 
+#include "sacpp/check/diagnostics.hpp"
 #include "sacpp/common/cli.hpp"
 #include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/serve/selfcheck.hpp"
 #include "sacpp/serve/server.hpp"
 #include "sacpp/serve/wire.hpp"
 
@@ -267,9 +269,41 @@ int main(int argc, char** argv) {
   cli.add_option("max-conns", "0", "exit after N connections (0 = forever)");
   cli.add_flag("obs", "enable telemetry; dump metrics at exit");
   cli.add_flag("selftest", "loopback round trip over TCP, then exit");
+  cli.add_flag("check",
+               "--check=<protocol|locks|schedule|all>: run the serve "
+               "protocol/concurrency verifier before the selftest");
+  cli.add_option("lock-graph-out", "",
+                 "write the recorded lock graph as Graphviz "
+                 "(--check=locks)");
   if (!cli.parse(argc, argv)) return 1;
 
   if (cli.get_flag("obs")) obs::set_enabled(true);
+
+  // Verifier passes run stand-alone (docs/static_analysis.md): each is
+  // independently CI-failable with exit status 2.
+  const std::string check_arg = cli.get("check");
+  if (!check_arg.empty() && check_arg != "0" && !cli.get_flag("check")) {
+    serve::CheckPass pass;
+    if (!serve::parse_check_pass(check_arg, &pass)) {
+      std::fprintf(stderr,
+                   "mg_server: unknown --check pass '%s' "
+                   "(protocol | locks | schedule | all)\n",
+                   check_arg.c_str());
+      return 1;
+    }
+    serve::SelfCheckOptions sopts;
+    sopts.lock_graph_path = cli.get("lock-graph-out");
+    check::DiagnosticEngine engine;
+    const bool ok = serve::run_self_checks(pass, sopts, &engine);
+    std::printf("%s", engine.to_ascii(std::string("sacpp_check --check=") +
+                                      serve::check_pass_name(pass))
+                          .c_str());
+    std::printf("mg_server: --check=%s %s\n", serve::check_pass_name(pass),
+                ok ? "PASS" : "FAIL");
+    if (!ok || !cli.get_flag("selftest")) return ok ? 0 : 2;
+    // A clean verifier run with --selftest falls through to the loopback
+    // round trip so CI can chain both in one invocation.
+  }
 
   serve::ServeConfig cfg;
   cfg.total_cores = static_cast<unsigned>(cli.get_int("cores"));

@@ -15,6 +15,12 @@
 // checked mode: the array runtime records aliasing and parallel-region
 // events and the sacpp_check analyses report on them after the run
 // (docs/static_analysis.md).  Diagnostics set exit status 2.
+//
+// --check=<protocol|locks|schedule|all> instead runs the protocol &
+// concurrency verifier over the serving stack — session-typed wire
+// conformance, lock-order cycle analysis, and the schedule-exploring
+// checker — without the benchmark run; each pass is independently
+// CI-failable (exit status 2 on findings).
 
 #include <cstdio>
 #include <memory>
@@ -28,6 +34,7 @@
 #include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/stats.hpp"
+#include "sacpp/serve/selfcheck.hpp"
 
 using namespace sacpp;
 using namespace sacpp::mg;
@@ -85,7 +92,17 @@ int main(int argc, char** argv) {
                  "implementation: sac | f77 | omp | direct");
   cli.add_flag("no-warmup", "skip the untimed warm-up iteration");
   cli.add_flag("norms", "print the residual norm after every iteration");
-  cli.add_flag("check", "run under the sacpp_check runtime analyses");
+  cli.add_flag("check",
+               "run under the sacpp_check runtime analyses; "
+               "--check=<protocol|locks|schedule|all> runs the serve "
+               "protocol/concurrency verifier instead");
+  cli.add_option("schedules", "1000",
+                 "interleavings explored by --check=schedule");
+  cli.add_option("schedule-seed", "0",
+                 "replay exactly this schedule seed (--check=schedule)");
+  cli.add_option("lock-graph-out", "",
+                 "write the recorded lock graph as Graphviz "
+                 "(--check=locks)");
   cli.add_option("pool", "",
                  "buffer pool: on | off (default: config / SACPP_POOL)");
   cli.add_option("stencil-mode", "",
@@ -99,6 +116,34 @@ int main(int argc, char** argv) {
   cli.add_option("metrics-out", "",
                  "write a Prometheus-style text metrics dump");
   if (!cli.parse(argc, argv)) return 1;
+
+  // --check with a pass selector short-circuits into the serve verifier;
+  // the bare flag (or any truthy spelling) keeps its historical meaning of
+  // a checked benchmark run.
+  const std::string check_arg = cli.get("check");
+  if (!check_arg.empty() && check_arg != "0" && !cli.get_flag("check")) {
+    serve::CheckPass pass;
+    if (!serve::parse_check_pass(check_arg, &pass)) {
+      std::fprintf(stderr,
+                   "npb_mg: unknown --check pass '%s' "
+                   "(protocol | locks | schedule | all)\n",
+                   check_arg.c_str());
+      return 1;
+    }
+    serve::SelfCheckOptions sopts;
+    sopts.schedules = static_cast<std::uint64_t>(cli.get_int("schedules"));
+    sopts.schedule_seed =
+        static_cast<std::uint64_t>(cli.get_int("schedule-seed"));
+    sopts.lock_graph_path = cli.get("lock-graph-out");
+    check::DiagnosticEngine engine;
+    const bool ok = serve::run_self_checks(pass, sopts, &engine);
+    std::printf("%s", engine.to_ascii(std::string("sacpp_check --check=") +
+                                      serve::check_pass_name(pass))
+                          .c_str());
+    std::printf("npb_mg: --check=%s %s\n", serve::check_pass_name(pass),
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 2;
+  }
 
   const MgSpec spec = MgSpec::for_class(parse_class(cli.get("class")));
   const Variant variant = parse_variant(cli.get("impl"));

@@ -6,11 +6,19 @@
 //   wlgraph_verify.hpp  with-loop graph and generator-partition verifier
 //   runtime_check.hpp   alias/uniqueness checker, race detector, Session
 //   fuzz.hpp            verifier fuzzing harness
+//   session.hpp         session-typed channels: spec IR, TypedChannel,
+//                       runtime conformance monitor
+//   lockorder.hpp       lock-acquisition-order cycle analysis
+//   schedule.hpp        PCT-style schedule-exploring checker
 //
 // Checked mode is off by default; enable per-run with SACPP_CHECK=1 (or the
-// MG driver's --check flag), or programmatically with check::Session.
+// MG driver's --check flag / --check=<pass> selector), or programmatically
+// with check::Session / check::LockOrderSession.
 
 #include "sacpp/check/diagnostics.hpp"
 #include "sacpp/check/fuzz.hpp"
+#include "sacpp/check/lockorder.hpp"
 #include "sacpp/check/runtime_check.hpp"
+#include "sacpp/check/schedule.hpp"
+#include "sacpp/check/session.hpp"
 #include "sacpp/check/wlgraph_verify.hpp"

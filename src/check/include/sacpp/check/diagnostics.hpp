@@ -19,9 +19,12 @@ namespace sacpp::check {
 enum class Severity { kWarning, kError };
 
 enum class Pass {
-  kWlGraph,  // static with-loop graph / generator-partition verification
-  kAlias,    // uniqueness / alias checking of buffer reuse
-  kRace,     // parallel-region write-interval and ownership checking
+  kWlGraph,    // static with-loop graph / generator-partition verification
+  kAlias,      // uniqueness / alias checking of buffer reuse
+  kRace,       // parallel-region write-interval and ownership checking
+  kSession,    // session-typed channel conformance (protocol monitor)
+  kLockOrder,  // lock-acquisition-order cycle analysis
+  kSchedule,   // schedule-exploring state-machine checker
 };
 
 const char* severity_name(Severity s);

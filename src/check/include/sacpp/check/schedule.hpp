@@ -1,0 +1,114 @@
+#pragma once
+// Schedule-exploring checker: a PCT-style randomized-preemption harness
+// (docs/static_analysis.md).
+//
+// Concurrency bugs in admission/dispatch state machines hide in specific
+// interleavings a handful of TSan runs never produce.  This harness makes
+// the interleaving itself the fuzzed input: a scenario is a set of tasks,
+// each an ordered list of atomic steps (operations on the object under
+// test); the explorer runs the scenario under thousands of schedules, each
+// derived deterministically from a seed using the probabilistic concurrency
+// testing discipline (Burckhardt et al.): random task priorities plus d
+// random preemption points, which provably hits any depth-d ordering bug
+// with good probability.  Steps execute serialized (one at a time), so the
+// explorer controls exactly which operation-order the object observes and a
+// failure is a pure function of the seed.
+//
+// Invariants are asserted inside steps or in the scenario's `finally` hook;
+// any exception (SACPP_REQUIRE's ContractError, a gtest-independent
+// std::logic_error, std::future_error from a double-settled promise) fails
+// the schedule.  A failure reports the seed; replay(seed) re-runs that
+// exact interleaving, which is what the regression tests pin.
+//
+// serve::run_schedule_check builds the AdmissionQueue / SolverService
+// scenarios on top of this harness.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sacpp/check/diagnostics.hpp"
+
+namespace sacpp::check {
+
+// SplitMix64: tiny, seedable, and stable across platforms — schedules must
+// replay bit-identically from a seed on any machine.
+class ScheduleRng {
+ public:
+  explicit ScheduleRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n); n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct ScheduleOptions {
+  std::uint64_t schedules = 1000;  // seeds explored per run()
+  std::uint64_t first_seed = 1;    // schedule i uses seed first_seed + i
+  int preemptions = 3;             // PCT depth (priority-change points)
+  bool stop_on_failure = true;
+};
+
+struct ScheduleTask {
+  std::string name;
+  std::vector<std::function<void()>> steps;
+};
+
+// A fresh scenario is built per schedule so state never leaks between
+// seeds.  The builder receives the schedule's seed: scenarios may use it to
+// diversify their *operation mix* (priorities, deadlines) on top of the
+// interleaving diversity the explorer provides.
+struct ScheduleScenario {
+  std::vector<ScheduleTask> tasks;
+  std::function<void()> finally;  // end-of-schedule invariants (may be null)
+};
+
+using ScenarioBuilder = std::function<ScheduleScenario(std::uint64_t seed)>;
+
+struct ScheduleReport {
+  std::uint64_t schedules_run = 0;
+  std::uint64_t steps_run = 0;
+  bool failed = false;
+  std::uint64_t failing_seed = 0;
+  std::string failure;         // first failure's what()
+  std::string failing_task;    // task (or "finally") that threw
+
+  // The exact interleaving of the LAST schedule executed, as task indices in
+  // execution order — replay asserts on this to pin a schedule.
+  std::vector<std::size_t> last_interleaving;
+};
+
+class ScheduleExplorer {
+ public:
+  explicit ScheduleExplorer(ScheduleOptions opts = {});
+
+  // Explore opts.schedules seeds.  Failures are reported into `engine`
+  // (Pass::kSchedule) with the seed required to replay them.
+  ScheduleReport run(const ScenarioBuilder& build,
+                     DiagnosticEngine* engine = nullptr);
+
+  // Re-run exactly one seed's interleaving (deterministic: same seed + same
+  // builder => same step order, recorded in last_interleaving).
+  ScheduleReport replay(std::uint64_t seed, const ScenarioBuilder& build,
+                        DiagnosticEngine* engine = nullptr);
+
+  const ScheduleOptions& options() const noexcept { return opts_; }
+
+ private:
+  bool run_one(std::uint64_t seed, const ScenarioBuilder& build,
+               ScheduleReport* report, DiagnosticEngine* engine);
+
+  ScheduleOptions opts_;
+};
+
+}  // namespace sacpp::check

@@ -1,0 +1,239 @@
+#pragma once
+// Session-typed channels: a protocol-spec IR plus two enforcement layers
+// (docs/static_analysis.md).
+//
+// Grounded in the session-types programme of Bejleri/Hu/Yoshida
+// (Session-Based Programming for Parallel Algorithms, PAPERS.md): a channel's
+// legal send/recv sequence is a first-class specification, and an endpoint
+// that deviates is rejected — at compile time where the call structure is
+// static, at run time where frames arrive from a peer.
+//
+//  1. SessionSpec — a small state machine over typed events: each transition
+//     says "in state S, this endpoint may send/recv a frame of kind K
+//     (optionally a specific choice branch), moving to state T".  Loops are
+//     transitions back to an earlier state; choices are multiple transitions
+//     from one state distinguished by branch.  The serve wire protocol
+//     (SRQ1 request -> SRS1 response with ok/shed/reject branches) and the
+//     msg::World collectives are expressed as specs in serve::selfcheck and
+//     collective_session_spec below.
+//
+//  2. TypedChannel<Transport, Proto> — the static layer.  The remaining
+//     protocol is carried in the *type*: send()/recv() exist only when the
+//     protocol's head step permits them, and each op consumes the channel
+//     (rvalue-qualified) and returns one typed with the tail.  Sending out
+//     of order is a compile error, not a runtime finding.
+//
+//  3. SessionMonitor — the dynamic layer, behind SacConfig::check.  A
+//     monitor bound to the current thread (MonitorBinding) observes every
+//     serve::send_frame / recv_frame and validates it against the spec,
+//     reporting duplicate, out-of-order, and premature-termination events —
+//     plus, on finish(), transitions the traffic never exercised (dead
+//     branches) — through the DiagnosticEngine.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sacpp/check/diagnostics.hpp"
+
+namespace sacpp::check {
+
+// ---------------------------------------------------------------------------
+// Protocol-spec IR
+// ---------------------------------------------------------------------------
+
+enum class Dir : std::uint8_t { kSend, kRecv };
+
+const char* dir_name(Dir d) noexcept;
+
+// Branch discriminator for choice transitions; kAnyBranch matches every
+// observed branch (used by requests, which carry no choice).
+inline constexpr std::uint32_t kAnyBranch = 0xffffffffu;
+
+struct SessionSpec {
+  struct Transition {
+    int from = 0;
+    Dir dir = Dir::kSend;
+    std::uint32_t kind = 0;          // frame kind (e.g. the wire magic)
+    std::uint32_t branch = kAnyBranch;  // choice label, kAnyBranch = all
+    int to = 0;
+    std::string label;               // human name for diagnostics
+  };
+
+  std::string name;
+  int start = 0;
+  std::vector<Transition> transitions;
+  std::vector<int> accepting;  // states in which the session may end
+
+  // Index into `transitions` of the transition matching (dir, kind, branch)
+  // from `state`; -1 when the event is illegal there.  A transition with
+  // branch == kAnyBranch matches any observed branch; an exact branch match
+  // wins over a wildcard.
+  int match(int state, Dir dir, std::uint32_t kind,
+            std::uint32_t branch = kAnyBranch) const;
+
+  bool accepts(int state) const;
+
+  // "send(SRQ1) -> 1 | ..." — what the spec allows from `state`, for
+  // diagnostics.
+  std::string describe_state(int state) const;
+};
+
+// Session spec of one msg::World collective, per peer session with the root:
+// a broadcast is root:send(bcast) / leaf:recv(bcast), optionally repeated.
+// `kind` is the collective's reserved-tag magnitude (1000 for broadcast,
+// 1001 gather, 1002 scatter — msg.cpp's reserved tags, negated).
+SessionSpec collective_session_spec(const std::string& collective,
+                                    std::uint32_t kind, Dir root_dir);
+
+// ---------------------------------------------------------------------------
+// Runtime conformance monitor
+// ---------------------------------------------------------------------------
+
+class SessionMonitor {
+ public:
+  // `endpoint` names the monitored side in diagnostics ("client", "rank0").
+  // The spec must outlive the monitor.
+  SessionMonitor(const SessionSpec* spec, std::string endpoint);
+
+  // Observe one channel event; illegal events are reported and the state is
+  // left unchanged (so one slip does not cascade into noise).
+  void on_event(Dir dir, std::uint32_t kind,
+                std::uint32_t branch = kAnyBranch);
+
+  // End of session: report a non-accepting final state (premature
+  // termination) and, when `report_dead` (default), spec transitions the
+  // session never took — dead protocol branches the traffic cannot reach.
+  void finish(bool report_dead = true);
+
+  int state() const noexcept { return state_; }
+  std::uint64_t events() const noexcept { return events_; }
+  bool clean() const { return engine_.empty(); }
+
+  DiagnosticEngine& engine() { return engine_; }
+  const DiagnosticEngine& engine() const { return engine_; }
+
+ private:
+  const SessionSpec* spec_;
+  std::string endpoint_;
+  int state_;
+  std::uint64_t events_ = 0;
+  std::vector<std::uint64_t> taken_;  // per-transition exercise counts
+  Dir last_dir_ = Dir::kSend;
+  std::uint32_t last_kind_ = 0;
+  bool have_last_ = false;
+  DiagnosticEngine engine_;
+};
+
+// Binds a monitor to the calling thread for the duration of a scope; while
+// bound (and SacConfig::check is on) serve::send_frame / recv_frame feed it
+// through note_channel_event.  Bindings nest, innermost wins.
+class MonitorBinding {
+ public:
+  explicit MonitorBinding(SessionMonitor* monitor) noexcept;
+  ~MonitorBinding();
+  MonitorBinding(const MonitorBinding&) = delete;
+  MonitorBinding& operator=(const MonitorBinding&) = delete;
+
+ private:
+  SessionMonitor* prev_;
+};
+
+// The monitor bound to the calling thread (nullptr when none).  Transport
+// layers call note_channel_event at every frame boundary; it is a no-op
+// without a binding, so the probe costs one thread-local read.
+SessionMonitor* bound_monitor() noexcept;
+void note_channel_event(Dir dir, std::uint32_t kind,
+                        std::uint32_t branch = kAnyBranch) noexcept;
+
+// ---------------------------------------------------------------------------
+// Compile-time typed channels
+// ---------------------------------------------------------------------------
+//
+// The protocol is a type-level sequence of steps.  A TypedChannel owns a
+// transport (anything with `void send(u32 kind, span-like)` and
+// `Payload recv(u32 kind)`) and exposes only the operation the head step
+// permits; every op is rvalue-qualified and returns the channel retyped with
+// the protocol tail, so a stale (already-advanced) channel state cannot be
+// reused and an out-of-order op does not compile.
+//
+//   using Proto = proto::Seq<proto::Send<kRequestMagic>,
+//                            proto::Recv<kResultMagic>>;
+//   auto c0 = make_typed_channel<Proto>(transport);
+//   auto c1 = std::move(c0).send(frame);   // only send compiles here
+//   auto c2 = std::move(c1).recv(&reply);  // only recv compiles here
+//   static_assert(decltype(c2)::kDone);
+
+namespace proto {
+
+template <std::uint32_t Kind>
+struct Send {};
+
+template <std::uint32_t Kind>
+struct Recv {};
+
+template <typename... Steps>
+struct Seq {};
+
+}  // namespace proto
+
+template <typename Transport, typename Proto>
+class TypedChannel;
+
+// Completed protocol: no operations left.
+template <typename Transport>
+class TypedChannel<Transport, proto::Seq<>> {
+ public:
+  static constexpr bool kDone = true;
+  explicit TypedChannel(Transport* t) noexcept : transport_(t) {}
+  Transport* transport() const noexcept { return transport_; }
+
+ private:
+  Transport* transport_;
+};
+
+// Head step is a send.
+template <typename Transport, std::uint32_t Kind, typename... Rest>
+class TypedChannel<Transport, proto::Seq<proto::Send<Kind>, Rest...>> {
+ public:
+  static constexpr bool kDone = false;
+  explicit TypedChannel(Transport* t) noexcept : transport_(t) {}
+
+  template <typename Frame>
+  TypedChannel<Transport, proto::Seq<Rest...>> send(const Frame& frame) && {
+    transport_->send(Kind, frame);
+    return TypedChannel<Transport, proto::Seq<Rest...>>(transport_);
+  }
+
+  Transport* transport() const noexcept { return transport_; }
+
+ private:
+  Transport* transport_;
+};
+
+// Head step is a recv.
+template <typename Transport, std::uint32_t Kind, typename... Rest>
+class TypedChannel<Transport, proto::Seq<proto::Recv<Kind>, Rest...>> {
+ public:
+  static constexpr bool kDone = false;
+  explicit TypedChannel(Transport* t) noexcept : transport_(t) {}
+
+  template <typename Out>
+  TypedChannel<Transport, proto::Seq<Rest...>> recv(Out* out) && {
+    *out = transport_->recv(Kind);
+    return TypedChannel<Transport, proto::Seq<Rest...>>(transport_);
+  }
+
+  Transport* transport() const noexcept { return transport_; }
+
+ private:
+  Transport* transport_;
+};
+
+template <typename Proto, typename Transport>
+TypedChannel<Transport, Proto> make_typed_channel(Transport& transport) {
+  return TypedChannel<Transport, Proto>(&transport);
+}
+
+}  // namespace sacpp::check

@@ -22,6 +22,12 @@ const char* pass_name(Pass p) {
       return "alias";
     case Pass::kRace:
       return "race";
+    case Pass::kSession:
+      return "session";
+    case Pass::kLockOrder:
+      return "lockorder";
+    case Pass::kSchedule:
+      return "schedule";
   }
   return "?";
 }

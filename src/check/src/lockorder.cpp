@@ -1,0 +1,78 @@
+#include "sacpp/check/lockorder.hpp"
+
+#include <atomic>
+#include <fstream>
+
+#include "sacpp/common/lockorder.hpp"
+#include "sacpp/obs/export.hpp"
+
+namespace sacpp::check {
+
+std::vector<Diagnostic> analyze_lock_order() {
+  LockRegistry& reg = LockRegistry::instance();
+  std::vector<Diagnostic> out;
+  for (const std::vector<int>& cycle : reg.find_cycles()) {
+    std::string path;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      if (i != 0) path += " -> ";
+      path += reg.lock_name(cycle[i]);
+    }
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.pass = Pass::kLockOrder;
+    d.location = reg.lock_name(cycle.front());
+    d.message = "lock-order cycle (potential deadlock): " + path +
+                "; threads taking these locks in the recorded orders "
+                "concurrently can wedge";
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+bool write_lock_graph(const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << LockRegistry::instance().to_dot();
+  return static_cast<bool>(out);
+}
+
+void register_lock_collector() {
+  static std::atomic<bool> registered{false};
+  if (registered.exchange(true)) return;
+  obs::register_collector([](obs::MetricSink& sink) {
+    LockRegistry& reg = LockRegistry::instance();
+    sink.gauge("sacpp_check_lock_classes",
+               static_cast<double>(reg.lock_count()),
+               "distinct instrumented lock classes registered");
+    sink.gauge("sacpp_check_lock_edges",
+               static_cast<double>(reg.edge_count()),
+               "recorded lock-order edges (acquired-while-holding pairs)");
+    sink.gauge("sacpp_check_lock_cycles",
+               static_cast<double>(reg.find_cycles().size()),
+               "lock-order cycles in the recorded graph (potential "
+               "deadlocks)");
+  });
+}
+
+LockOrderSession::LockOrderSession()
+    : prev_enabled_(LockRegistry::instance().enabled()) {
+  register_lock_collector();
+  LockRegistry::instance().reset_edges();
+  LockRegistry::instance().set_enabled(true);
+}
+
+LockOrderSession::~LockOrderSession() {
+  LockRegistry::instance().set_enabled(prev_enabled_);
+}
+
+DiagnosticEngine& LockOrderSession::finish() {
+  if (!finished_) {
+    finished_ = true;
+    LockRegistry::instance().set_enabled(prev_enabled_);
+    engine_.report_all(analyze_lock_order());
+  }
+  return engine_;
+}
+
+}  // namespace sacpp::check

@@ -1,0 +1,119 @@
+#include "sacpp/check/schedule.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace sacpp::check {
+
+ScheduleExplorer::ScheduleExplorer(ScheduleOptions opts) : opts_(opts) {}
+
+// One schedule: PCT over the scenario's steps.  Each task gets a distinct
+// random priority; the runnable task with the highest priority executes its
+// next step.  At `preemptions` randomly chosen global step indices the
+// running task's priority drops below everyone else's, forcing a context
+// switch there — exactly the "d preemption points" of PCT, which bounds the
+// schedules needed to expose any depth-d ordering bug.
+bool ScheduleExplorer::run_one(std::uint64_t seed, const ScenarioBuilder& build,
+                               ScheduleReport* report,
+                               DiagnosticEngine* engine) {
+  ScheduleScenario scenario = build(seed);
+  ScheduleRng rng(seed);
+
+  const std::size_t n_tasks = scenario.tasks.size();
+  std::vector<std::size_t> next_step(n_tasks, 0);
+  std::size_t total_steps = 0;
+  for (const ScheduleTask& t : scenario.tasks) total_steps += t.steps.size();
+
+  // Distinct priorities via a seeded shuffle (higher value = runs first).
+  std::vector<std::uint64_t> priority(n_tasks);
+  for (std::size_t i = 0; i < n_tasks; ++i) priority[i] = i + n_tasks;
+  for (std::size_t i = n_tasks; i > 1; --i) {
+    std::swap(priority[i - 1], priority[rng.below(i)]);
+  }
+
+  // Preemption points over the whole step sequence.
+  std::vector<std::size_t> preempt_at;
+  if (total_steps > 0) {
+    for (int i = 0; i < opts_.preemptions; ++i) {
+      preempt_at.push_back(static_cast<std::size_t>(rng.below(total_steps)));
+    }
+  }
+
+  report->last_interleaving.clear();
+  std::uint64_t demote_counter = 0;  // keeps demoted priorities distinct
+
+  auto fail = [&](const std::string& what, const std::string& where) {
+    report->failed = true;
+    report->failing_seed = seed;
+    report->failure = what;
+    report->failing_task = where;
+    if (engine != nullptr) {
+      engine->report(Severity::kError, Pass::kSchedule, where,
+                     what + " [schedule seed " + std::to_string(seed) +
+                         "; replay with --schedule-seed=" +
+                         std::to_string(seed) + " --schedules=1]");
+    }
+    return false;
+  };
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    // Highest-priority task with steps remaining.
+    std::size_t chosen = n_tasks;
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      if (next_step[t] >= scenario.tasks[t].steps.size()) continue;
+      if (chosen == n_tasks || priority[t] > priority[chosen]) chosen = t;
+    }
+    if (chosen == n_tasks) break;  // defensive; total_steps bounds the loop
+
+    report->last_interleaving.push_back(chosen);
+    try {
+      scenario.tasks[chosen].steps[next_step[chosen]]();
+    } catch (const std::exception& e) {
+      return fail(e.what(), scenario.tasks[chosen].name);
+    } catch (...) {
+      return fail("non-standard exception", scenario.tasks[chosen].name);
+    }
+    next_step[chosen] += 1;
+    report->steps_run += 1;
+
+    if (std::find(preempt_at.begin(), preempt_at.end(), step) !=
+        preempt_at.end()) {
+      // Demote the task that just ran below every initial priority.
+      priority[chosen] = demote_counter++;
+    }
+  }
+
+  if (scenario.finally) {
+    try {
+      scenario.finally();
+    } catch (const std::exception& e) {
+      return fail(e.what(), "finally");
+    } catch (...) {
+      return fail("non-standard exception", "finally");
+    }
+  }
+  return true;
+}
+
+ScheduleReport ScheduleExplorer::run(const ScenarioBuilder& build,
+                                     DiagnosticEngine* engine) {
+  ScheduleReport report;
+  for (std::uint64_t i = 0; i < opts_.schedules; ++i) {
+    const std::uint64_t seed = opts_.first_seed + i;
+    const bool ok = run_one(seed, build, &report, engine);
+    report.schedules_run += 1;
+    if (!ok && opts_.stop_on_failure) break;
+  }
+  return report;
+}
+
+ScheduleReport ScheduleExplorer::replay(std::uint64_t seed,
+                                        const ScenarioBuilder& build,
+                                        DiagnosticEngine* engine) {
+  ScheduleReport report;
+  run_one(seed, build, &report, engine);
+  report.schedules_run = 1;
+  return report;
+}
+
+}  // namespace sacpp::check

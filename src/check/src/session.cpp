@@ -1,0 +1,147 @@
+#include "sacpp/check/session.hpp"
+
+#include <cstdio>
+
+namespace sacpp::check {
+
+const char* dir_name(Dir d) noexcept {
+  return d == Dir::kSend ? "send" : "recv";
+}
+
+// ---------------------------------------------------------------------------
+// SessionSpec
+// ---------------------------------------------------------------------------
+
+int SessionSpec::match(int state, Dir dir, std::uint32_t kind,
+                       std::uint32_t branch) const {
+  int wildcard = -1;
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    const Transition& t = transitions[i];
+    if (t.from != state || t.dir != dir || t.kind != kind) continue;
+    if (t.branch == branch) return static_cast<int>(i);
+    if (t.branch == kAnyBranch) wildcard = static_cast<int>(i);
+  }
+  return wildcard;
+}
+
+bool SessionSpec::accepts(int state) const {
+  for (int s : accepting) {
+    if (s == state) return true;
+  }
+  return false;
+}
+
+std::string SessionSpec::describe_state(int state) const {
+  std::string out;
+  for (const Transition& t : transitions) {
+    if (t.from != state) continue;
+    if (!out.empty()) out += " | ";
+    out += dir_name(t.dir);
+    out += '(';
+    out += t.label;
+    out += ')';
+  }
+  if (out.empty()) out = "<no transition: session must end here>";
+  if (accepts(state)) out += " | end";
+  return out;
+}
+
+SessionSpec collective_session_spec(const std::string& collective,
+                                    std::uint32_t kind, Dir root_dir) {
+  // Per peer session with the root, from the ROOT's perspective; the leaf
+  // runs the dual (every Dir flipped).  One exchange per round; the loop
+  // transition returns to start so repeated collectives conform.
+  SessionSpec spec;
+  spec.name = "msg." + collective;
+  spec.start = 0;
+  spec.accepting = {0};
+  spec.transitions.push_back(
+      {0, root_dir, kind, kAnyBranch, 0, collective});
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// SessionMonitor
+// ---------------------------------------------------------------------------
+
+SessionMonitor::SessionMonitor(const SessionSpec* spec, std::string endpoint)
+    : spec_(spec),
+      endpoint_(std::move(endpoint)),
+      state_(spec->start),
+      taken_(spec->transitions.size(), 0) {}
+
+void SessionMonitor::on_event(Dir dir, std::uint32_t kind,
+                              std::uint32_t branch) {
+  events_ += 1;
+  const int idx = spec_->match(state_, dir, kind, branch);
+  if (idx >= 0) {
+    taken_[static_cast<std::size_t>(idx)] += 1;
+    state_ = spec_->transitions[static_cast<std::size_t>(idx)].to;
+    have_last_ = true;
+    last_dir_ = dir;
+    last_kind_ = kind;
+    return;
+  }
+  // Classify the violation: the same event repeated back-to-back when the
+  // spec has moved on is a duplicate; anything else is out-of-order.
+  const bool duplicate = have_last_ && dir == last_dir_ && kind == last_kind_;
+  std::string msg = std::string(duplicate ? "duplicate " : "out-of-order ") +
+                    dir_name(dir) + " of kind 0x";
+  char hex[16];
+  std::snprintf(hex, sizeof hex, "%x", kind);
+  msg += hex;
+  if (branch != kAnyBranch) {
+    msg += " (branch " + std::to_string(branch) + ")";
+  }
+  msg += " in state " + std::to_string(state_) + "; expected " +
+         spec_->describe_state(state_);
+  engine_.report(Severity::kError, Pass::kSession,
+                 spec_->name + "/" + endpoint_, std::move(msg));
+  // State intentionally unchanged: one slip should not cascade.
+}
+
+void SessionMonitor::finish(bool report_dead) {
+  if (!spec_->accepts(state_)) {
+    engine_.report(Severity::kError, Pass::kSession,
+                   spec_->name + "/" + endpoint_,
+                   "session ended in non-accepting state " +
+                       std::to_string(state_) + "; expected " +
+                       spec_->describe_state(state_));
+  }
+  if (report_dead && events_ > 0) {
+    for (std::size_t i = 0; i < taken_.size(); ++i) {
+      if (taken_[i] != 0) continue;
+      const SessionSpec::Transition& t = spec_->transitions[i];
+      engine_.report(Severity::kWarning, Pass::kSession,
+                     spec_->name + "/" + endpoint_,
+                     "dead transition: " + std::string(dir_name(t.dir)) +
+                         "(" + t.label + ") from state " +
+                         std::to_string(t.from) +
+                         " was never exercised by this session");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-bound monitor hook
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local SessionMonitor* tl_monitor = nullptr;
+}  // namespace
+
+MonitorBinding::MonitorBinding(SessionMonitor* monitor) noexcept
+    : prev_(tl_monitor) {
+  tl_monitor = monitor;
+}
+
+MonitorBinding::~MonitorBinding() { tl_monitor = prev_; }
+
+SessionMonitor* bound_monitor() noexcept { return tl_monitor; }
+
+void note_channel_event(Dir dir, std::uint32_t kind,
+                        std::uint32_t branch) noexcept {
+  if (tl_monitor != nullptr) tl_monitor->on_event(dir, kind, branch);
+}
+
+}  // namespace sacpp::check

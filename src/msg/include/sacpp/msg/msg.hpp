@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/common/lockorder.hpp"
 
 namespace sacpp::msg {
 
@@ -145,9 +146,11 @@ class World {
   };
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable arrived;
-    std::condition_variable drained;  // backpressured senders wait here
+    // Tracked for the lock-order analyzer; every mailbox shares one graph
+    // node ("msg.mailbox"), so the cvs are the _any flavour.
+    TrackedMutex mutex{"msg.mailbox"};
+    std::condition_variable_any arrived;
+    std::condition_variable_any drained;  // backpressured senders wait here
     std::list<Message> messages;
   };
 
@@ -172,8 +175,8 @@ class World {
   std::unique_ptr<std::atomic<bool>[]> rank_done_;
 
   // barrier state (central, generation-counted)
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
+  TrackedMutex barrier_mutex_{"msg.barrier"};
+  std::condition_variable_any barrier_cv_;
   int barrier_waiting_ = 0;
   std::uint64_t barrier_generation_ = 0;
 
@@ -181,7 +184,7 @@ class World {
   std::vector<double> reduce_slots_;
 
   WorldStats stats_;
-  std::mutex stats_mutex_;
+  TrackedMutex stats_mutex_{"msg.stats"};
 };
 
 }  // namespace sacpp::msg

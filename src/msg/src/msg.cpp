@@ -41,7 +41,7 @@ void World::wake_all_mailboxes() {
   // flags and decided to sleep holds the mutex until it actually waits, so
   // locking here guarantees the notification lands after it is parked.
   for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mutex);
+    std::lock_guard<TrackedMutex> lock(box->mutex);
     box->arrived.notify_all();
     box->drained.notify_all();
   }
@@ -92,7 +92,7 @@ void World::deliver(int source, int dest, int tag,
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   bool blocked = false;
   {
-    std::unique_lock<std::mutex> lock(box.mutex);
+    std::unique_lock<TrackedMutex> lock(box.mutex);
     if (mailbox_cap_ > 0 && !collective_tag(tag)) {
       // Bounded mailbox: block until the consumer drains below the cap —
       // credit-style backpressure instead of unbounded queue growth.  A
@@ -120,7 +120,7 @@ void World::deliver(int source, int dest, int tag,
   }
   box.arrived.notify_all();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    std::lock_guard<TrackedMutex> lock(stats_mutex_);
     stats_.messages += 1;
     stats_.bytes += data.size() * sizeof(double);
     if (blocked) stats_.send_blocked += 1;
@@ -130,7 +130,7 @@ void World::deliver(int source, int dest, int tag,
 void World::receive(int self, int source, int tag, std::span<double> out) {
   SACPP_REQUIRE(source >= 0 && source < ranks_, "recv source out of range");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  std::unique_lock<TrackedMutex> lock(box.mutex);
   for (;;) {
     const auto it = std::find_if(
         box.messages.begin(), box.messages.end(), [&](const Message& m) {
@@ -170,7 +170,7 @@ bool World::try_receive(int self, int source, int tag,
   SACPP_REQUIRE(source >= 0 && source < ranks_, "recv source out of range");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
+    std::lock_guard<TrackedMutex> lock(box.mutex);
     const auto it = std::find_if(
         box.messages.begin(), box.messages.end(), [&](const Message& m) {
           return m.source == source && m.tag == tag;
@@ -188,19 +188,19 @@ bool World::try_receive(int self, int source, int tag,
 std::size_t World::mailbox_depth(int self) const {
   SACPP_REQUIRE(self >= 0 && self < ranks_, "mailbox rank out of range");
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
-  std::lock_guard<std::mutex> lock(box.mutex);
+  std::lock_guard<TrackedMutex> lock(box.mutex);
   return box.messages.size();
 }
 
 void World::barrier_wait() {
   obs::ScopedSpan span(obs::SpanKind::kCollective, "barrier");
-  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  std::unique_lock<TrackedMutex> lock(barrier_mutex_);
   const std::uint64_t generation = barrier_generation_;
   if (++barrier_waiting_ == ranks_) {
     barrier_waiting_ = 0;
     ++barrier_generation_;
     {
-      std::lock_guard<std::mutex> slock(stats_mutex_);
+      std::lock_guard<TrackedMutex> slock(stats_mutex_);
       stats_.barriers += 1;
     }
     barrier_cv_.notify_all();
@@ -220,7 +220,7 @@ double World::reduce(int rank, double value, bool maximum) {
   }
   barrier_wait();  // slots free for the next reduction
   if (rank == 0) {
-    std::lock_guard<std::mutex> slock(stats_mutex_);
+    std::lock_guard<TrackedMutex> slock(stats_mutex_);
     stats_.reductions += 1;
   }
   return acc;

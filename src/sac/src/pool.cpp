@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sacpp/common/lockorder.hpp"
 #include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/check_events.hpp"
 #include "sacpp/sac/config.hpp"
@@ -34,7 +35,7 @@ struct DepotEntry {
 };
 
 struct Shard {
-  mutable std::mutex mutex;
+  mutable TrackedMutex mutex{"sac.pool.depot"};
   // size class -> free blocks, most recently released last.
   std::unordered_map<std::size_t, std::vector<DepotEntry>> lists;
   std::size_t cached_bytes = 0;
@@ -82,7 +83,7 @@ struct BufferPool::Impl {
   void depot_push(void* p, std::size_t bytes) {
     Shard& s = shards[shard_of(bytes)];
     const std::uint64_t e = epoch.load(std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::lock_guard<TrackedMutex> lock(s.mutex);
     s.lists[bytes].push_back(DepotEntry{p, e});
     s.cached_bytes += bytes;
   }
@@ -90,7 +91,7 @@ struct BufferPool::Impl {
   // Pop up to `max` blocks of one size class into `out`.
   int depot_pop(std::size_t bytes, void** out, int max) {
     Shard& s = shards[shard_of(bytes)];
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::lock_guard<TrackedMutex> lock(s.mutex);
     auto it = s.lists.find(bytes);
     if (it == s.lists.end()) return 0;
     std::vector<DepotEntry>& list = it->second;
@@ -106,7 +107,7 @@ struct BufferPool::Impl {
 
   bool depot_contains(void* p, std::size_t bytes) const {
     const Shard& s = shards[shard_of(bytes)];
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::lock_guard<TrackedMutex> lock(s.mutex);
     auto it = s.lists.find(bytes);
     if (it == s.lists.end()) return false;
     for (const DepotEntry& e : it->second) {
@@ -305,7 +306,7 @@ void BufferPool::trim() {
       impl_->epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   std::uint64_t freed = 0;
   for (Shard& s : impl_->shards) {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::lock_guard<TrackedMutex> lock(s.mutex);
     for (auto it = s.lists.begin(); it != s.lists.end();) {
       std::vector<DepotEntry>& list = it->second;
       std::size_t keep = 0;
@@ -329,7 +330,7 @@ void BufferPool::drain() {
   flush_thread_cache();
   std::uint64_t freed = 0;
   for (Shard& s : impl_->shards) {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::lock_guard<TrackedMutex> lock(s.mutex);
     for (auto& [bytes, list] : s.lists) {
       (void)bytes;
       for (DepotEntry& e : list) {
@@ -376,7 +377,7 @@ std::uint64_t BufferPool::epoch() const {
 std::size_t BufferPool::depot_cached_bytes() const {
   std::size_t total = 0;
   for (const Shard& s : impl_->shards) {
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::lock_guard<TrackedMutex> lock(s.mutex);
     total += s.cached_bytes;
   }
   return total;

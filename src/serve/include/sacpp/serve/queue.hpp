@@ -28,6 +28,7 @@
 #include <future>
 #include <mutex>
 
+#include "sacpp/common/lockorder.hpp"
 #include "sacpp/serve/job.hpp"
 
 namespace sacpp::serve {
@@ -59,6 +60,11 @@ class AdmissionQueue {
   static constexpr std::uint32_t kMaxHeadBypass = 8;
 
   explicit AdmissionQueue(std::size_t capacity);
+
+  // Settles every still-queued job (kShedCapacity) before the promises are
+  // torn down: a queue destroyed mid-flight must never leave a caller with a
+  // broken_promise future.
+  ~AdmissionQueue();
 
   enum class Admit : std::uint8_t {
     kAccepted,
@@ -101,8 +107,10 @@ class AdmissionQueue {
                      const std::string& why);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  // Tracked for the lock-order analyzer (docs/static_analysis.md); _any cv
+  // because TrackedMutex is Lockable but not std::mutex.
+  mutable TrackedMutex mutex_{"serve.queue"};
+  std::condition_variable_any cv_;
   std::deque<QueuedJob> lanes_[kPriorityLanes];
   QueueCounters counters_;
   std::uint32_t head_bypass_ = 0;

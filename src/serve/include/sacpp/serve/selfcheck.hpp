@@ -1,0 +1,76 @@
+#pragma once
+// Protocol & concurrency self-verification of the serving stack
+// (docs/static_analysis.md).
+//
+// Three CI-failable passes, selected by the `--check=<pass>` flag of npb_mg
+// and `mg_server --selftest`:
+//
+//   protocol  — drives the SRQ1/SRS1 wire protocol over a two-rank
+//               msg::World with SessionMonitors bound on both endpoints;
+//               every send_frame/recv_frame is validated against the session
+//               specs below, covering every response branch so finish()
+//               proves no dead transitions either.
+//   locks     — runs class-S serve traffic (solves, gang pools, msg frames)
+//               inside a check::LockOrderSession and fails on any cycle in
+//               the recorded lock-acquisition graph.
+//   schedule  — the PCT explorer (check/schedule.hpp) drives AdmissionQueue
+//               against an exact model mirror through thousands of seeded
+//               interleavings, then a handful of full SolverService
+//               lifecycles; invariants: every promise settles exactly once,
+//               eviction preserves priority ordering, head-of-line bypass
+//               stays within kMaxHeadBypass, drain-on-stop leaves nothing
+//               unsettled.  A failure prints its seed; replay via
+//               SelfCheckOptions::schedule_seed.
+
+#include <cstdint>
+#include <string>
+
+#include "sacpp/check/diagnostics.hpp"
+#include "sacpp/check/session.hpp"
+
+namespace sacpp::serve {
+
+enum class CheckPass : std::uint8_t { kProtocol, kLocks, kSchedule, kAll };
+
+// Maps a --check selector value ("protocol" / "locks" / "schedule" / "all")
+// to a pass; false (out untouched) for anything else, so drivers can keep
+// their historical bare-`--check` meaning for other values.
+bool parse_check_pass(const std::string& value, CheckPass* out);
+
+const char* check_pass_name(CheckPass pass) noexcept;
+
+// Session specs of the serve wire protocol, one per endpoint: a client
+// sends an SRQ1 request then receives exactly one SRS1 response whose
+// status byte selects the branch (ok / wrong-answer / shed-deadline /
+// shed-capacity / deadline-miss / error), looping for the next request; the
+// server is the dual.  Both accept only between exchanges.
+check::SessionSpec client_session_spec();
+check::SessionSpec server_session_spec();
+
+struct SelfCheckOptions {
+  // Queue-battery interleavings explored by the schedule pass.
+  std::uint64_t schedules = 1000;
+  // Nonzero: replay exactly this seed (regression mode) instead of
+  // exploring.
+  std::uint64_t schedule_seed = 0;
+  // Full SolverService submit/drain/stop lifecycles in the schedule pass.
+  std::uint64_t service_lifecycles = 4;
+  // Non-empty: Graphviz dump of the recorded lock graph (locks pass).
+  std::string lock_graph_path;
+};
+
+// Each pass reports findings into `engine` and returns true when it ran
+// clean (no errors; session warnings such as dead branches also fail the
+// protocol pass, which promises full coverage).
+bool run_protocol_check(check::DiagnosticEngine* engine);
+bool run_lock_check(const SelfCheckOptions& opts,
+                    check::DiagnosticEngine* engine);
+bool run_schedule_check(const SelfCheckOptions& opts,
+                        check::DiagnosticEngine* engine);
+
+// Dispatch on `pass` (kAll = all three, continuing past failures so the
+// report is complete).  True iff every selected pass was clean.
+bool run_self_checks(CheckPass pass, const SelfCheckOptions& opts,
+                     check::DiagnosticEngine* engine);
+
+}  // namespace sacpp::serve

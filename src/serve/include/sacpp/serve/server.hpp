@@ -154,21 +154,23 @@ class SolverService {
   AdmissionQueue queue_;
 
   // Dispatch lock: serialises pop_best with the core-budget deduction.
-  std::mutex dispatch_mutex_;
+  // All service locks are TrackedMutex so the lock-order analyzer
+  // (docs/static_analysis.md) sees their nesting.
+  TrackedMutex dispatch_mutex_{"serve.dispatch"};
   unsigned cores_free_ = 0;
 
   std::atomic<unsigned> active_jobs_{0};
   std::atomic<unsigned> cores_in_use_{0};
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mutex_;
+  TrackedMutex stop_mutex_{"serve.stop"};
   bool stopped_ = false;
 
   // Completion signal for drain().
-  mutable std::mutex done_mutex_;
-  std::condition_variable done_cv_;
+  mutable TrackedMutex done_mutex_{"serve.done"};
+  std::condition_variable_any done_cv_;
 
   // Idle gang pools, reused across jobs of the same width (bounded cache).
-  std::mutex pools_mutex_;
+  TrackedMutex pools_mutex_{"serve.pools"};
   std::vector<std::unique_ptr<sac::ThreadPool>> idle_pools_;
 
   // Service-local latency histograms backing snapshot().
@@ -186,8 +188,8 @@ class SolverService {
 
   std::vector<std::thread> executors_;
   std::thread housekeeper_;
-  std::condition_variable housekeeping_cv_;
-  std::mutex housekeeping_mutex_;
+  std::condition_variable_any housekeeping_cv_;
+  TrackedMutex housekeeping_mutex_{"serve.housekeeping"};
 };
 
 }  // namespace sacpp::serve

@@ -12,6 +12,13 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
   SACPP_REQUIRE(capacity >= 1, "admission queue capacity must be >= 1");
 }
 
+AdmissionQueue::~AdmissionQueue() {
+  // A queue destroyed while jobs are still parked must settle them: letting
+  // the promises die unset turns every waiter's future.get() into
+  // std::future_error(broken_promise) instead of an explicit shed verdict.
+  shed_all(SolveStatus::kShedCapacity, "admission queue destroyed");
+}
+
 std::size_t AdmissionQueue::depth_locked() const {
   std::size_t n = 0;
   for (const auto& lane : lanes_) n += lane.size();
@@ -31,7 +38,7 @@ void AdmissionQueue::settle(QueuedJob&& job, SolveStatus status,
 AdmissionQueue::Admit AdmissionQueue::push(QueuedJob&& job) {
   Admit verdict;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<TrackedMutex> lock(mutex_);
     if (closed_) {
       settle(std::move(job), SolveStatus::kShedCapacity,
              "admission queue closed (service stopping)");
@@ -75,7 +82,7 @@ AdmissionQueue::Admit AdmissionQueue::push(QueuedJob&& job) {
 
 bool AdmissionQueue::pop_best(unsigned free_cores, std::int64_t now_ns,
                               QueuedJob* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<TrackedMutex> lock(mutex_);
   // Deadline sweep: a job whose budget already expired can only produce a
   // late answer, so shed it here rather than burn cores on it.
   for (auto& lane : lanes_) {
@@ -123,7 +130,7 @@ found:
 }
 
 void AdmissionQueue::wait_for_work(std::int64_t timeout_ns) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<TrackedMutex> lock(mutex_);
   if (closed_ || depth_locked() != 0) return;
   cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns));
 }
@@ -132,20 +139,20 @@ void AdmissionQueue::poke() { cv_.notify_all(); }
 
 void AdmissionQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<TrackedMutex> lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<TrackedMutex> lock(mutex_);
   return closed_;
 }
 
 std::size_t AdmissionQueue::shed_all(SolveStatus status,
                                      const std::string& why) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<TrackedMutex> lock(mutex_);
   std::size_t flushed = 0;
   for (auto& lane : lanes_) {
     for (auto& job : lane) {
@@ -158,17 +165,17 @@ std::size_t AdmissionQueue::shed_all(SolveStatus status,
 }
 
 std::size_t AdmissionQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<TrackedMutex> lock(mutex_);
   return depth_locked();
 }
 
 std::size_t AdmissionQueue::lane_depth(Priority p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<TrackedMutex> lock(mutex_);
   return lanes_[static_cast<std::size_t>(p)].size();
 }
 
 QueueCounters AdmissionQueue::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<TrackedMutex> lock(mutex_);
   return counters_;
 }
 

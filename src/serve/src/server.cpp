@@ -27,7 +27,7 @@ namespace {
 // The Prometheus collector registry is process-lifetime (obs collectors
 // cannot be unregistered), so it indirects through this slot: the first
 // live service owns it; its destructor clears it.
-std::mutex g_service_mutex;
+TrackedMutex g_service_mutex{"serve.collector"};
 SolverService* g_current_service = nullptr;
 std::atomic<bool> g_collector_registered{false};
 
@@ -99,12 +99,12 @@ SolverService::SolverService(const ServeConfig& cfg)
   start_ns_ = obs::now_ns();
 
   {
-    std::lock_guard<std::mutex> lock(g_service_mutex);
+    std::lock_guard<TrackedMutex> lock(g_service_mutex);
     if (g_current_service == nullptr) g_current_service = this;
   }
   if (!g_collector_registered.exchange(true)) {
     obs::register_collector([](obs::MetricSink& sink) {
-      std::lock_guard<std::mutex> lock(g_service_mutex);
+      std::lock_guard<TrackedMutex> lock(g_service_mutex);
       if (g_current_service != nullptr) g_current_service->collect(sink);
     });
   }
@@ -120,12 +120,12 @@ SolverService::SolverService(const ServeConfig& cfg)
 
 SolverService::~SolverService() {
   stop();
-  std::lock_guard<std::mutex> lock(g_service_mutex);
+  std::lock_guard<TrackedMutex> lock(g_service_mutex);
   if (g_current_service == this) g_current_service = nullptr;
 }
 
 void SolverService::stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  std::lock_guard<TrackedMutex> stop_lock(stop_mutex_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
   queue_.close();
@@ -136,14 +136,14 @@ void SolverService::stop() {
   executors_.clear();
   if (housekeeper_.joinable()) housekeeper_.join();
   {
-    std::lock_guard<std::mutex> lock(pools_mutex_);
+    std::lock_guard<TrackedMutex> lock(pools_mutex_);
     idle_pools_.clear();
   }
   stopped_ = true;
 }
 
 void SolverService::drain() {
-  std::unique_lock<std::mutex> lock(done_mutex_);
+  std::unique_lock<TrackedMutex> lock(done_mutex_);
   // Timed re-checks rather than pure waits: deadline sheds inside the
   // queue's sweep can empty it without a completion notification.
   while (queue_.depth() != 0 ||
@@ -192,10 +192,14 @@ void SolverService::executor_loop(unsigned slot) {
     bool have = false;
     {
       // pop_best and the core-budget deduction are one critical section, so
-      // two executors can never both claim the same free cores.
-      std::lock_guard<std::mutex> lock(dispatch_mutex_);
+      // two executors can never both claim the same free cores.  active_jobs_
+      // must rise inside the same section: incrementing it after the lock
+      // drops opens a window where depth == 0 and active_jobs == 0 while a
+      // popped job is still in flight, letting drain() return early.
+      std::lock_guard<TrackedMutex> lock(dispatch_mutex_);
       if (queue_.pop_best(cores_free_, obs::now_ns(), &job)) {
         cores_free_ -= job.gang;
+        active_jobs_.fetch_add(1, std::memory_order_acq_rel);
         have = true;
       }
     }
@@ -207,12 +211,11 @@ void SolverService::executor_loop(unsigned slot) {
       continue;
     }
     const unsigned gang = job.gang;
-    active_jobs_.fetch_add(1, std::memory_order_acq_rel);
     cores_in_use_.fetch_add(gang, std::memory_order_relaxed);
     run_job(std::move(job));
     cores_in_use_.fetch_sub(gang, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(dispatch_mutex_);
+      std::lock_guard<TrackedMutex> lock(dispatch_mutex_);
       cores_free_ += gang;
     }
     active_jobs_.fetch_sub(1, std::memory_order_acq_rel);
@@ -327,7 +330,7 @@ void SolverService::run_job(QueuedJob job) {
 
 std::unique_ptr<sac::ThreadPool> SolverService::acquire_pool(unsigned gang) {
   {
-    std::lock_guard<std::mutex> lock(pools_mutex_);
+    std::lock_guard<TrackedMutex> lock(pools_mutex_);
     for (auto it = idle_pools_.begin(); it != idle_pools_.end(); ++it) {
       if ((*it)->thread_count() == gang) {
         std::unique_ptr<sac::ThreadPool> pool = std::move(*it);
@@ -340,7 +343,7 @@ std::unique_ptr<sac::ThreadPool> SolverService::acquire_pool(unsigned gang) {
 }
 
 void SolverService::release_pool(std::unique_ptr<sac::ThreadPool> pool) {
-  std::lock_guard<std::mutex> lock(pools_mutex_);
+  std::lock_guard<TrackedMutex> lock(pools_mutex_);
   if (idle_pools_.size() < kMaxIdlePools) {
     idle_pools_.push_back(std::move(pool));
   }
@@ -349,7 +352,7 @@ void SolverService::release_pool(std::unique_ptr<sac::ThreadPool> pool) {
 
 void SolverService::housekeeping_loop() {
   obs::set_thread_name("serve-housekeeper");
-  std::unique_lock<std::mutex> lock(housekeeping_mutex_);
+  std::unique_lock<TrackedMutex> lock(housekeeping_mutex_);
   while (!stopping_.load(std::memory_order_acquire)) {
     housekeeping_cv_.wait_for(
         lock, std::chrono::nanoseconds(cfg_.trim_interval_ns));

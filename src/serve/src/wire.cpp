@@ -2,12 +2,48 @@
 
 #include <cstring>
 
+#include "sacpp/check/session.hpp"
 #include "sacpp/common/error.hpp"
 #include "sacpp/msg/msg.hpp"
+#include "sacpp/sac/config.hpp"
 
 namespace sacpp::serve {
 
 namespace {
+
+// Largest legal double-packed frame: the byte-count word plus the padded
+// frame bytes (4-byte length prefix + kMaxFrameBytes body).  recv_frame
+// validates a peer's claimed length against this before allocating, so a
+// lying header cannot force a giant allocation.
+constexpr std::size_t kMaxPackedDoubles =
+    1 + (sizeof(std::uint32_t) + kMaxFrameBytes + sizeof(double) - 1) /
+            sizeof(double);
+
+// Session-monitor probe (docs/static_analysis.md): when checked mode is on
+// and a SessionMonitor is bound to this thread, every frame boundary becomes
+// a typed protocol event — the frame magic is the event kind, and a result
+// frame's status byte is its choice branch (ok / shed / error in the spec).
+void note_frame(check::Dir dir, std::span<const std::uint8_t> frame) {
+  if (!sac::active_config().check) [[likely]] {
+    return;
+  }
+  if (check::bound_monitor() == nullptr) return;
+  std::uint32_t magic = 0;
+  if (frame.size() >= 2 * sizeof(std::uint32_t)) {
+    for (int i = 0; i < 4; ++i) {
+      magic |= static_cast<std::uint32_t>(
+                   frame[sizeof(std::uint32_t) + static_cast<std::size_t>(i)])
+               << (8 * i);
+    }
+  }
+  std::uint32_t branch = check::kAnyBranch;
+  // length(4) + magic(4) + version(1) + id(8) = result status byte offset.
+  constexpr std::size_t kStatusOffset = 17;
+  if (magic == kResultMagic && frame.size() > kStatusOffset) {
+    branch = frame[kStatusOffset];
+  }
+  check::note_channel_event(dir, magic, branch);
+}
 
 // ---------------------------------------------------------------------------
 // Little-endian scalar packing (explicit byte shifts so the wire format is
@@ -350,6 +386,7 @@ std::vector<std::uint8_t> frame_from_doubles(std::span<const double> packed) {
 
 void send_frame(msg::Comm& comm, int dest, int tag,
                 std::span<const std::uint8_t> frame) {
+  note_frame(check::Dir::kSend, frame);
   const std::vector<double> packed = frame_to_doubles(frame);
   const double header = static_cast<double>(packed.size());
   comm.send(dest, tag, std::span<const double>(&header, 1));
@@ -359,9 +396,19 @@ void send_frame(msg::Comm& comm, int dest, int tag,
 std::vector<std::uint8_t> recv_frame(msg::Comm& comm, int source, int tag) {
   double header = 0.0;
   comm.recv(source, tag, std::span<double>(&header, 1));
+  // The header is peer-controlled: bound it by the largest packed frame the
+  // wire format admits BEFORE sizing the reassembly buffer.  Without this
+  // check a declared length beyond the cap turns into an attacker-sized
+  // allocation (and a recv that can never be satisfied).
+  SACPP_REQUIRE(header >= 1.0 &&
+                    header <= static_cast<double>(kMaxPackedDoubles),
+                "serve wire: declared frame length exceeds the reassembly "
+                "buffer cap");
   std::vector<double> packed(static_cast<std::size_t>(header), 0.0);
   comm.recv(source, tag, packed);
-  return frame_from_doubles(packed);
+  std::vector<std::uint8_t> frame = frame_from_doubles(packed);
+  note_frame(check::Dir::kRecv, frame);
+  return frame;
 }
 
 }  // namespace sacpp::serve

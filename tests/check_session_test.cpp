@@ -1,0 +1,324 @@
+// Session-typed channel tests: spec matching (branch precedence), the
+// runtime conformance monitor's violation taxonomy (duplicate /
+// out-of-order / premature termination / dead branches), the collective
+// spec, the compile-time TypedChannel (including negative-compile checks),
+// and the serve wire hook that feeds frames to a bound monitor.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sacpp/check/session.hpp"
+#include "sacpp/msg/msg.hpp"
+#include "sacpp/sac/config.hpp"
+#include "sacpp/serve/selfcheck.hpp"
+#include "sacpp/serve/wire.hpp"
+
+using namespace sacpp;
+using namespace sacpp::check;
+
+namespace {
+
+// A two-state request/response spec with two explicit response branches and
+// a wildcard, mirroring the serve wire shape at unit-test size.
+constexpr std::uint32_t kReq = 0x51;
+constexpr std::uint32_t kRsp = 0x52;
+
+SessionSpec tiny_spec() {
+  SessionSpec spec;
+  spec.name = "test.tiny";
+  spec.start = 0;
+  spec.accepting = {0};
+  spec.transitions.push_back({0, Dir::kSend, kReq, kAnyBranch, 1, "REQ"});
+  spec.transitions.push_back({1, Dir::kRecv, kRsp, 0, 0, "RSP:ok"});
+  spec.transitions.push_back({1, Dir::kRecv, kRsp, 1, 0, "RSP:err"});
+  return spec;
+}
+
+TEST(CheckSession, MatchFindsLegalTransitions) {
+  const SessionSpec spec = tiny_spec();
+  EXPECT_EQ(spec.match(0, Dir::kSend, kReq), 0);
+  EXPECT_EQ(spec.match(1, Dir::kRecv, kRsp, 0), 1);
+  EXPECT_EQ(spec.match(1, Dir::kRecv, kRsp, 1), 2);
+  // Illegal: wrong state, wrong direction, wrong kind, unknown branch.
+  EXPECT_EQ(spec.match(1, Dir::kSend, kReq), -1);
+  EXPECT_EQ(spec.match(0, Dir::kRecv, kReq), -1);
+  EXPECT_EQ(spec.match(0, Dir::kSend, kRsp), -1);
+  EXPECT_EQ(spec.match(1, Dir::kRecv, kRsp, 7), -1);
+}
+
+TEST(CheckSession, ExactBranchBeatsWildcard) {
+  SessionSpec spec = tiny_spec();
+  // Add a wildcard response alongside the exact branches; an observed
+  // branch 1 must still resolve to the exact RSP:err transition.
+  spec.transitions.push_back({1, Dir::kRecv, kRsp, kAnyBranch, 0, "RSP:any"});
+  EXPECT_EQ(spec.match(1, Dir::kRecv, kRsp, 1), 2);
+  // An unknown branch now falls through to the wildcard instead of -1.
+  EXPECT_EQ(spec.match(1, Dir::kRecv, kRsp, 7), 3);
+}
+
+TEST(CheckSession, MonitorAcceptsConformingSession) {
+  const SessionSpec spec = tiny_spec();
+  SessionMonitor monitor(&spec, "client");
+  monitor.on_event(Dir::kSend, kReq);
+  monitor.on_event(Dir::kRecv, kRsp, 0);
+  monitor.on_event(Dir::kSend, kReq);
+  monitor.on_event(Dir::kRecv, kRsp, 1);
+  monitor.finish();
+  EXPECT_TRUE(monitor.clean()) << monitor.engine().to_ascii();
+  EXPECT_EQ(monitor.events(), 4u);
+  EXPECT_EQ(monitor.state(), 0);
+}
+
+TEST(CheckSession, MonitorReportsDuplicateSend) {
+  const SessionSpec spec = tiny_spec();
+  SessionMonitor monitor(&spec, "client");
+  monitor.on_event(Dir::kSend, kReq);
+  monitor.on_event(Dir::kSend, kReq);  // retransmit: the spec moved on
+  ASSERT_EQ(monitor.engine().size(), 1u);
+  const Diagnostic& d = monitor.engine().diagnostics()[0];
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.pass, Pass::kSession);
+  EXPECT_NE(d.message.find("duplicate"), std::string::npos) << d.to_string();
+  EXPECT_NE(d.location.find("client"), std::string::npos);
+  // The slip does not corrupt tracking: the session can still complete.
+  monitor.on_event(Dir::kRecv, kRsp, 0);
+  monitor.finish(/*report_dead=*/false);
+  EXPECT_EQ(monitor.engine().size(), 1u);
+}
+
+TEST(CheckSession, MonitorReportsOutOfOrderRecv) {
+  const SessionSpec spec = tiny_spec();
+  SessionMonitor monitor(&spec, "client");
+  monitor.on_event(Dir::kRecv, kRsp, 0);  // response before any request
+  ASSERT_EQ(monitor.engine().size(), 1u);
+  const Diagnostic& d = monitor.engine().diagnostics()[0];
+  EXPECT_NE(d.message.find("out-of-order"), std::string::npos)
+      << d.to_string();
+  // The diagnostic teaches: it names what the spec allowed instead.
+  EXPECT_NE(d.message.find("REQ"), std::string::npos) << d.to_string();
+}
+
+TEST(CheckSession, MonitorReportsPrematureTermination) {
+  const SessionSpec spec = tiny_spec();
+  SessionMonitor monitor(&spec, "client");
+  monitor.on_event(Dir::kSend, kReq);
+  monitor.finish(/*report_dead=*/false);  // ended mid-exchange
+  ASSERT_EQ(monitor.engine().size(), 1u);
+  EXPECT_NE(monitor.engine().diagnostics()[0].message.find("non-accepting"),
+            std::string::npos);
+}
+
+TEST(CheckSession, MonitorReportsDeadBranchesAsWarnings) {
+  const SessionSpec spec = tiny_spec();
+  SessionMonitor monitor(&spec, "client");
+  monitor.on_event(Dir::kSend, kReq);
+  monitor.on_event(Dir::kRecv, kRsp, 0);  // only the ok branch is exercised
+  monitor.finish(/*report_dead=*/true);
+  ASSERT_EQ(monitor.engine().size(), 1u);
+  const Diagnostic& d = monitor.engine().diagnostics()[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_NE(d.message.find("dead transition"), std::string::npos);
+  EXPECT_NE(d.message.find("RSP:err"), std::string::npos) << d.to_string();
+}
+
+TEST(CheckSession, MonitorSilentOnEmptySession) {
+  // A spec bound but never exercised (e.g. a server that saw no traffic)
+  // must not drown the report in dead-transition warnings.
+  const SessionSpec spec = tiny_spec();
+  SessionMonitor monitor(&spec, "idle");
+  monitor.finish();
+  EXPECT_TRUE(monitor.clean()) << monitor.engine().to_ascii();
+}
+
+TEST(CheckSession, CollectiveSpecAcceptsRepeatsRejectsWrongDirection) {
+  const SessionSpec root = collective_session_spec("broadcast", 1000,
+                                                   Dir::kSend);
+  SessionMonitor monitor(&root, "root");
+  monitor.on_event(Dir::kSend, 1000);
+  monitor.on_event(Dir::kSend, 1000);  // loop: repeated collectives conform
+  EXPECT_TRUE(monitor.clean());
+  monitor.on_event(Dir::kRecv, 1000);  // the root of a bcast never receives
+  EXPECT_EQ(monitor.engine().size(), 1u);
+  monitor.finish();
+  EXPECT_EQ(monitor.engine().count(Severity::kError), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TypedChannel: the compile-time layer
+// ---------------------------------------------------------------------------
+
+// Scripted transport: records the op sequence and feeds canned payloads.
+struct FakeTransport {
+  std::vector<std::pair<char, std::uint32_t>> ops;
+  int payload = 0;
+
+  void send(std::uint32_t kind, const std::vector<std::uint8_t>&) {
+    ops.emplace_back('s', kind);
+  }
+  int recv(std::uint32_t kind) {
+    ops.emplace_back('r', kind);
+    return ++payload;
+  }
+};
+
+using TestProto = proto::Seq<proto::Send<kReq>, proto::Recv<kRsp>,
+                             proto::Recv<kRsp>>;
+
+TEST(CheckSession, TypedChannelDrivesTransportInProtocolOrder) {
+  FakeTransport transport;
+  auto c0 = make_typed_channel<TestProto>(transport);
+  static_assert(!decltype(c0)::kDone);
+  auto c1 = std::move(c0).send(std::vector<std::uint8_t>{1, 2, 3});
+  int first = 0;
+  int second = 0;
+  auto c2 = std::move(c1).recv(&first);
+  auto c3 = std::move(c2).recv(&second);
+  static_assert(decltype(c3)::kDone);
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+  const std::vector<std::pair<char, std::uint32_t>> expected = {
+      {'s', kReq}, {'r', kRsp}, {'r', kRsp}};
+  EXPECT_EQ(transport.ops, expected);
+}
+
+// Negative-compile checks, phrased as detection traits so the "misuse does
+// not compile" property is itself a test rather than a commented-out file.
+template <typename Channel, typename = void>
+struct can_send : std::false_type {};
+template <typename Channel>
+struct can_send<Channel,
+                std::void_t<decltype(std::declval<Channel&&>().send(
+                    std::declval<const std::vector<std::uint8_t>&>()))>>
+    : std::true_type {};
+
+template <typename Channel, typename = void>
+struct can_recv : std::false_type {};
+template <typename Channel>
+struct can_recv<Channel, std::void_t<decltype(std::declval<Channel&&>().recv(
+                             std::declval<int*>()))>> : std::true_type {};
+
+using SendHead = TypedChannel<FakeTransport, TestProto>;
+using RecvHead =
+    TypedChannel<FakeTransport, proto::Seq<proto::Recv<kRsp>>>;
+using Done = TypedChannel<FakeTransport, proto::Seq<>>;
+
+// In the send state only send compiles; in the recv state only recv; a
+// completed channel offers neither.
+static_assert(can_send<SendHead>::value);
+static_assert(!can_recv<SendHead>::value, "recv before send must not compile");
+static_assert(can_recv<RecvHead>::value);
+static_assert(!can_send<RecvHead>::value, "send in a recv state must not compile");
+static_assert(!can_send<Done>::value && !can_recv<Done>::value,
+              "a completed session has no operations left");
+// Ops consume the channel: they are rvalue-qualified, so an lvalue channel
+// cannot be (re)used without std::move.
+static_assert(!can_send<SendHead&>::value,
+              "send on an lvalue channel must not compile");
+
+// ---------------------------------------------------------------------------
+// The serve wire hook: frames feed the thread-bound monitor
+// ---------------------------------------------------------------------------
+
+serve::SolveRequest wire_request(std::uint64_t id) {
+  serve::SolveRequest req;
+  req.id = id;
+  return req;
+}
+
+TEST(CheckSession, WireFramesFeedBoundMonitor) {
+  // A conforming exchange over msg::World with checking enabled on both
+  // endpoints: the monitors see every frame and stay clean.
+  msg::World world(2);
+  world.run([](msg::Comm& comm) {
+    sac::SacConfig cfg = sac::active_config();
+    cfg.check = true;
+    sac::ConfigBinding config_binding(&cfg);
+    constexpr int kTag = 9;
+    if (comm.rank() == 0) {
+      const check::SessionSpec spec = serve::client_session_spec();
+      SessionMonitor monitor(&spec, "client");
+      MonitorBinding binding(&monitor);
+      serve::send_frame(comm, 1, kTag, encode_request(wire_request(7)));
+      (void)serve::recv_frame(comm, 1, kTag);
+      EXPECT_EQ(monitor.events(), 2u);
+      EXPECT_EQ(monitor.state(), 0) << "exchange should close the loop";
+      monitor.finish(/*report_dead=*/false);
+      EXPECT_TRUE(monitor.clean()) << monitor.engine().to_ascii();
+    } else {
+      const check::SessionSpec spec = serve::server_session_spec();
+      SessionMonitor monitor(&spec, "server");
+      MonitorBinding binding(&monitor);
+      const std::vector<std::uint8_t> frame = serve::recv_frame(comm, 0, kTag);
+      serve::SolveRequest req;
+      std::string error;
+      ASSERT_TRUE(decode_request(frame, &req, &error)) << error;
+      serve::SolveResult res;
+      res.id = req.id;
+      res.status = serve::SolveStatus::kOk;
+      serve::send_frame(comm, 0, kTag, encode_result(res));
+      monitor.finish(/*report_dead=*/false);
+      EXPECT_TRUE(monitor.clean()) << monitor.engine().to_ascii();
+    }
+  });
+}
+
+TEST(CheckSession, WireHookCatchesProtocolViolationAtRuntime) {
+  // A client that fires two requests back-to-back without awaiting the
+  // response violates the session spec; the monitor flags the second frame
+  // even though the wire itself would happily carry it.
+  msg::World world(2);
+  world.run([](msg::Comm& comm) {
+    sac::SacConfig cfg = sac::active_config();
+    cfg.check = true;
+    sac::ConfigBinding config_binding(&cfg);
+    constexpr int kTag = 9;
+    if (comm.rank() == 0) {
+      const check::SessionSpec spec = serve::client_session_spec();
+      SessionMonitor monitor(&spec, "client");
+      MonitorBinding binding(&monitor);
+      serve::send_frame(comm, 1, kTag, encode_request(wire_request(1)));
+      serve::send_frame(comm, 1, kTag, encode_request(wire_request(2)));
+      ASSERT_EQ(monitor.engine().size(), 1u);
+      const Diagnostic& d = monitor.engine().diagnostics()[0];
+      EXPECT_EQ(d.pass, Pass::kSession);
+      EXPECT_NE(d.message.find("duplicate"), std::string::npos)
+          << d.to_string();
+    } else {
+      // Drain both frames unmonitored so rank 0 is not left blocking.
+      (void)serve::recv_frame(comm, 0, kTag);
+      (void)serve::recv_frame(comm, 0, kTag);
+    }
+  });
+}
+
+TEST(CheckSession, WireHookIsInertWithoutCheckMode) {
+  // With SacConfig::check off the bound monitor must see nothing: the
+  // probe's cost model promises a dormant hook, not a quiet reporter.
+  msg::World world(2);
+  world.run([](msg::Comm& comm) {
+    constexpr int kTag = 9;
+    if (comm.rank() == 0) {
+      const check::SessionSpec spec = serve::client_session_spec();
+      SessionMonitor monitor(&spec, "client");
+      MonitorBinding binding(&monitor);
+      serve::send_frame(comm, 1, kTag, encode_request(wire_request(3)));
+      (void)serve::recv_frame(comm, 1, kTag);
+      EXPECT_EQ(monitor.events(), 0u);
+    } else {
+      const std::vector<std::uint8_t> frame = serve::recv_frame(comm, 0, kTag);
+      serve::SolveRequest req;
+      std::string error;
+      ASSERT_TRUE(decode_request(frame, &req, &error)) << error;
+      serve::SolveResult res;
+      res.id = req.id;
+      serve::send_frame(comm, 0, kTag, encode_result(res));
+    }
+  });
+}
+
+}  // namespace

@@ -194,6 +194,25 @@ TEST(ServeQueue, ShedAllSettlesEverything) {
   }
 }
 
+TEST(ServeQueue, DestructionSettlesQueuedJobs) {
+  // Regression (found by the schedule explorer's drain invariant): a queue
+  // destroyed with jobs still waiting used to abandon their promises, so
+  // callers saw std::future_error{broken_promise} instead of a shed result.
+  std::vector<Handle> handles(3);
+  {
+    AdmissionQueue queue(8);
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      queue.push(make_job(i + 1, Priority::kNormal, &handles[i]));
+    }
+  }
+  for (Handle& h : handles) {
+    ASSERT_TRUE(settled(h));
+    SolveResult res;
+    ASSERT_NO_THROW(res = h.future.get()) << "broken promise on destruction";
+    EXPECT_EQ(res.status, SolveStatus::kShedCapacity);
+  }
+}
+
 TEST(ServeQueue, CountersAndPeakDepth) {
   AdmissionQueue queue(4);
   Handle h[4];

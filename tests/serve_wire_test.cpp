@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sacpp/common/error.hpp"
 #include "sacpp/msg/msg.hpp"
 #include "sacpp/serve/wire.hpp"
 
@@ -182,6 +183,59 @@ TEST(ServeWire, RpcOverMsgWorld) {
       res.id = req.id;
       res.status = SolveStatus::kOk;
       send_frame(comm, 0, kTag, encode_result(res));
+    }
+  });
+}
+
+TEST(ServeWire, RecvFrameRejectsLyingLengthHeader) {
+  // A peer-controlled length header claiming more than the reassembly
+  // buffer cap must be rejected BEFORE recv_frame sizes its buffer — a
+  // declared length of a billion doubles would otherwise become an 8 GB
+  // allocation the real payload can never satisfy.
+  msg::World world(2);
+  EXPECT_THROW(
+      world.run([](msg::Comm& comm) {
+        constexpr int kTag = 7;
+        if (comm.rank() == 0) {
+          const double lying_header = 1e9;
+          comm.send(1, kTag, std::span<const double>(&lying_header, 1));
+        } else {
+          (void)recv_frame(comm, 0, kTag);
+        }
+      }),
+      ContractError);
+}
+
+TEST(ServeWire, RecvFrameRejectsEmptyLengthHeader) {
+  // The header must announce at least the byte-count word; zero (or a
+  // negative double) is corruption, not a frame.
+  msg::World world(2);
+  EXPECT_THROW(
+      world.run([](msg::Comm& comm) {
+        constexpr int kTag = 7;
+        if (comm.rank() == 0) {
+          const double empty_header = 0.0;
+          comm.send(1, kTag, std::span<const double>(&empty_header, 1));
+        } else {
+          (void)recv_frame(comm, 0, kTag);
+        }
+      }),
+      ContractError);
+}
+
+TEST(ServeWire, RecvFrameAcceptsLargestLegalFrame) {
+  // The bound must not reject genuine traffic: a result frame padded out to
+  // the maximum error-string length still round-trips.
+  SolveResult res = sample_result();
+  res.error.assign(512, 'x');
+  const std::vector<std::uint8_t> frame = encode_result(res);
+  msg::World world(2);
+  world.run([&frame](msg::Comm& comm) {
+    constexpr int kTag = 7;
+    if (comm.rank() == 0) {
+      send_frame(comm, 1, kTag, frame);
+    } else {
+      EXPECT_EQ(recv_frame(comm, 0, kTag), frame);
     }
   });
 }

@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""Consolidate the MG timing + stencil-ablation runs into BENCH_mg.json.
+"""Consolidate the MG timing + stencil/backend-ablation runs into BENCH_mg.json.
 
 Usage:
-    mg_consolidate.py ABL_JSON SCHEMA_JSON OUT_JSON MIN_IMPROVEMENT_PCT \
-        RUN_TXT... [meta...]
+    mg_consolidate.py ABL_JSON BACKEND_JSON SCHEMA_JSON OUT_JSON \
+        MIN_IMPROVEMENT_PCT MIN_SPEEDUP RUN_TXT... [meta...]
 
-ABL_JSON is abl_stencil's google-benchmark JSON output; each RUN_TXT is one
-teed npb_mg result block.  The summary records per-run wall time / Mop/s /
-verification verdict (plus stencil mode and reused-row count for the SAC
-variants) and the per-kernel ns/point ladder, then gates the kPlanes
-improvement over kGrouped at the class-W-sized grid (n = 66): less than
-MIN_IMPROVEMENT_PCT, an unparseable run, or an UNSUCCESSFUL verification is
-a bench failure, not a silent artifact.  The file is written only after the
+ABL_JSON is abl_stencil's google-benchmark JSON output, BACKEND_JSON is
+abl_backend's; each RUN_TXT is one teed npb_mg result block.  The summary
+records per-run wall time / Mop/s / verification verdict (plus stencil
+mode, backend, and reused-row count for the SAC variants), the per-kernel
+ns/point ladder, and the per-row-primitive backend breakdown, then applies
+two gates at the class-W-sized grid (n = 66):
+  * the kPlanes improvement over kGrouped must reach MIN_IMPROVEMENT_PCT;
+  * the simd row engine must beat scalar by MIN_SPEEDUP x on the fused
+    resid and psinv row paths (BM_BackendFused, docs/backends.md).
+A failed gate, an unparseable run, or an UNSUCCESSFUL verification is a
+bench failure, not a silent artifact.  The file is written only after the
 summary validates against the checked-in schema.
 
 Extra ``key=value`` arguments are stored under ``"run"``.
@@ -36,9 +40,10 @@ RUN_FIELDS = {
     "mops": (r"^ Mop/s total\s+= ([0-9.eE+-]+)$", float),
     "verification": (r"^ Verification\s+= (.+)$", str),
     "stencil_mode": (r"^ Stencil mode\s+= (.+)$", str),
+    "backend": (r"^ Backend\s+= (.+)$", str),
     "rows_reused": (r"^ Rows reused\s+= ([0-9]+)$", int),
 }
-OPTIONAL_FIELDS = {"stencil_mode", "rows_reused"}
+OPTIONAL_FIELDS = {"stencil_mode", "backend", "rows_reused"}
 
 
 def parse_run(path):
@@ -74,14 +79,71 @@ def parse_ablation(path):
     return points
 
 
+def parse_backend_ablation(path):
+    """abl_backend gbench JSON -> [{family, primitive, backend, n, ns_per_point}].
+
+    Runs with --benchmark_repetitions emit one entry per repetition (plus
+    aggregate rows, whose suffixed names the regex skips); duplicates keep
+    the fastest sample, so a one-off scheduling hiccup on a shared runner
+    cannot fail the speedup gate.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    best = {}
+    for b in doc.get("benchmarks", []):
+        m = re.match(
+            r"^BM_Backend(Row|Fused|Kernel)/(\w+)/([a-z0-9-]+)/(\d+)$",
+            b.get("name", ""),
+        )
+        if not m or "items_per_second" not in b:
+            continue
+        key = (m.group(1).lower(), m.group(2), m.group(3), int(m.group(4)))
+        ns = 1e9 / b["items_per_second"]
+        if key not in best or ns < best[key]:
+            best[key] = ns
+    return [
+        {
+            "family": family,
+            "primitive": primitive,
+            "backend": backend,
+            "n": n,
+            "ns_per_point": ns,
+        }
+        for (family, primitive, backend, n), ns in best.items()
+    ]
+
+
+def backend_gate(points, min_speedup):
+    """The simd-vs-scalar speedup on the fused resid/psinv rows at n=66."""
+    fused = {
+        (p["primitive"], p["backend"]): p["ns_per_point"]
+        for p in points
+        if p["family"] == "fused" and p["n"] == GATE_N
+    }
+    gate = {"n": GATE_N, "min_speedup": min_speedup}
+    for prim in ("resid", "psinv"):
+        try:
+            scalar = fused[(prim, "scalar")]
+            simd = fused[(prim, "simd")]
+        except KeyError as e:
+            raise ValueError(f"no fused {prim} sample for backend {e}")
+        gate[prim] = {
+            "scalar_ns_per_point": scalar,
+            "simd_ns_per_point": simd,
+            "speedup": scalar / simd,
+        }
+    return gate
+
+
 def main(argv):
-    if len(argv) < 6:
+    if len(argv) < 8:
         sys.stderr.write(__doc__)
         return 2
-    abl_path, schema_path, out_path = argv[1:4]
-    min_improvement = float(argv[4])
-    run_paths = [a for a in argv[5:] if "=" not in a]
-    run_meta = dict(kv.split("=", 1) for kv in argv[5:] if "=" in kv)
+    abl_path, backend_path, schema_path, out_path = argv[1:5]
+    min_improvement = float(argv[5])
+    min_speedup = float(argv[6])
+    run_paths = [a for a in argv[7:] if "=" not in a]
+    run_meta = dict(kv.split("=", 1) for kv in argv[7:] if "=" in kv)
 
     runs = [parse_run(p) for p in run_paths]
     bad = [r for r in runs if r["verification"] == "UNSUCCESSFUL"]
@@ -102,6 +164,13 @@ def main(argv):
         return 1
     improvement = 100.0 * (1.0 - planes / grouped)
 
+    backend_points = parse_backend_ablation(backend_path)
+    try:
+        be_gate = backend_gate(backend_points, min_speedup)
+    except ValueError as e:
+        sys.stderr.write(f"{backend_path}: {e}\n")
+        return 1
+
     summary = {
         "run": run_meta,
         "runs": runs,
@@ -114,6 +183,10 @@ def main(argv):
                 "improvement_pct": improvement,
                 "min_improvement_pct": min_improvement,
             },
+        },
+        "backend": {
+            "points": backend_points,
+            "gate": be_gate,
         },
     }
 
@@ -131,17 +204,31 @@ def main(argv):
         f.write("\n")
     print(
         f"{out_path}: {len(runs)} runs, {len(points)} stencil samples, "
+        f"{len(backend_points)} backend samples; "
         f"planes vs grouped at n={GATE_N}: {improvement:.1f}% faster "
-        f"(gate {min_improvement:.0f}%)"
+        f"(gate {min_improvement:.0f}%); simd vs scalar fused rows: "
+        f"resid {be_gate['resid']['speedup']:.2f}x, "
+        f"psinv {be_gate['psinv']['speedup']:.2f}x "
+        f"(gate {min_speedup:.2f}x)"
     )
+    failed = False
     if improvement < min_improvement:
         sys.stderr.write(
             f"GATE FAILED: kPlanes improves on kGrouped by only "
             f"{improvement:.1f}% at n={GATE_N} "
             f"(required {min_improvement:.0f}%)\n"
         )
-        return 1
-    return 0
+        failed = True
+    for prim in ("resid", "psinv"):
+        speedup = be_gate[prim]["speedup"]
+        if speedup < min_speedup:
+            sys.stderr.write(
+                f"GATE FAILED: simd row engine beats scalar by only "
+                f"{speedup:.2f}x on fused {prim} at n={GATE_N} "
+                f"(required {min_speedup:.2f}x)\n"
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -44,6 +44,9 @@ run ext_rank            "$BUILD/bench/ext_rank"
 run abl_graph           "$BUILD/bench/abl_graph"
 run abl_stencil         "$BUILD/bench/abl_stencil" --benchmark_min_time=0.2 \
   --benchmark_out="$OUT/abl_stencil.json" --benchmark_out_format=json
+run abl_backend         "$BUILD/bench/abl_backend" --benchmark_min_time=0.2 \
+  --benchmark_repetitions=3 \
+  --benchmark_out="$OUT/abl_backend.json" --benchmark_out_format=json
 run abl_specialize      "$BUILD/bench/abl_specialize" --benchmark_min_time=0.2
 run micro_sac           "$BUILD/bench/micro_sac" --benchmark_min_time=0.2
 
@@ -60,10 +63,12 @@ run obs_consolidate python3 "$(dirname "$0")/obs_consolidate.py" \
 
 # MG timing artifact: every variant at classes S and W, the SAC variants in
 # both the grouped and the shared plane-sum (kPlanes) stencil engines
-# (docs/stencil.md).  The consolidator joins these wall times with
-# abl_stencil's ns/point ladder into BENCH_mg.json, validates it against
-# bench/mg_schema.json, and gates the planes-vs-grouped improvement at the
-# class-W-sized grid (n = 66): under 20% fails the bench run.
+# (docs/stencil.md), plus a kPlanes run on the simd row engine
+# (docs/backends.md).  The consolidator joins these wall times with
+# abl_stencil's ns/point ladder and abl_backend's per-primitive breakdown
+# into BENCH_mg.json, validates it against bench/mg_schema.json, and gates
+# at the class-W-sized grid (n = 66): planes-vs-grouped improvement under
+# 20% or a fused-row simd-vs-scalar speedup under 1.5x fails the bench run.
 for cls in S W; do
   for mode in grouped planes; do
     run "time_mg_sac_${cls}_${mode}" "$BUILD/examples/npb_mg" \
@@ -71,12 +76,15 @@ for cls in S W; do
     run "time_mg_direct_${cls}_${mode}" "$BUILD/examples/npb_mg" \
       --class "$cls" --impl direct --stencil-mode "$mode"
   done
+  run "time_mg_sac_${cls}_planes_simd" "$BUILD/examples/npb_mg" \
+    --class "$cls" --impl sac --stencil-mode planes --backend simd
   run "time_mg_f77_${cls}" "$BUILD/examples/npb_mg" --class "$cls" --impl f77
   run "time_mg_omp_${cls}" "$BUILD/examples/npb_mg" --class "$cls" --impl omp
 done
 run mg_consolidate python3 "$(dirname "$0")/mg_consolidate.py" \
-  "$OUT/abl_stencil.json" "$(dirname "$0")/mg_schema.json" \
-  "$OUT/BENCH_mg.json" 20 "$OUT"/time_mg_*.txt
+  "$OUT/abl_stencil.json" "$OUT/abl_backend.json" \
+  "$(dirname "$0")/mg_schema.json" \
+  "$OUT/BENCH_mg.json" 20 1.5 "$OUT"/time_mg_*.txt
 
 # Serving artifact: class-S throughput (serialized vs 8 concurrent clients)
 # plus the 2x-overload shedding/latency phase.  serve_bench gates itself on

@@ -32,6 +32,7 @@
 #include "sacpp/mg/driver.hpp"
 #include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/sac/backend.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/stats.hpp"
 #include "sacpp/serve/selfcheck.hpp"
@@ -108,6 +109,9 @@ int main(int argc, char** argv) {
   cli.add_option("stencil-mode", "",
                  "stencil evaluation: grouped | naive | planes "
                  "(default: config / SACPP_STENCIL_MODE)");
+  cli.add_option("backend", "",
+                 "row-primitive engine: scalar | simd | simd-portable "
+                 "(default: config / SACPP_BACKEND)");
   cli.add_flag("obs", "record telemetry and print the end-of-run summary");
   cli.add_option("threads", "",
                  "run multithreaded with N workers (0 = hardware)");
@@ -162,6 +166,15 @@ int main(int argc, char** argv) {
                  stencil_arg.c_str());
     return 1;
   }
+  const std::string backend_arg = cli.get("backend");
+  if (!backend_arg.empty() &&
+      !sac::parse_backend(backend_arg.c_str(), &sac::config().backend)) {
+    std::fprintf(stderr,
+                 "npb_mg: unknown --backend '%s' "
+                 "(scalar | simd | simd-portable)\n",
+                 backend_arg.c_str());
+    return 1;
+  }
   const std::string threads_arg = cli.get("threads");
   if (!threads_arg.empty()) {
     sac::config().mt_enabled = true;
@@ -211,6 +224,9 @@ int main(int argc, char** argv) {
   if (variant == Variant::kSac || variant == Variant::kSacDirect) {
     std::printf(" Stencil mode        = %s\n",
                 sac::stencil_mode_name(sac::config().stencil_mode));
+    std::printf(" Backend             = %s [%s]\n",
+                sac::backend_name(sac::config().backend),
+                sac::backend_for(sac::config().backend).name());
     if (sac::config().stencil_mode == sac::StencilMode::kPlanes) {
       std::printf(" Rows reused         = %llu\n",
                   static_cast<unsigned long long>(

@@ -29,4 +29,26 @@ struct FuzzStats {
 
 FuzzStats fuzz_wlgraph_verifier(std::uint64_t seed, int rounds);
 
+// Backend row-primitive fuzzer (docs/backends.md).  Each round draws
+// adversarial row lengths and sub-ranges around the 4-lane vector width
+// (0, 1, width-1, width, width+1, primes, empty ranges) and
+//  * runs every row primitive on every available engine (scalar, portable,
+//    AVX2 where the host has it), comparing element-parallel results
+//    bitwise and fold results to tolerance — masked-tail bugs show up as
+//    `mismatches`;
+//  * forces random gather/scatter/take/embed compositions and degenerate
+//    stencil grids (the gen_interior regression class: interiors that are
+//    empty or a single point) under every backend, comparing against
+//    per-point evaluation — row-range algebra bugs show up here too.
+struct BackendFuzzStats {
+  int rows_checked = 0;     // primitive (engine, row) comparisons performed
+  int exprs_checked = 0;    // whole-expression backend comparisons performed
+  int mismatches = 0;       // bitwise divergences — must stay 0
+  int fold_mismatches = 0;  // fold drift beyond 1e-12 — must stay 0
+
+  bool clean() const { return mismatches == 0 && fold_mismatches == 0; }
+};
+
+BackendFuzzStats fuzz_backend_rows(std::uint64_t seed, int rounds);
+
 }  // namespace sacpp::check

@@ -1,7 +1,10 @@
 #include "sacpp/check/fuzz.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +12,8 @@
 #include "sacpp/common/shape.hpp"
 #include "sacpp/check/wlgraph_verify.hpp"
 #include "sacpp/sac/array_lib.hpp"
+#include "sacpp/sac/backend.hpp"
+#include "sacpp/sac/stencil.hpp"
 #include "sacpp/sac/wlgraph.hpp"
 
 namespace sacpp::check {
@@ -301,6 +306,282 @@ FuzzStats fuzz_wlgraph_verifier(std::uint64_t seed, int rounds) {
       if (!flagged) stats.illegal_missed += 1;
       (void)what;
     }
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Backend row fuzzer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Row lengths biased to the masked-tail danger zone around the 4-lane width.
+extent_t fuzz_row_length(Rng& rng) {
+  static constexpr extent_t kPool[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                                       11, 13, 15, 16, 17, 23, 31, 32, 33,
+                                       61, 64, 67, 97};
+  if (rng.pick(4) == 0) return rng.range(0, 130);
+  return kPool[rng.pick(std::size(kPool))];
+}
+
+std::vector<double> fuzz_row(Rng& rng, std::size_t n) {
+  std::vector<double> r(n);
+  for (double& x : r) {
+    x = static_cast<double>(rng.range(-4000, 4000)) / 997.0;
+  }
+  return r;
+}
+
+bool rows_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise: memcmp semantics without tripping on -0.0 vs +0.0 being ==.
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+// Every engine present on this host, scalar first (the reference).
+std::vector<const sac::Backend*> fuzz_engines() {
+  std::vector<const sac::Backend*> v{&sac::detail::scalar_backend(),
+                                     &sac::detail::portable_backend()};
+  if (sac::detail::avx2_backend() != nullptr) {
+    v.push_back(sac::detail::avx2_backend());
+  }
+  return v;
+}
+
+// One round of raw-primitive differential checks on a random row config.
+void fuzz_primitives(Rng& rng, const std::vector<const sac::Backend*>& engines,
+                     BackendFuzzStats* stats) {
+  const extent_t n = fuzz_row_length(rng);
+  extent_t lo = n == 0 ? 0 : rng.range(0, n);
+  extent_t hi = n == 0 ? 0 : rng.range(0, n);
+  if (hi < lo) std::swap(lo, hi);
+  const auto nz = static_cast<std::size_t>(n);
+  const auto a = fuzz_row(rng, nz);
+  const auto b = fuzz_row(rng, nz);
+  const double v = static_cast<double>(rng.range(-9, 9)) * 0.625;
+
+  std::vector<std::vector<double>> fill(engines.size()), copy(engines.size()),
+      add(engines.size()), sub(engines.size()), mul(engines.size());
+  std::vector<double> ss(engines.size()), ma(engines.size());
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    const sac::Backend* be = engines[e];
+    fill[e].assign(nz, -77.0);
+    be->fill_row(fill[e].data(), lo, hi, v);
+    copy[e].assign(nz, -77.0);
+    be->copy_row(copy[e].data(), a.data(), lo, hi);
+    add[e] = b;
+    be->add_into_row(a.data(), add[e].data(), lo, hi);
+    sub[e] = b;
+    be->sub_into_row(a.data(), sub[e].data(), lo, hi);
+    mul[e] = b;
+    be->mul_into_row(a.data(), mul[e].data(), lo, hi);
+    ss[e] = be->sum_sq_row(0.125, a.data(), lo, hi);
+    ma[e] = be->max_abs_row(0.0, a.data(), lo, hi);
+    stats->rows_checked += 1;
+    if (e == 0) continue;
+    if (!rows_equal(fill[e], fill[0]) || !rows_equal(copy[e], copy[0]) ||
+        !rows_equal(add[e], add[0]) || !rows_equal(sub[e], sub[0]) ||
+        !rows_equal(mul[e], mul[0])) {
+      stats->mismatches += 1;
+    }
+    const double tol = 1e-12 * std::max(1.0, std::abs(ss[0]));
+    if (std::abs(ss[e] - ss[0]) > tol || ma[e] != ma[0]) {
+      stats->fold_mismatches += 1;
+    }
+    // The vectorized engines must agree with each other exactly.
+    if (e >= 2 && (ss[e] != ss[1] || ma[e] != ma[1])) {
+      stats->fold_mismatches += 1;
+    }
+  }
+
+  // Stencil row combine: needs lo-1 / hi readable, so pad the range in.
+  if (n >= 3) {
+    const auto uc = fuzz_row(rng, nz);
+    const auto u1 = fuzz_row(rng, nz);
+    const auto u2 = fuzz_row(rng, nz);
+    const double c[4] = {-0.5, 0.125, 0.0625, 0.03125};
+    extent_t clo = rng.range(1, n - 1), chi = rng.range(1, n - 1);
+    if (chi < clo) std::swap(clo, chi);
+    std::vector<std::vector<double>> comb(engines.size()),
+        accr(engines.size());
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      comb[e].assign(nz, -77.0);
+      engines[e]->combine_row(c, uc.data(), u1.data(), u2.data(),
+                              comb[e].data(), clo, chi);
+      accr[e] = b;
+      engines[e]->accumulate_row(c, uc.data(), u1.data(), u2.data(),
+                                 accr[e].data(), clo, chi);
+      stats->rows_checked += 1;
+      if (e > 0 && (!rows_equal(comb[e], comb[0]) ||
+                    !rows_equal(accr[e], accr[0]))) {
+        stats->mismatches += 1;
+      }
+    }
+  }
+
+  // Strided gather / scatter.
+  if (n >= 1) {
+    const extent_t stride = rng.range(1, 4);
+    const auto src = fuzz_row(rng, static_cast<std::size_t>(n * stride));
+    std::vector<std::vector<double>> g(engines.size()), s(engines.size());
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+      g[e].assign(nz, -77.0);
+      engines[e]->gather_row(g[e].data(), src.data(), stride, n);
+      s[e].assign(static_cast<std::size_t>(n * stride), -77.0);
+      engines[e]->scatter_row(s[e].data(), stride, src.data(), n);
+      stats->rows_checked += 1;
+      if (e > 0 &&
+          (!rows_equal(g[e], g[0]) || !rows_equal(s[e], s[0]))) {
+        stats->mismatches += 1;
+      }
+    }
+  }
+}
+
+// Whole-expression check: force `expr` under every backend kind and compare
+// bitwise against its per-point evaluation.
+template <typename Expr>
+void fuzz_expr_backends(const Expr& expr, BackendFuzzStats* stats) {
+  const Shape shp = expr.shape();
+  sac::Array<double> ref = sac::with_genarray<double>(
+      shp, [&](const IndexVec& iv) { return expr(iv); });
+  for (const sac::BackendKind kind :
+       {sac::BackendKind::kScalar, sac::BackendKind::kSimd,
+        sac::BackendKind::kSimdPortable}) {
+    sac::SacConfig cfg = sac::config();
+    cfg.backend = kind;
+    sac::ScopedConfig guard(cfg);
+    const sac::Array<double> got = sac::force(expr);
+    stats->exprs_checked += 1;
+    bool ok = got.shape() == ref.shape();
+    for (extent_t i = 0; ok && i < got.elem_count(); ++i) {
+      const double x = got.at_linear(i), y = ref.at_linear(i);
+      ok = std::memcmp(&x, &y, sizeof(double)) == 0;
+    }
+    if (!ok) stats->mismatches += 1;
+  }
+}
+
+void fuzz_gather_rows(Rng& rng, BackendFuzzStats* stats) {
+  IndexVec ext{rng.range(1, 6), rng.range(1, 6), fuzz_row_length(rng) + 1};
+  const Shape base{ext};
+  std::uint64_t salt = rng.next();
+  sac::Array<double> a =
+      sac::with_genarray<double>(base, [&](const IndexVec& iv) {
+        const auto lin = static_cast<std::uint64_t>(base.linearize(iv));
+        return static_cast<double>((lin * 2654435761ULL + salt) % 1000) /
+               997.0;
+      });
+  switch (rng.pick(5)) {
+    case 0: {
+      bool ok = true;
+      for (std::size_t d = 0; d < 3; ++d) {
+        if (base.extent(d) < 2) ok = false;
+      }
+      if (ok) {
+        fuzz_expr_backends(sac::lazy_condense(2, a, rng.range(0, 1)), stats);
+      }
+      break;
+    }
+    case 1:
+      if (base.elem_count() < 2000) {
+        fuzz_expr_backends(sac::lazy_scatter(2, a, rng.range(0, 1)), stats);
+      }
+      break;
+    case 2: {
+      IndexVec shp2(3);
+      for (std::size_t d = 0; d < 3; ++d) {
+        shp2[d] = rng.range(1, base.extent(d));
+      }
+      fuzz_expr_backends(sac::lazy_take(shp2, a), stats);
+      break;
+    }
+    case 3: {
+      IndexVec shp2(3), pos(3);
+      for (std::size_t d = 0; d < 3; ++d) {
+        shp2[d] = base.extent(d) + rng.range(0, 5);
+        pos[d] = rng.range(0, shp2[d] - base.extent(d));
+      }
+      fuzz_expr_backends(sac::lazy_embed(shp2, pos, a), stats);
+      break;
+    }
+    default: {
+      // Composition: embed(condense(.)) — nested GatherExpr row protocols.
+      bool ok = true;
+      for (std::size_t d = 0; d < 3; ++d) {
+        if (base.extent(d) < 2) ok = false;
+      }
+      if (ok) {
+        auto inner = sac::lazy_condense(2, a, rng.range(0, 1));
+        const Shape cs = inner.shape();
+        IndexVec shp2(3), pos(3);
+        for (std::size_t d = 0; d < 3; ++d) {
+          shp2[d] = cs.extent(d) + rng.range(0, 3);
+          pos[d] = rng.range(0, shp2[d] - cs.extent(d));
+        }
+        fuzz_expr_backends(sac::lazy_embed(shp2, pos, std::move(inner)),
+                           stats);
+      }
+      break;
+    }
+  }
+}
+
+// Degenerate stencil grids under the planes row path: extents 3..5 give
+// interiors that are empty along some axes or a single point (the
+// gen_interior regression class from the planes engine work).
+void fuzz_degenerate_stencils(Rng& rng, BackendFuzzStats* stats) {
+  const Shape shp{rng.range(3, 5), rng.range(3, 5), rng.range(3, 5)};
+  std::uint64_t salt = rng.next();
+  sac::Array<double> a =
+      sac::with_genarray<double>(shp, [&](const IndexVec& iv) {
+        const auto lin = static_cast<std::uint64_t>(shp.linearize(iv));
+        return static_cast<double>((lin * 2654435761ULL + salt) % 1000) /
+               997.0;
+      });
+  sac::StencilCoeffs c{{-0.5, 0.125, 0.0625, 0.03125}};
+  sac::SacConfig cfg = sac::config();
+  cfg.stencil_planes_cutover = 0;
+  cfg.stencil_mode = sac::StencilMode::kPlanes;
+  sac::ScopedConfig guard(cfg);
+  sac::Array<double> ref;
+  {
+    sac::SacConfig scalar_cfg = sac::config();
+    scalar_cfg.backend = sac::BackendKind::kScalar;
+    sac::ScopedConfig scalar_guard(scalar_cfg);
+    ref = sac::relax_kernel(a, c, sac::StencilMode::kPlanes);
+  }
+  for (const sac::BackendKind kind :
+       {sac::BackendKind::kSimd, sac::BackendKind::kSimdPortable}) {
+    sac::SacConfig k_cfg = sac::config();
+    k_cfg.backend = kind;
+    sac::ScopedConfig k_guard(k_cfg);
+    const sac::Array<double> got =
+        sac::relax_kernel(a, c, sac::StencilMode::kPlanes);
+    stats->exprs_checked += 1;
+    bool ok = true;
+    for (extent_t i = 0; ok && i < got.elem_count(); ++i) {
+      const double x = got.at_linear(i), y = ref.at_linear(i);
+      ok = std::memcmp(&x, &y, sizeof(double)) == 0;
+    }
+    if (!ok) stats->mismatches += 1;
+  }
+}
+
+}  // namespace
+
+BackendFuzzStats fuzz_backend_rows(std::uint64_t seed, int rounds) {
+  Rng rng{seed | 1};
+  BackendFuzzStats stats;
+  const auto engines = fuzz_engines();
+  for (int r = 0; r < rounds; ++r) {
+    fuzz_primitives(rng, engines, &stats);
+    fuzz_gather_rows(rng, &stats);
+    fuzz_degenerate_stencils(rng, &stats);
   }
   return stats;
 }

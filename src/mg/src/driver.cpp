@@ -178,12 +178,9 @@ MgResult run_sac(const MgSpec& spec, const RunOptions& opts) {
     double points = static_cast<double>(spec.nx);
     points = points * points * points;
     const Shape& rs = r.shape();
-    const double ss = sac::with_fold(
-        std::plus<>{}, 0.0, rs, sac::gen_interior(rs),
-        [&](const IndexVec& iv) {
-          const double x = r[iv];
-          return x * x;
-        });
+    const double ss = sac::with_fold(std::plus<>{}, 0.0, rs,
+                                     sac::gen_interior(rs),
+                                     sac::sum_sq_rows(r));
     return std::sqrt(ss / points);
   };
   return measure(Variant::kSac, spec, opts, reset, step, norm);
@@ -228,12 +225,8 @@ MgResult run_sac_direct(const MgSpec& spec, const RunOptions& opts) {
     r = solver.residual(v, u);
   };
   auto norm = [&] {
-    const double ss = sac::with_fold(
-        std::plus<>{}, 0.0, r.shape(), sac::gen_all(),
-        [&](const IndexVec& iv) {
-          const double x = r[iv];
-          return x * x;
-        });
+    const double ss = sac::with_fold(std::plus<>{}, 0.0, r.shape(),
+                                     sac::gen_all(), sac::sum_sq_rows(r));
     return std::sqrt(ss / static_cast<double>(r.elem_count()));
   };
   return measure(Variant::kSacDirect, spec, opts, reset, step, norm);

@@ -235,12 +235,8 @@ double MgSac::residual_norm(const Array<double>& v,
   SACPP_REQUIRE(v.shape() == u.shape(), "residual_norm shape mismatch");
   Array<double> r = residual(v, u);
   const Shape& shp = r.shape();
-  const double ss = with_fold(
-      std::plus<>{}, 0.0, shp, gen_interior(shp),
-      [&r](const IndexVec& iv) {
-        const double x = r[iv];
-        return x * x;
-      });
+  const double ss =
+      with_fold(std::plus<>{}, 0.0, shp, gen_interior(shp), sac::sum_sq_rows(r));
   double points = 1.0;
   for (std::size_t d = 0; d < shp.rank(); ++d) {
     points *= static_cast<double>(shp.extent(d) - 2);

@@ -118,12 +118,8 @@ Array<double> MgSacDirect::mgrid(const Array<double>& v, int iter) const {
 double MgSacDirect::residual_norm(const Array<double>& v,
                                   const Array<double>& u) const {
   Array<double> r = residual(v, u);
-  const double ss = sac::with_fold(
-      std::plus<>{}, 0.0, r.shape(), sac::gen_all(),
-      [&r](const IndexVec& iv) {
-        const double x = r[iv];
-        return x * x;
-      });
+  const double ss = sac::with_fold(std::plus<>{}, 0.0, r.shape(),
+                                   sac::gen_all(), sac::sum_sq_rows(r));
   return std::sqrt(ss / static_cast<double>(r.elem_count()));
 }
 

@@ -192,6 +192,69 @@ T max_abs(const Array<T>& a) {
       });
 }
 
+// Fold bodies carrying the backend row-fold protocol (detail::RowFoldBody,
+// docs/backends.md).  Under kScalar the accumulator threads through row
+// elements in row-major order — bit-identical to the generic fold walker —
+// while vectorized backends reassociate per row into the fixed four-lane
+// structure documented in backend.hpp.  Contract: pass the matching
+// operation (plus / max) to with_fold, since chunk partials still merge
+// through it.
+
+struct SumSqRows {
+  Array<double> a;
+  const Backend* be = &active_backend();
+
+  double operator()(const IndexVec& iv) const {
+    const double x = a[iv];
+    return x * x;
+  }
+  double operator()(extent_t i, extent_t j, extent_t k) const {
+    const Shape& s = a.shape();
+    const double x = a.data()[(i * s[1] + j) * s[2] + k];
+    return x * x;
+  }
+  bool row_fold_enabled() const { return a.rank() == 3; }
+  double fold_row(double acc, extent_t i, extent_t j, extent_t k_lo,
+                  extent_t k_hi) const {
+    const Shape& s = a.shape();
+    return be->sum_sq_row(acc, a.data() + (i * s[1] + j) * s[2], k_lo, k_hi);
+  }
+};
+
+struct MaxAbsRows {
+  Array<double> a;
+  const Backend* be = &active_backend();
+
+  double operator()(const IndexVec& iv) const {
+    const double v = a[iv];
+    return v < 0.0 ? -v : v;
+  }
+  double operator()(extent_t i, extent_t j, extent_t k) const {
+    const Shape& s = a.shape();
+    const double v = a.data()[(i * s[1] + j) * s[2] + k];
+    return v < 0.0 ? -v : v;
+  }
+  bool row_fold_enabled() const { return a.rank() == 3; }
+  double fold_row(double acc, extent_t i, extent_t j, extent_t k_lo,
+                  extent_t k_hi) const {
+    const Shape& s = a.shape();
+    return be->max_abs_row(acc, a.data() + (i * s[1] + j) * s[2], k_lo, k_hi);
+  }
+};
+
+inline SumSqRows sum_sq_rows(Array<double> a) {
+  return SumSqRows{std::move(a)};
+}
+inline MaxAbsRows max_abs_rows(Array<double> a) {
+  return MaxAbsRows{std::move(a)};
+}
+
+// Rank-aware overload: double arrays reduce through the backend row fold.
+inline double max_abs(const Array<double>& a) {
+  return with_fold([](double x, double y) { return x > y ? x : y; }, 0.0,
+                   a.shape(), gen_all(), MaxAbsRows{a});
+}
+
 template <typename T>
 T dot(const Array<T>& a, const Array<T>& b) {
   SACPP_REQUIRE(a.shape() == b.shape(), "dot needs equal shapes");

@@ -27,6 +27,25 @@ enum class StencilMode { kGrouped, kNaive, kPlanes };
 // Canonical names used by SACPP_STENCIL_MODE / --stencil-mode / BENCH_mg.
 const char* stencil_mode_name(StencilMode mode);
 
+// Compute backend for the dense-rank-3 row primitives (backend.hpp;
+// docs/backends.md).  Lives here — not in backend.hpp — so SacConfig can
+// carry the process-wide default without a circular include.
+//  * kScalar — today's element-at-a-time row loops, refactored behind the
+//    Backend interface; the bit-exact reference every other backend is
+//    pinned against.
+//  * kSimd — the vectorized row engine: AVX2 when the CPU has it (runtime
+//    CPUID dispatch), otherwise a 4-wide portable fallback that performs the
+//    same lane-structured arithmetic, so kSimd results are bit-identical
+//    across hosts.
+//  * kSimdPortable — the 4-wide portable fallback unconditionally, even on
+//    AVX2 hardware.  Exists so CI can exercise the no-AVX2 path everywhere
+//    and so the differential battery can pin AVX2 against it bit-for-bit.
+enum class BackendKind { kScalar, kSimd, kSimdPortable };
+
+// Canonical names used by SACPP_BACKEND / --backend / BENCH_mg:
+// "scalar" | "simd" | "simd-portable".
+const char* backend_name(BackendKind kind);
+
 struct SacConfig {
   // D1: with-loop folding.  When true, the high-level MG code composes lazy
   // array expressions that fuse into a single traversal; when false every
@@ -96,6 +115,14 @@ struct SacConfig {
   // small levels, docs/memory.md).  The MG level ladder is 4, 6, 10, 18,
   // 34, 66, ...; 18 keeps the two coarsest meaningful levels on kGrouped.
   std::int64_t stencil_planes_cutover = 18;
+
+  // Compute backend for the dense-rank-3 row primitives (docs/backends.md).
+  // kScalar keeps the historical element order everywhere, so goldens are
+  // unaffected unless kSimd is opted into via SACPP_BACKEND=simd or
+  // npb_mg --backend=simd.  Element-parallel rows (fills, stencil plane
+  // sums/combines, gathers) are bit-identical across backends; only the
+  // row folds (L2 / max-abs norms) reassociate, in a fixed lane order.
+  BackendKind backend = BackendKind::kScalar;
 };
 
 // Process-global configuration used by all with-loop executions.
@@ -148,6 +175,10 @@ SacConfig config_from_env();
 // Parse a stencil mode name ("grouped" | "naive" | "planes").  Returns false
 // (leaving `out` untouched) on anything else.
 bool parse_stencil_mode(const char* name, StencilMode* out);
+
+// Parse a backend name ("scalar" | "simd" | "simd-portable").  Returns false
+// (leaving `out` untouched) on anything else.
+bool parse_backend(const char* name, BackendKind* out);
 
 // Toggle telemetry recording: sets both SacConfig::obs and the obs layer's
 // own flag (the one instrumentation points actually test).

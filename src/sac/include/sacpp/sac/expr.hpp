@@ -16,14 +16,32 @@
 // unmaterialised stencil would multiply work.  The API mirrors sac2c's
 // heuristic by allowing StencilExpr only over concrete arrays.
 
+#include <algorithm>
 #include <concepts>
+#include <functional>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "sacpp/common/shape.hpp"
 #include "sacpp/sac/array.hpp"
+#include "sacpp/sac/backend.hpp"
 #include "sacpp/sac/with_loop.hpp"
 
 namespace sacpp::sac {
+
+namespace detail {
+
+// Signed floor/ceil division (b > 0) for the gather row-range algebra.
+inline extent_t floor_div(extent_t a, extent_t b) {
+  const extent_t q = a / b;
+  return (a % b != 0 && a < 0) ? q - 1 : q;
+}
+inline extent_t ceil_div(extent_t a, extent_t b) {
+  return -floor_div(-a, b);
+}
+
+}  // namespace detail
 
 // Anything with a shape and an element function over index vectors.
 template <typename E>
@@ -88,8 +106,27 @@ struct EwiseBinaryExpr {
     requires(Rank3Expr<L> && detail::RowFillBody<R, double>)
   {
     rhs.fill_row(st, i, j, out, k_lo, k_hi);
-    for (extent_t k = k_lo; k < k_hi; ++k) {
-      out[k] = op(lhs(i, j, k), out[k]);
+    // The combine is element-parallel with identical arithmetic per point,
+    // so dispatching it through the backend row primitive is bit-identical
+    // for every backend — no golden impact, full-width SIMD under kSimd.
+    if constexpr (std::is_same_v<L, Array<double>> &&
+                  (std::is_same_v<Op, std::plus<>> ||
+                   std::is_same_v<Op, std::minus<>> ||
+                   std::is_same_v<Op, std::multiplies<>>)) {
+      const Shape& ls = lhs.shape();
+      const double* a = lhs.data() + (i * ls[1] + j) * ls[2];
+      const Backend& be = active_backend();
+      if constexpr (std::is_same_v<Op, std::plus<>>) {
+        be.add_into_row(a, out, k_lo, k_hi);
+      } else if constexpr (std::is_same_v<Op, std::minus<>>) {
+        be.sub_into_row(a, out, k_lo, k_hi);
+      } else {
+        be.mul_into_row(a, out, k_lo, k_hi);
+      }
+    } else {
+      for (extent_t k = k_lo; k < k_hi; ++k) {
+        out[k] = op(lhs(i, j, k), out[k]);
+      }
     }
   }
 };
@@ -176,6 +213,143 @@ struct GatherExpr {
         s[2] < 0 || s[2] >= ish[2])
       return dflt;
     return inner(s[0], s[1], s[2]);
+  }
+
+  // -- backend row-fill protocol (detail::RowFillBody) ------------------------
+  //
+  // The affine transform is separable, so a whole output row maps to one
+  // source row plus a k-range algebra: a contiguous copy (take/embed/shift),
+  // a strided gather (condense), or a strided scatter into a default-filled
+  // row (scatter).  Two inner forms participate:
+  //
+  //  (a) inner is a concrete Array<double> — pure data movement, bitwise
+  //      identical to per-point evaluation, enabled for every backend;
+  //  (b) inner itself offers the row protocol (a stencil, or another
+  //      gather) — the inner row is produced first (directly into `out`
+  //      when the k transform is the identity, else into a scratch row) and
+  //      then gathered/scattered.  This swaps the stencil's per-point
+  //      evaluator for its row combine, so it is gated on a vectorized
+  //      backend to keep the pinned scalar goldens untouched.
+  //
+  // Builders only produce scale_num == 1 or scale_den == 1; mixed ratios
+  // fall back to per-point evaluation via row_fill_enabled() == false.
+
+  static constexpr bool kRowInnerArray = std::is_same_v<E, Array<double>>;
+
+  bool row_fill_enabled() const
+    requires(kRowInnerArray)
+  {
+    return shp.rank() == 3 && (scale_num == 1 || scale_den == 1);
+  }
+
+  bool row_fill_enabled() const
+    requires(!kRowInnerArray && detail::RowFillBody<E, double>)
+  {
+    return shp.rank() == 3 && (scale_num == 1 || scale_den == 1) &&
+           active_backend().vectorized() && inner.row_fill_enabled();
+  }
+
+  int make_row_state() const
+    requires(kRowInnerArray)
+  {
+    return 0;  // stateless: gathers from the concrete array need no scratch
+  }
+
+  auto make_row_state() const
+    requires(!kRowInnerArray && detail::RowFillBody<E, double>)
+  {
+    using InnerState = decltype(inner.make_row_state());
+    struct State {
+      InnerState st;
+      std::vector<double> row;  // scratch for non-identity k transforms
+    };
+    return State{inner.make_row_state(),
+                 std::vector<double>(
+                     static_cast<std::size_t>(inner.shape().extent(2)))};
+  }
+
+  template <typename State>
+  void fill_row(State& st, extent_t i, extent_t j, double* out,
+                extent_t k_lo, extent_t k_hi) const
+    requires((kRowInnerArray || detail::RowFillBody<E, double>) &&
+             std::same_as<T, double>)
+  {
+    const Backend& be = active_backend();
+    const Shape& ish = inner.shape();
+    // Axes 0 and 1 resolve to one source row — or a whole default row when
+    // the transformed coordinate is a scatter gap or out of bounds.
+    extent_t src01[2] = {i, j};
+    for (int d = 0; d < 2; ++d) {
+      extent_t scaled = src01[d] * scale_num + pre;
+      if (scale_den != 1) {
+        if (scaled % scale_den != 0 || scaled < 0) {
+          be.fill_row(out, k_lo, k_hi, dflt);
+          return;
+        }
+        scaled /= scale_den;
+      }
+      scaled += offset[static_cast<std::size_t>(d)];
+      if (scaled < 0 || scaled >= ish[static_cast<std::size_t>(d)]) {
+        be.fill_row(out, k_lo, k_hi, dflt);
+        return;
+      }
+      src01[d] = scaled;
+    }
+    const extent_t si = src01[0], sj = src01[1];
+    if (scale_den == 1) {
+      // src_k = k*scale_num + off2: a copy (num == 1) or gather (num > 1).
+      const extent_t off2 = pre + offset[2];
+      extent_t k0 = std::max(k_lo, detail::ceil_div(-off2, scale_num));
+      extent_t k1 = std::min(
+          k_hi, detail::floor_div(ish[2] - 1 - off2, scale_num) + 1);
+      k0 = std::clamp(k0, k_lo, k_hi);
+      k1 = std::clamp(k1, k0, k_hi);
+      be.fill_row(out, k_lo, k0, dflt);
+      be.fill_row(out, k1, k_hi, dflt);
+      if (k0 >= k1) return;
+      if constexpr (kRowInnerArray) {
+        const double* src = inner.data() + (si * ish[1] + sj) * ish[2];
+        if (scale_num == 1) {
+          be.copy_row(out, src + k0 + off2, k0, k1);
+        } else {
+          be.gather_row(out + k0, src + k0 * scale_num + off2, scale_num,
+                        k1 - k0);
+        }
+      } else {
+        const extent_t s_lo = k0 * scale_num + off2;
+        const extent_t s_hi = (k1 - 1) * scale_num + off2 + 1;
+        if (scale_num == 1) {
+          // Identity k transform: land the inner row directly in `out`,
+          // shifted so inner position s writes out[s - off2].
+          inner.fill_row(st.st, si, sj, out - off2, s_lo, s_hi);
+        } else {
+          inner.fill_row(st.st, si, sj, st.row.data(), s_lo, s_hi);
+          be.gather_row(out + k0, st.row.data() + s_lo, scale_num, k1 - k0);
+        }
+      }
+    } else {
+      // scale_num == 1, scale_den > 1: valid outputs sit at k = t*den - pre
+      // with source index t + off2; every other position is a scatter gap.
+      be.fill_row(out, k_lo, k_hi, dflt);
+      const extent_t off2 = offset[2];
+      const extent_t t_lo =
+          std::max(detail::ceil_div(k_lo + pre, scale_den),
+                   std::max<extent_t>(0, -off2));
+      const extent_t t_hi =
+          std::min(detail::floor_div(k_hi - 1 + pre, scale_den) + 1,
+                   ish[2] - off2);
+      if (t_hi <= t_lo) return;
+      double* base = out + t_lo * scale_den - pre;
+      if constexpr (kRowInnerArray) {
+        const double* src = inner.data() + (si * ish[1] + sj) * ish[2];
+        be.scatter_row(base, scale_den, src + t_lo + off2, t_hi - t_lo);
+      } else {
+        inner.fill_row(st.st, si, sj, st.row.data(), t_lo + off2,
+                       t_hi + off2);
+        be.scatter_row(base, scale_den, st.row.data() + t_lo + off2,
+                       t_hi - t_lo);
+      }
+    }
   }
 };
 

@@ -32,7 +32,7 @@ class PeriodicStencilExpr {
  public:
   PeriodicStencilExpr(Array<double> a, const StencilCoeffs& coeffs,
                       StencilMode mode = active_config().stencil_mode)
-      : a_(std::move(a)), c_(coeffs), mode_(mode) {
+      : a_(std::move(a)), c_(coeffs), mode_(mode), be_(&active_backend()) {
     const Shape& shp = a_.shape();
     SACPP_REQUIRE(shp.rank() >= 1, "stencil needs rank >= 1");
     extent_t min_extent = shp.extent(0);
@@ -93,36 +93,26 @@ class PeriodicStencilExpr {
     auto row = [&](extent_t x, extent_t y) {
       return base + x * s0_ + y * s1_;
     };
-    {
-      // Reads only — overlapping pointers on extent-2 axes stay legal.
-      const double* __restrict im = row(iw, j);
-      const double* __restrict ip = row(ie, j);
-      const double* __restrict jm = row(i, jw);
-      const double* __restrict jp = row(i, je);
-      const double* __restrict imm = row(iw, jw);
-      const double* __restrict imp = row(iw, je);
-      const double* __restrict ipm = row(ie, jw);
-      const double* __restrict ipp = row(ie, je);
-      double* __restrict u1 = st.u1();
-      double* __restrict u2 = st.u2();
-      for (extent_t k = 0; k < n2; ++k) {
-        u1[k] = ((im[k] + ip[k]) + jm[k]) + jp[k];
-        u2[k] = ((imm[k] + imp[k]) + ipm[k]) + ipp[k];
-      }
-    }
-    const double* __restrict uc = row(i, j);
-    const double* __restrict u1 = st.u1();
-    const double* __restrict u2 = st.u2();
-    double* __restrict o = out;
+    // Reads only — overlapping pointers on extent-2 axes stay legal inside
+    // the backend's plane kernel.
+    be_->plane_sums(row(iw, j), row(ie, j), row(i, jw), row(i, je),
+                    row(iw, jw), row(iw, je), row(ie, jw), row(ie, je),
+                    st.u1(), st.u2(), n2);
+    const double* uc = row(i, j);
+    const double* u1 = st.u1();
+    const double* u2 = st.u2();
+    double* o = out;
     auto combine = [&](extent_t k, extent_t km, extent_t kp) {
       o[k] = c_[0] * uc[k] + c_[1] * ((u1[k] + uc[km]) + uc[kp]) +
              c_[2] * ((u2[k] + u1[km]) + u1[kp]) +
              c_[3] * (u2[km] + u2[kp]);
     };
     if (k_lo == 0) combine(0, n2 - 1, 1 % n2);
-    const extent_t lo = std::max<extent_t>(k_lo, 1);
-    const extent_t hi = std::min<extent_t>(k_hi, n2 - 1);
-    for (extent_t k = lo; k < hi; ++k) combine(k, k - 1, k + 1);
+    // Interior points use the backend row combine; only the wrapped first
+    // and last k pay the modular lookup above/below.
+    be_->combine_row(c_.c.data(), uc, u1, u2, o,
+                     std::max<extent_t>(k_lo, 1),
+                     std::min<extent_t>(k_hi, n2 - 1));
     if (k_hi == n2 && n2 >= 2) combine(n2 - 1, n2 - 2, 0);
     st.rows += 1;
   }
@@ -194,6 +184,7 @@ class PeriodicStencilExpr {
   Array<double> a_;
   StencilCoeffs c_;
   StencilMode mode_;
+  const Backend* be_;  // row-primitive engine, snapshotted at construction
   extent_t s0_ = 0;
   extent_t s1_ = 0;
   bool planes_rows_ = false;  // kPlanes row path active (rank 3, >= cutover)

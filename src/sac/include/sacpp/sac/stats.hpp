@@ -69,6 +69,10 @@ struct RuntimeStats {
   // (docs/stencil.md): each counted row reused its u1/u2 partial sums across
   // the whole k inner loop.
   RelaxedCounter stencil_rows_reused;
+  // Rows dispatched through a vectorized (kSimd / kSimdPortable) backend's
+  // row primitives (docs/backends.md).  Zero under kScalar, so tests and the
+  // obs export can tell which engine a run actually used.
+  RelaxedCounter backend_simd_rows;
 };
 
 // Mutable access to the process-global counters.

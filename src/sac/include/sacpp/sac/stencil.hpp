@@ -37,6 +37,7 @@
 #include "sacpp/common/error.hpp"
 #include "sacpp/common/shape.hpp"
 #include "sacpp/sac/array.hpp"
+#include "sacpp/sac/backend.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/pool.hpp"
 #include "sacpp/sac/stats.hpp"
@@ -128,7 +129,7 @@ class StencilExpr {
  public:
   StencilExpr(Array<double> a, const StencilCoeffs& coeffs,
               StencilMode mode = active_config().stencil_mode)
-      : a_(std::move(a)), c_(coeffs), mode_(mode) {
+      : a_(std::move(a)), c_(coeffs), mode_(mode), be_(&active_backend()) {
     const Shape& shp = a_.shape();
     SACPP_REQUIRE(shp.rank() >= 1, "stencil needs rank >= 1");
     extent_t min_extent = shp.extent(0);
@@ -213,15 +214,16 @@ class StencilExpr {
                 extent_t k_lo, extent_t k_hi) const {
     const Shape& shp = a_.shape();
     if (i < 1 || i >= shp[0] - 1 || j < 1 || j >= shp[1] - 1) {
-      std::fill(out + k_lo, out + k_hi, 0.0);
+      be_->fill_row(out, k_lo, k_hi, 0.0);
       return;
     }
     const extent_t n2 = shp[2];
     if (k_lo < 1) out[0] = 0.0;
     if (k_hi > n2 - 1) out[n2 - 1] = 0.0;
     sum_planes(st, i, j);
-    combine_row(st, i, j, out, std::max<extent_t>(k_lo, 1),
-                std::min<extent_t>(k_hi, n2 - 1));
+    be_->combine_row(c_.c.data(), a_.data() + i * s0_ + j * s1_, st.u1(),
+                     st.u2(), out, std::max<extent_t>(k_lo, 1),
+                     std::min<extent_t>(k_hi, n2 - 1));
     st.rows += 1;
   }
 
@@ -234,17 +236,9 @@ class StencilExpr {
     const Shape& shp = a_.shape();
     if (i < 1 || i >= shp[0] - 1 || j < 1 || j >= shp[1] - 1) return;
     sum_planes(st, i, j);
-    const double* __restrict uc = a_.data() + i * s0_ + j * s1_;
-    const double* __restrict u1 = st.u1();
-    const double* __restrict u2 = st.u2();
-    double* __restrict o = out;
-    const extent_t lo = std::max<extent_t>(k_lo, 1);
-    const extent_t hi = std::min<extent_t>(k_hi, shp[2] - 1);
-    for (extent_t k = lo; k < hi; ++k) {
-      o[k] += c_[0] * uc[k] + c_[1] * ((u1[k] + uc[k - 1]) + uc[k + 1]) +
-              c_[2] * ((u2[k] + u1[k - 1]) + u1[k + 1]) +
-              c_[3] * (u2[k - 1] + u2[k + 1]);
-    }
+    be_->accumulate_row(c_.c.data(), a_.data() + i * s0_ + j * s1_, st.u1(),
+                        st.u2(), out, std::max<extent_t>(k_lo, 1),
+                        std::min<extent_t>(k_hi, shp[2] - 1));
     st.rows += 1;
   }
 
@@ -293,44 +287,22 @@ class StencilExpr {
   // The NPB u1/u2 plane sums for output row (i, j): u1[k] sums the four
   // class-1 neighbours in the i/j directions, u2[k] the four class-2
   // diagonal rows.  The nine source rows are pairwise disjoint segments of
-  // the argument and the scratch is a separate block, so __restrict holds.
+  // the argument and the scratch is a separate block.  The loops live in
+  // the active Backend (docs/backends.md).
   void sum_planes(PlaneScratch& st, extent_t i, extent_t j) const {
     const double* c = a_.data() + i * s0_ + j * s1_;
-    const double* __restrict im = c - s0_;
-    const double* __restrict ip = c + s0_;
-    const double* __restrict jm = c - s1_;
-    const double* __restrict jp = c + s1_;
-    const double* __restrict imm = im - s1_;
-    const double* __restrict imp = im + s1_;
-    const double* __restrict ipm = ip - s1_;
-    const double* __restrict ipp = ip + s1_;
-    double* __restrict u1 = st.u1();
-    double* __restrict u2 = st.u2();
-    const extent_t n2 = a_.shape().extent(2);
-    for (extent_t k = 0; k < n2; ++k) {
-      u1[k] = ((im[k] + ip[k]) + jm[k]) + jp[k];
-      u2[k] = ((imm[k] + imp[k]) + ipm[k]) + ipp[k];
-    }
-  }
-
-  // Per-point combine: centre row plus three u1 and three u2 entries —
-  // 4 multiplications, 8 additions per point after the shared row sums.
-  void combine_row(const PlaneScratch& st, extent_t i, extent_t j,
-                   double* out, extent_t lo, extent_t hi) const {
-    const double* __restrict uc = a_.data() + i * s0_ + j * s1_;
-    const double* __restrict u1 = st.u1();
-    const double* __restrict u2 = st.u2();
-    double* __restrict o = out;
-    for (extent_t k = lo; k < hi; ++k) {
-      o[k] = c_[0] * uc[k] + c_[1] * ((u1[k] + uc[k - 1]) + uc[k + 1]) +
-             c_[2] * ((u2[k] + u1[k - 1]) + u1[k + 1]) +
-             c_[3] * (u2[k - 1] + u2[k + 1]);
-    }
+    const double* im = c - s0_;
+    const double* ip = c + s0_;
+    const double* jm = c - s1_;
+    const double* jp = c + s1_;
+    be_->plane_sums(im, ip, jm, jp, im - s1_, im + s1_, ip - s1_, ip + s1_,
+                    st.u1(), st.u2(), a_.shape().extent(2));
   }
 
   Array<double> a_;
   StencilCoeffs c_;
   StencilMode mode_;
+  const Backend* be_;  // row-primitive engine, snapshotted at construction
   std::array<std::vector<extent_t>, 4> by_class_;
   extent_t s0_ = 0;  // rank-3 row strides for the unrolled evaluator
   extent_t s1_ = 0;

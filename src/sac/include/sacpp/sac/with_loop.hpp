@@ -31,6 +31,7 @@
 #include "sacpp/common/shape.hpp"
 #include "sacpp/obs/obs.hpp"
 #include "sacpp/sac/array.hpp"
+#include "sacpp/sac/backend.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/runtime.hpp"
 #include "sacpp/sac/stats.hpp"
@@ -151,6 +152,31 @@ concept RowFillBody = requires(const Body& b, T* out, extent_t i) {
   };
 };
 
+// Fold bodies that can fold a whole contiguous k-row into a running
+// accumulator (the backend row-fold protocol, docs/backends.md):
+//  * row_fold_enabled() — dynamic opt-in;
+//  * fold_row(acc, i, j, k_lo, k_hi) — returns acc folded with the body's
+//    value at every (i, j, k) for k in [k_lo, k_hi).
+// Contract: fold_row must combine with the same operation as the `op`
+// handed to with_fold — parallel chunk partials are still merged with op.
+// Under kScalar the fold threads acc through elements in row-major order,
+// bit-identical to the generic walker; vectorized backends reassociate per
+// row in the fixed lane order backend.hpp defines.
+template <typename Body, typename T>
+concept RowFoldBody = requires(const Body& b, T acc, extent_t i) {
+  { b.row_fold_enabled() } -> std::convertible_to<bool>;
+  { b.fold_row(acc, i, i, i, i) } -> std::convertible_to<T>;
+};
+
+// Tally for stats().backend_simd_rows: one shared-counter add per with-loop
+// (not per row — worker threads must not contend on the counter).
+inline void count_backend_rows(const ResolvedGen& g) {
+  if (active_backend().vectorized()) {
+    stats().backend_simd_rows += static_cast<std::uint64_t>(
+        (g.upper[0] - g.lower[0]) * (g.upper[1] - g.lower[1]));
+  }
+}
+
 // -- element walkers ---------------------------------------------------------
 
 // Walk one generator over a sub-range of the outermost axis, calling
@@ -226,6 +252,7 @@ void execute_assign_loops(T* out, const Shape& shape, const ResolvedGen& g,
       } else {
         chunk(g.lower[0], g.upper[0], 0);
       }
+      count_backend_rows(g);
       if (t0 >= 0) [[unlikely]] {
         obs::record_span(obs::SpanKind::kWithLoop, "with_loop_rows", t0,
                          obs::now_ns() - t0, g.count);
@@ -337,6 +364,40 @@ T with_fold_loops(const FoldOp& op, T neutral, const Shape& space,
 
   if (space.rank() == 0) {
     return op(neutral, body(IndexVec{}));
+  }
+
+  // Rank-3 dense row-fold path (RowFoldBody): the body folds whole k-rows
+  // through the active backend's row primitives.  Chunk partials are
+  // combined with op exactly like the generic MT path, so the scalar
+  // backend stays bit-identical to the walker below at any thread count.
+  if constexpr (RowFoldBody<Body, T>) {
+    if (space.rank() == 3 && g.dense && active_config().specialize &&
+        body.row_fold_enabled()) {
+      auto fold_rows = [&](extent_t lo0, extent_t hi0) {
+        T acc = neutral;
+        for (extent_t i = lo0; i < hi0; ++i) {
+          for (extent_t j = g.lower[1]; j < g.upper[1]; ++j) {
+            acc = body.fold_row(acc, i, j, g.lower[2], g.upper[2]);
+          }
+        }
+        return acc;
+      };
+      T acc = neutral;
+      if (detail::run_parallel(g)) {
+        stats().parallel_regions += 1;
+        const unsigned participants = runtime().thread_count();
+        std::vector<T> partial(participants, neutral);
+        runtime().parallel_for(g.lower[0], g.upper[0], 1,
+                               [&](extent_t lo0, extent_t hi0, unsigned who) {
+                                 partial[who] = fold_rows(lo0, hi0);
+                               });
+        for (const T& p : partial) acc = op(acc, p);
+      } else {
+        acc = fold_rows(g.lower[0], g.upper[0]);
+      }
+      detail::count_backend_rows(g);
+      return acc;
+    }
   }
 
   if (detail::run_parallel(g)) {

@@ -1,0 +1,28 @@
+#include "sacpp/sac/backend.hpp"
+
+namespace sacpp::sac {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+const Backend& backend_for(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kScalar:
+      return detail::scalar_backend();
+    case BackendKind::kSimdPortable:
+      return detail::portable_backend();
+    case BackendKind::kSimd: {
+      const Backend* avx2 = detail::avx2_backend();
+      return avx2 != nullptr ? *avx2 : detail::portable_backend();
+    }
+  }
+  return detail::scalar_backend();
+}
+
+}  // namespace sacpp::sac

@@ -1,0 +1,514 @@
+// The kSimd engines: an AVX2 row engine plus the 4-wide portable fallback.
+//
+// Both are compiled unconditionally — the AVX2 functions carry
+// __attribute__((target("avx2"))) so the translation unit builds at the
+// baseline -march, and backend.cpp dispatches at runtime via CPUID.  The
+// two engines are bit-identical to each other by construction:
+//  * element-parallel primitives keep the scalar association order per
+//    element (so they are bit-identical to kScalar too);
+//  * folds use the same 4-lane structure (element lo+n lands in lane n%4,
+//    masked tail lanes contribute the neutral 0.0) and the same fixed
+//    horizontal combine ((l0+l1)+l2)+l3;
+//  * no FMA: the AVX2 code uses explicit mul/add intrinsics and the target
+//    attribute does not enable the FMA ISA, so the compiler cannot
+//    contract — kSimd results do not depend on the host CPU.
+// Tail handling is masked (maskload/maskstore), never a separate code
+// path: masked lanes are architecturally not accessed, so reading a
+// partial vector at the end of a row cannot fault or trip ASan.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define SACPP_HAVE_AVX2_TARGET 1
+#endif
+
+#include "sacpp/sac/backend.hpp"
+
+namespace sacpp::sac {
+namespace {
+
+// -- shared element-parallel loops (association order == kScalar) ------------
+
+void fill_row_generic(double* out, extent_t lo, extent_t hi, double v) {
+  std::fill(out + lo, out + hi, v);
+}
+
+void copy_row_generic(double* out, const double* src, extent_t lo,
+                      extent_t hi) {
+  if (hi > lo) {
+    std::memcpy(out + lo, src,
+                static_cast<std::size_t>(hi - lo) * sizeof(double));
+  }
+}
+
+void plane_sums_generic(const double* im, const double* ip, const double* jm,
+                        const double* jp, const double* imm,
+                        const double* imp, const double* ipm,
+                        const double* ipp, double* u1, double* u2,
+                        extent_t n) {
+  const double* __restrict rim = im;
+  const double* __restrict rip = ip;
+  const double* __restrict rjm = jm;
+  const double* __restrict rjp = jp;
+  const double* __restrict rimm = imm;
+  const double* __restrict rimp = imp;
+  const double* __restrict ripm = ipm;
+  const double* __restrict ripp = ipp;
+  double* __restrict w1 = u1;
+  double* __restrict w2 = u2;
+  for (extent_t k = 0; k < n; ++k) {
+    w1[k] = ((rim[k] + rip[k]) + rjm[k]) + rjp[k];
+    w2[k] = ((rimm[k] + rimp[k]) + ripm[k]) + ripp[k];
+  }
+}
+
+void combine_row_generic(const double* c, const double* uc, const double* u1,
+                         const double* u2, double* out, extent_t lo,
+                         extent_t hi) {
+  const double* __restrict rc = uc;
+  const double* __restrict r1 = u1;
+  const double* __restrict r2 = u2;
+  double* __restrict o = out;
+  for (extent_t k = lo; k < hi; ++k) {
+    o[k] = c[0] * rc[k] + c[1] * ((r1[k] + rc[k - 1]) + rc[k + 1]) +
+           c[2] * ((r2[k] + r1[k - 1]) + r1[k + 1]) +
+           c[3] * (r2[k - 1] + r2[k + 1]);
+  }
+}
+
+void accumulate_row_generic(const double* c, const double* uc,
+                            const double* u1, const double* u2, double* out,
+                            extent_t lo, extent_t hi) {
+  const double* __restrict rc = uc;
+  const double* __restrict r1 = u1;
+  const double* __restrict r2 = u2;
+  double* __restrict o = out;
+  for (extent_t k = lo; k < hi; ++k) {
+    o[k] += c[0] * rc[k] + c[1] * ((r1[k] + rc[k - 1]) + rc[k + 1]) +
+            c[2] * ((r2[k] + r1[k - 1]) + r1[k + 1]) +
+            c[3] * (r2[k - 1] + r2[k + 1]);
+  }
+}
+
+void gather_row_generic(double* out, const double* src, extent_t stride,
+                        extent_t n) {
+  for (extent_t t = 0; t < n; ++t) out[t] = src[t * stride];
+}
+
+void scatter_row_generic(double* out, extent_t stride, const double* src,
+                         extent_t n) {
+  for (extent_t t = 0; t < n; ++t) out[t * stride] = src[t];
+}
+
+// -- portable 4-wide folds (the lane contract of the header) -----------------
+//
+// max lane combine matches the AVX2 maxpd operand order exactly:
+// maxpd(a, b) = (a > b) ? a : b, second operand on ties/NaN.
+
+inline double lane_max(double a, double b) { return a > b ? a : b; }
+
+double sum_sq_row_portable(double acc, const double* p, extent_t lo,
+                           extent_t hi) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  extent_t k = lo;
+  for (; k + 4 <= hi; k += 4) {
+    l0 = l0 + p[k] * p[k];
+    l1 = l1 + p[k + 1] * p[k + 1];
+    l2 = l2 + p[k + 2] * p[k + 2];
+    l3 = l3 + p[k + 3] * p[k + 3];
+  }
+  // Masked tail: live lanes take their element, dead lanes add the fold's
+  // neutral 0.0 (a no-op on the non-negative lane sums).
+  if (k < hi) l0 = l0 + p[k] * p[k];
+  if (k + 1 < hi) l1 = l1 + p[k + 1] * p[k + 1];
+  if (k + 2 < hi) l2 = l2 + p[k + 2] * p[k + 2];
+  return acc + (((l0 + l1) + l2) + l3);
+}
+
+double max_abs_row_portable(double acc, const double* p, extent_t lo,
+                            extent_t hi) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  extent_t k = lo;
+  for (; k + 4 <= hi; k += 4) {
+    l0 = lane_max(l0, std::fabs(p[k]));
+    l1 = lane_max(l1, std::fabs(p[k + 1]));
+    l2 = lane_max(l2, std::fabs(p[k + 2]));
+    l3 = lane_max(l3, std::fabs(p[k + 3]));
+  }
+  if (k < hi) l0 = lane_max(l0, std::fabs(p[k]));
+  if (k + 1 < hi) l1 = lane_max(l1, std::fabs(p[k + 1]));
+  if (k + 2 < hi) l2 = lane_max(l2, std::fabs(p[k + 2]));
+  return lane_max(lane_max(lane_max(lane_max(acc, l0), l1), l2), l3);
+}
+
+#ifdef SACPP_HAVE_AVX2_TARGET
+
+// -- AVX2 kernels ------------------------------------------------------------
+
+// Mask with the low `r` lanes live (r in [1, 3]) for maskload/maskstore.
+__attribute__((target("avx2"))) inline __m256i tail_mask(extent_t r) {
+  const __m256i idx = _mm256_set_epi64x(3, 2, 1, 0);
+  return _mm256_cmpgt_epi64(_mm256_set1_epi64x(r), idx);
+}
+
+__attribute__((target("avx2"))) void fill_row_avx2(double* out, extent_t lo,
+                                                   extent_t hi, double v) {
+  const __m256d vv = _mm256_set1_pd(v);
+  extent_t k = lo;
+  for (; k + 4 <= hi; k += 4) _mm256_storeu_pd(out + k, vv);
+  if (k < hi) _mm256_maskstore_pd(out + k, tail_mask(hi - k), vv);
+}
+
+__attribute__((target("avx2"))) void plane_sums_avx2(
+    const double* im, const double* ip, const double* jm, const double* jp,
+    const double* imm, const double* imp, const double* ipm,
+    const double* ipp, double* u1, double* u2, extent_t n) {
+  extent_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d s1 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(im + k),
+                                    _mm256_loadu_pd(ip + k)),
+                      _mm256_loadu_pd(jm + k)),
+        _mm256_loadu_pd(jp + k));
+    const __m256d s2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(imm + k),
+                                    _mm256_loadu_pd(imp + k)),
+                      _mm256_loadu_pd(ipm + k)),
+        _mm256_loadu_pd(ipp + k));
+    _mm256_storeu_pd(u1 + k, s1);
+    _mm256_storeu_pd(u2 + k, s2);
+  }
+  if (k < n) {
+    const __m256i m = tail_mask(n - k);
+    const __m256d s1 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_maskload_pd(im + k, m),
+                                    _mm256_maskload_pd(ip + k, m)),
+                      _mm256_maskload_pd(jm + k, m)),
+        _mm256_maskload_pd(jp + k, m));
+    const __m256d s2 = _mm256_add_pd(
+        _mm256_add_pd(_mm256_add_pd(_mm256_maskload_pd(imm + k, m),
+                                    _mm256_maskload_pd(imp + k, m)),
+                      _mm256_maskload_pd(ipm + k, m)),
+        _mm256_maskload_pd(ipp + k, m));
+    _mm256_maskstore_pd(u1 + k, m, s1);
+    _mm256_maskstore_pd(u2 + k, m, s2);
+  }
+}
+
+// r(k) for four consecutive k: the exact scalar association
+//   (((c0*uc + c1*t1) + c2*t2) + c3*t3)
+// with t1 = (u1[k] + uc[k-1]) + uc[k+1], etc.
+__attribute__((target("avx2"))) inline __m256d combine_block(
+    const __m256d c0, const __m256d c1, const __m256d c2, const __m256d c3,
+    const __m256d uck, const __m256d ucm, const __m256d ucp,
+    const __m256d u1k, const __m256d u1m, const __m256d u1p,
+    const __m256d u2k, const __m256d u2m, const __m256d u2p) {
+  const __m256d t1 = _mm256_add_pd(_mm256_add_pd(u1k, ucm), ucp);
+  const __m256d t2 = _mm256_add_pd(_mm256_add_pd(u2k, u1m), u1p);
+  const __m256d t3 = _mm256_add_pd(u2m, u2p);
+  return _mm256_add_pd(
+      _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(c0, uck),
+                                  _mm256_mul_pd(c1, t1)),
+                    _mm256_mul_pd(c2, t2)),
+      _mm256_mul_pd(c3, t3));
+}
+
+__attribute__((target("avx2"))) void combine_row_avx2(
+    const double* c, const double* uc, const double* u1, const double* u2,
+    double* out, extent_t lo, extent_t hi, bool accumulate) {
+  const __m256d c0 = _mm256_set1_pd(c[0]);
+  const __m256d c1 = _mm256_set1_pd(c[1]);
+  const __m256d c2 = _mm256_set1_pd(c[2]);
+  const __m256d c3 = _mm256_set1_pd(c[3]);
+  extent_t k = lo;
+  // 2x unrolled main loop: two independent 4-wide blocks per iteration give
+  // the out-of-order core parallel add chains to overlap.  Per-element
+  // arithmetic is untouched, so results stay bit-identical to the rolled
+  // loop (and to scalar).
+  for (; k + 8 <= hi; k += 8) {
+    const __m256d ra = combine_block(
+        c0, c1, c2, c3, _mm256_loadu_pd(uc + k), _mm256_loadu_pd(uc + k - 1),
+        _mm256_loadu_pd(uc + k + 1), _mm256_loadu_pd(u1 + k),
+        _mm256_loadu_pd(u1 + k - 1), _mm256_loadu_pd(u1 + k + 1),
+        _mm256_loadu_pd(u2 + k), _mm256_loadu_pd(u2 + k - 1),
+        _mm256_loadu_pd(u2 + k + 1));
+    const __m256d rb = combine_block(
+        c0, c1, c2, c3, _mm256_loadu_pd(uc + k + 4),
+        _mm256_loadu_pd(uc + k + 3), _mm256_loadu_pd(uc + k + 5),
+        _mm256_loadu_pd(u1 + k + 4), _mm256_loadu_pd(u1 + k + 3),
+        _mm256_loadu_pd(u1 + k + 5), _mm256_loadu_pd(u2 + k + 4),
+        _mm256_loadu_pd(u2 + k + 3), _mm256_loadu_pd(u2 + k + 5));
+    if (accumulate) {
+      _mm256_storeu_pd(out + k, _mm256_add_pd(_mm256_loadu_pd(out + k), ra));
+      _mm256_storeu_pd(out + k + 4,
+                       _mm256_add_pd(_mm256_loadu_pd(out + k + 4), rb));
+    } else {
+      _mm256_storeu_pd(out + k, ra);
+      _mm256_storeu_pd(out + k + 4, rb);
+    }
+  }
+  for (; k + 4 <= hi; k += 4) {
+    const __m256d r = combine_block(
+        c0, c1, c2, c3, _mm256_loadu_pd(uc + k), _mm256_loadu_pd(uc + k - 1),
+        _mm256_loadu_pd(uc + k + 1), _mm256_loadu_pd(u1 + k),
+        _mm256_loadu_pd(u1 + k - 1), _mm256_loadu_pd(u1 + k + 1),
+        _mm256_loadu_pd(u2 + k), _mm256_loadu_pd(u2 + k - 1),
+        _mm256_loadu_pd(u2 + k + 1));
+    if (accumulate) {
+      _mm256_storeu_pd(out + k, _mm256_add_pd(_mm256_loadu_pd(out + k), r));
+    } else {
+      _mm256_storeu_pd(out + k, r);
+    }
+  }
+  if (k < hi) {
+    const __m256i m = tail_mask(hi - k);
+    const __m256d r = combine_block(
+        c0, c1, c2, c3, _mm256_maskload_pd(uc + k, m),
+        _mm256_maskload_pd(uc + k - 1, m), _mm256_maskload_pd(uc + k + 1, m),
+        _mm256_maskload_pd(u1 + k, m), _mm256_maskload_pd(u1 + k - 1, m),
+        _mm256_maskload_pd(u1 + k + 1, m), _mm256_maskload_pd(u2 + k, m),
+        _mm256_maskload_pd(u2 + k - 1, m), _mm256_maskload_pd(u2 + k + 1, m));
+    if (accumulate) {
+      _mm256_maskstore_pd(
+          out + k, m, _mm256_add_pd(_mm256_maskload_pd(out + k, m), r));
+    } else {
+      _mm256_maskstore_pd(out + k, m, r);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void ewise_into_row_avx2(const double* a,
+                                                         double* out,
+                                                         extent_t lo,
+                                                         extent_t hi,
+                                                         int op) {
+  extent_t k = lo;
+  for (; k + 4 <= hi; k += 4) {
+    const __m256d av = _mm256_loadu_pd(a + k);
+    const __m256d ov = _mm256_loadu_pd(out + k);
+    const __m256d r = op == 0   ? _mm256_add_pd(av, ov)
+                      : op == 1 ? _mm256_sub_pd(av, ov)
+                                : _mm256_mul_pd(av, ov);
+    _mm256_storeu_pd(out + k, r);
+  }
+  if (k < hi) {
+    const __m256i m = tail_mask(hi - k);
+    const __m256d av = _mm256_maskload_pd(a + k, m);
+    const __m256d ov = _mm256_maskload_pd(out + k, m);
+    const __m256d r = op == 0   ? _mm256_add_pd(av, ov)
+                      : op == 1 ? _mm256_sub_pd(av, ov)
+                                : _mm256_mul_pd(av, ov);
+    _mm256_maskstore_pd(out + k, m, r);
+  }
+}
+
+// Fixed horizontal combine shared by both folds: lane order l0..l3.
+__attribute__((target("avx2"))) inline void extract_lanes(const __m256d v,
+                                                          double* l) {
+  const __m128d lo2 = _mm256_castpd256_pd128(v);
+  const __m128d hi2 = _mm256_extractf128_pd(v, 1);
+  l[0] = _mm_cvtsd_f64(lo2);
+  l[1] = _mm_cvtsd_f64(_mm_unpackhi_pd(lo2, lo2));
+  l[2] = _mm_cvtsd_f64(hi2);
+  l[3] = _mm_cvtsd_f64(_mm_unpackhi_pd(hi2, hi2));
+}
+
+__attribute__((target("avx2"))) double sum_sq_row_avx2(double acc,
+                                                       const double* p,
+                                                       extent_t lo,
+                                                       extent_t hi) {
+  __m256d accv = _mm256_setzero_pd();
+  extent_t k = lo;
+  for (; k + 4 <= hi; k += 4) {
+    const __m256d x = _mm256_loadu_pd(p + k);
+    accv = _mm256_add_pd(accv, _mm256_mul_pd(x, x));
+  }
+  if (k < hi) {
+    // Masked lanes load 0.0, square to 0.0 and add the neutral element —
+    // the same dead-lane contribution the portable engine makes.
+    const __m256d x = _mm256_maskload_pd(p + k, tail_mask(hi - k));
+    accv = _mm256_add_pd(accv, _mm256_mul_pd(x, x));
+  }
+  double l[4];
+  extract_lanes(accv, l);
+  return acc + (((l[0] + l[1]) + l[2]) + l[3]);
+}
+
+__attribute__((target("avx2"))) double max_abs_row_avx2(double acc,
+                                                        const double* p,
+                                                        extent_t lo,
+                                                        extent_t hi) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d accv = _mm256_setzero_pd();
+  extent_t k = lo;
+  for (; k + 4 <= hi; k += 4) {
+    accv = _mm256_max_pd(accv,
+                         _mm256_andnot_pd(sign, _mm256_loadu_pd(p + k)));
+  }
+  if (k < hi) {
+    const __m256d x = _mm256_maskload_pd(p + k, tail_mask(hi - k));
+    accv = _mm256_max_pd(accv, _mm256_andnot_pd(sign, x));
+  }
+  double l[4];
+  extract_lanes(accv, l);
+  double r = acc;
+  r = r > l[0] ? r : l[0];
+  r = r > l[1] ? r : l[1];
+  r = r > l[2] ? r : l[2];
+  r = r > l[3] ? r : l[3];
+  return r;
+}
+
+#endif  // SACPP_HAVE_AVX2_TARGET
+
+// -- engines -----------------------------------------------------------------
+
+class PortableSimdBackend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "portable"; }
+  unsigned lanes() const noexcept override { return 4; }
+  bool vectorized() const noexcept override { return true; }
+
+  void fill_row(double* out, extent_t lo, extent_t hi,
+                double v) const override {
+    fill_row_generic(out, lo, hi, v);
+  }
+  void copy_row(double* out, const double* src, extent_t lo,
+                extent_t hi) const override {
+    copy_row_generic(out, src, lo, hi);
+  }
+  void plane_sums(const double* im, const double* ip, const double* jm,
+                  const double* jp, const double* imm, const double* imp,
+                  const double* ipm, const double* ipp, double* u1,
+                  double* u2, extent_t n) const override {
+    plane_sums_generic(im, ip, jm, jp, imm, imp, ipm, ipp, u1, u2, n);
+  }
+  void combine_row(const double* c, const double* uc, const double* u1,
+                   const double* u2, double* out, extent_t lo,
+                   extent_t hi) const override {
+    combine_row_generic(c, uc, u1, u2, out, lo, hi);
+  }
+  void accumulate_row(const double* c, const double* uc, const double* u1,
+                      const double* u2, double* out, extent_t lo,
+                      extent_t hi) const override {
+    accumulate_row_generic(c, uc, u1, u2, out, lo, hi);
+  }
+  void add_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    for (extent_t k = lo; k < hi; ++k) out[k] = a[k] + out[k];
+  }
+  void sub_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    for (extent_t k = lo; k < hi; ++k) out[k] = a[k] - out[k];
+  }
+  void mul_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    for (extent_t k = lo; k < hi; ++k) out[k] = a[k] * out[k];
+  }
+  void gather_row(double* out, const double* src, extent_t stride,
+                  extent_t n) const override {
+    gather_row_generic(out, src, stride, n);
+  }
+  void scatter_row(double* out, extent_t stride, const double* src,
+                   extent_t n) const override {
+    scatter_row_generic(out, stride, src, n);
+  }
+  double sum_sq_row(double acc, const double* p, extent_t lo,
+                    extent_t hi) const override {
+    return sum_sq_row_portable(acc, p, lo, hi);
+  }
+  double max_abs_row(double acc, const double* p, extent_t lo,
+                     extent_t hi) const override {
+    return max_abs_row_portable(acc, p, lo, hi);
+  }
+};
+
+#ifdef SACPP_HAVE_AVX2_TARGET
+
+class Avx2Backend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "avx2"; }
+  unsigned lanes() const noexcept override { return 4; }
+  bool vectorized() const noexcept override { return true; }
+
+  void fill_row(double* out, extent_t lo, extent_t hi,
+                double v) const override {
+    fill_row_avx2(out, lo, hi, v);
+  }
+  void copy_row(double* out, const double* src, extent_t lo,
+                extent_t hi) const override {
+    copy_row_generic(out, src, lo, hi);
+  }
+  void plane_sums(const double* im, const double* ip, const double* jm,
+                  const double* jp, const double* imm, const double* imp,
+                  const double* ipm, const double* ipp, double* u1,
+                  double* u2, extent_t n) const override {
+    plane_sums_avx2(im, ip, jm, jp, imm, imp, ipm, ipp, u1, u2, n);
+  }
+  void combine_row(const double* c, const double* uc, const double* u1,
+                   const double* u2, double* out, extent_t lo,
+                   extent_t hi) const override {
+    combine_row_avx2(c, uc, u1, u2, out, lo, hi, /*accumulate=*/false);
+  }
+  void accumulate_row(const double* c, const double* uc, const double* u1,
+                      const double* u2, double* out, extent_t lo,
+                      extent_t hi) const override {
+    combine_row_avx2(c, uc, u1, u2, out, lo, hi, /*accumulate=*/true);
+  }
+  void add_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    ewise_into_row_avx2(a, out, lo, hi, 0);
+  }
+  void sub_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    ewise_into_row_avx2(a, out, lo, hi, 1);
+  }
+  void mul_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    ewise_into_row_avx2(a, out, lo, hi, 2);
+  }
+  void gather_row(double* out, const double* src, extent_t stride,
+                  extent_t n) const override {
+    gather_row_generic(out, src, stride, n);
+  }
+  void scatter_row(double* out, extent_t stride, const double* src,
+                   extent_t n) const override {
+    scatter_row_generic(out, stride, src, n);
+  }
+  double sum_sq_row(double acc, const double* p, extent_t lo,
+                    extent_t hi) const override {
+    return sum_sq_row_avx2(acc, p, lo, hi);
+  }
+  double max_abs_row(double acc, const double* p, extent_t lo,
+                     extent_t hi) const override {
+    return max_abs_row_avx2(acc, p, lo, hi);
+  }
+};
+
+#endif  // SACPP_HAVE_AVX2_TARGET
+
+}  // namespace
+
+namespace detail {
+
+const Backend& portable_backend() noexcept {
+  static const PortableSimdBackend be;
+  return be;
+}
+
+const Backend* avx2_backend() noexcept {
+#ifdef SACPP_HAVE_AVX2_TARGET
+  if (!cpu_has_avx2()) return nullptr;
+  static const Avx2Backend be;
+  return &be;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace detail
+
+}  // namespace sacpp::sac

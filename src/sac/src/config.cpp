@@ -5,6 +5,7 @@
 
 #include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/sac/backend.hpp"
 #include "sacpp/sac/pool.hpp"
 #include "sacpp/sac/stats.hpp"
 
@@ -33,6 +34,29 @@ bool parse_stencil_mode(const char* name, StencilMode* out) {
   return true;
 }
 
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kScalar: return "scalar";
+    case BackendKind::kSimd: return "simd";
+    case BackendKind::kSimdPortable: return "simd-portable";
+  }
+  return "scalar";
+}
+
+bool parse_backend(const char* name, BackendKind* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = BackendKind::kScalar;
+  } else if (std::strcmp(name, "simd") == 0) {
+    *out = BackendKind::kSimd;
+  } else if (std::strcmp(name, "simd-portable") == 0) {
+    *out = BackendKind::kSimdPortable;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 SacConfig config_from_env() {
   SacConfig cfg;
   const char* check = std::getenv("SACPP_CHECK");
@@ -45,6 +69,8 @@ SacConfig config_from_env() {
   // must not break every binary in the tree.
   const char* mode = std::getenv("SACPP_STENCIL_MODE");
   if (mode != nullptr) parse_stencil_mode(mode, &cfg.stencil_mode);
+  const char* backend = std::getenv("SACPP_BACKEND");
+  if (backend != nullptr) parse_backend(backend, &cfg.backend);
   return cfg;
 }
 
@@ -86,6 +112,15 @@ void collect_stats(obs::MetricSink& sink) {
   sink.counter("sacpp_stencil_rows_reused_total",
                static_cast<double>(st.stencil_rows_reused),
                "output rows computed via the kPlanes shared plane-sum path");
+  sink.counter("sacpp_backend_simd_rows_total",
+               static_cast<double>(st.backend_simd_rows),
+               "rows dispatched through a vectorized backend row primitive");
+  // Which row engine the process-wide default resolves to right now: the
+  // vector width (1 = scalar, 4 = simd), so dashboards can tell a scalar
+  // serving fleet from a vectorized one at a glance.
+  sink.gauge("sacpp_backend_lanes",
+             static_cast<double>(backend_for(config().backend).lanes()),
+             "vector lanes of the configured default backend");
   const BufferPool::Totals t = BufferPool::instance().totals();
   sink.counter("sacpp_pool_trimmed_total", static_cast<double>(t.trimmed),
                "blocks freed by epoch trim");

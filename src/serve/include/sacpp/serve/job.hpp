@@ -36,6 +36,7 @@ struct SolveRequest {
   std::uint32_t nit = 0;    // benchmark iterations; 0 = class default
   Priority priority = Priority::kNormal;
   sac::StencilMode stencil_mode = sac::StencilMode::kGrouped;
+  sac::BackendKind backend = sac::BackendKind::kScalar;  // row-primitive engine
   std::uint32_t gang = 0;   // worker threads wanted; 0 = scheduler policy
   std::int64_t deadline_ns = 0;  // latency budget from submit; 0 = none
   bool record_norms = false;     // per-iteration norms (costs a resid pass)

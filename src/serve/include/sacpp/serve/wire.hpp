@@ -33,7 +33,7 @@ namespace sacpp::serve {
 
 inline constexpr std::uint32_t kRequestMagic = 0x31515253;  // "SRQ1"
 inline constexpr std::uint32_t kResultMagic = 0x31535253;   // "SRS1"
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;  // v2: request carries backend
 
 // Largest frame either side will accept; a length prefix beyond this is
 // treated as corruption rather than honoured with a giant allocation.

@@ -251,6 +251,7 @@ void SolverService::run_job(QueuedJob job) {
     // consulted while this job runs.
     sac::SacConfig snapshot = cfg_.base;
     snapshot.stencil_mode = job.request.stencil_mode;
+    snapshot.backend = job.request.backend;
     snapshot.mt_enabled = job.gang > 1;
     snapshot.mt_threads = job.gang;
     sac::ConfigBinding config_binding(&snapshot);

@@ -240,6 +240,7 @@ std::vector<std::uint8_t> encode_request(const SolveRequest& req) {
   put_u8(frame, static_cast<std::uint8_t>(req.variant));
   put_u8(frame, static_cast<std::uint8_t>(req.priority));
   put_u8(frame, static_cast<std::uint8_t>(req.stencil_mode));
+  put_u8(frame, static_cast<std::uint8_t>(req.backend));
   put_u8(frame, req.record_norms ? 1 : 0);
   put_u32(frame, req.nit);
   put_u32(frame, req.gang);
@@ -301,6 +302,7 @@ bool decode_request(std::span<const std::uint8_t> frame, SolveRequest* out,
   const std::uint8_t variant = r.u8();
   const std::uint8_t priority = r.u8();
   const std::uint8_t stencil = r.u8();
+  const std::uint8_t backend = r.u8();
   req.record_norms = r.u8() != 0;
   req.nit = r.u32();
   req.gang = r.u32();
@@ -324,10 +326,15 @@ bool decode_request(std::span<const std::uint8_t> frame, SolveRequest* out,
     return fail(error, "serve wire: request stencil mode " +
                            std::to_string(stencil) + " out of range");
   }
+  if (backend > static_cast<std::uint8_t>(sac::BackendKind::kSimdPortable)) {
+    return fail(error, "serve wire: request backend " +
+                           std::to_string(backend) + " out of range");
+  }
   req.cls = static_cast<mg::MgClass>(cls);
   req.variant = static_cast<mg::Variant>(variant);
   req.priority = static_cast<Priority>(priority);
   req.stencil_mode = static_cast<sac::StencilMode>(stencil);
+  req.backend = static_cast<sac::BackendKind>(backend);
   *out = req;
   return true;
 }

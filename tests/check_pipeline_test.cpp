@@ -59,6 +59,37 @@ TEST(CheckPipeline, SacMultiThreadedClassSIsClean) {
   expect_clean_and_verified(r, session);
 }
 
+TEST(CheckPipeline, SacSimdPlanesClassSIsClean) {
+  // Vectorized backend under the planes row engine: the checked runtime's
+  // aliasing and allocation-balance analyses must stay silent when rows are
+  // dispatched through the SIMD primitives (masked tail stores included).
+  Session session;
+  sac::SacConfig cfg = sac::config();
+  cfg.stencil_mode = sac::StencilMode::kPlanes;
+  cfg.backend = sac::BackendKind::kSimd;
+  MgResult r;
+  {
+    sac::ScopedConfig scoped(cfg);
+    r = run_checked(Variant::kSac, session);
+  }
+  expect_clean_and_verified(r, session);
+}
+
+TEST(CheckPipeline, SacPortableSimdClassSIsClean) {
+  // Same battery through the portable 4-wide engine — the path the no-AVX2
+  // CI job exercises.
+  Session session;
+  sac::SacConfig cfg = sac::config();
+  cfg.stencil_mode = sac::StencilMode::kPlanes;
+  cfg.backend = sac::BackendKind::kSimdPortable;
+  MgResult r;
+  {
+    sac::ScopedConfig scoped(cfg);
+    r = run_checked(Variant::kSacDirect, session);
+  }
+  expect_clean_and_verified(r, session);
+}
+
 TEST(CheckPipeline, FortranRefClassSIsClean) {
   Session session;
   const MgResult r = run_checked(Variant::kFortran, session);

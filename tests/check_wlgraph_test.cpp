@@ -234,5 +234,22 @@ TEST(WlGraphFuzz, DifferentSeedsStayClean) {
   }
 }
 
+// -- backend row fuzzer -------------------------------------------------------
+
+TEST(BackendFuzz, RowPrimitivesAndGatherRowsSurviveAdversarialShapes) {
+  const BackendFuzzStats stats = fuzz_backend_rows(/*seed=*/1u, /*rounds=*/60);
+  EXPECT_GT(stats.rows_checked, 0);
+  EXPECT_GT(stats.exprs_checked, 0);
+  EXPECT_EQ(stats.mismatches, 0);
+  EXPECT_EQ(stats.fold_mismatches, 0);
+  EXPECT_TRUE(stats.clean());
+}
+
+TEST(BackendFuzz, DifferentSeedsStayClean) {
+  for (std::uint64_t seed : {3u, 555u, 271828182u}) {
+    EXPECT_TRUE(fuzz_backend_rows(seed, 25).clean()) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace sacpp::check

@@ -56,10 +56,12 @@ constexpr double kTol = 1e-12;  // relative
 double run_final_norm(Variant variant, MgClass cls, bool pool) {
   sac::SacConfig cfg = sac::config();
   cfg.pool = pool;
-  // Pin the stencil engine: these goldens are the grouped signature, and a
-  // SACPP_STENCIL_MODE=planes environment (the sanitizer CI jobs) must not
-  // silently retarget them.  Planes has its own goldens below.
+  // Pin the stencil engine AND the backend: these goldens are the grouped
+  // scalar signature, and a SACPP_STENCIL_MODE=planes or SACPP_BACKEND=simd
+  // environment (the sanitizer CI jobs) must not silently retarget them.
+  // Planes and simd have their own goldens below.
   cfg.stencil_mode = sac::StencilMode::kGrouped;
+  cfg.backend = sac::BackendKind::kScalar;
   sac::ScopedConfig guard(cfg);
   RunOptions opts;
   opts.warmup = false;
@@ -123,6 +125,7 @@ double run_planes_final_norm(Variant variant, MgClass cls, bool pool,
   sac::SacConfig cfg = sac::config();
   cfg.pool = pool;
   cfg.stencil_mode = sac::StencilMode::kPlanes;
+  cfg.backend = sac::BackendKind::kScalar;  // simd has its own goldens below
   if (threads > 0) {
     cfg.mt_enabled = true;
     cfg.mt_threads = threads;
@@ -171,6 +174,109 @@ TEST(PlanesGoldenNorm, ClassSMatchesGoldenAcrossThreadCounts) {
                                               /*pool=*/false, threads);
     EXPECT_NEAR(norm / kGolden[0].norm, 1.0, kTol) << "threads=" << threads;
   }
+}
+
+// Backend goldens (docs/backends.md).  The vectorized backends keep every
+// element-parallel primitive bit-identical to scalar and reassociate ONLY
+// the L2 fold (four lanes, fixed combine order), so:
+//   * f77 / omp never touch backend row primitives — under kSimd they must
+//     equal the scalar constants bit for bit;
+//   * sac / sac-direct match the scalar goldens to rounding at class S and
+//     carry their own pinned constants at the class-W rounding floor;
+//   * the AVX2 and portable engines are bit-identical by construction, so
+//     one constant covers kSimd on any host (the differential battery in
+//     sac_backend_test proves the engine equivalence).
+struct BackendGoldenCase {
+  Variant variant;
+  MgClass cls;
+  sac::StencilMode mode;
+  double norm;
+};
+
+// clang-format off
+constexpr BackendGoldenCase kSimdGolden[] = {
+    {Variant::kSac,       MgClass::S, sac::StencilMode::kGrouped, 5.30770700573490823e-05},
+    {Variant::kFortran,   MgClass::S, sac::StencilMode::kGrouped, 5.30770700573490891e-05},
+    {Variant::kOpenMp,    MgClass::S, sac::StencilMode::kGrouped, 5.30770700573490891e-05},
+    {Variant::kSacDirect, MgClass::S, sac::StencilMode::kGrouped, 5.30770700573490823e-05},
+    {Variant::kSac,       MgClass::S, sac::StencilMode::kPlanes,  5.30770700573490823e-05},
+    {Variant::kSacDirect, MgClass::S, sac::StencilMode::kPlanes,  5.30770700573490823e-05},
+    {Variant::kFortran,   MgClass::W, sac::StencilMode::kGrouped, 2.43573159008149673e-18},
+    {Variant::kOpenMp,    MgClass::W, sac::StencilMode::kGrouped, 2.43573159008149673e-18},
+    {Variant::kSac,       MgClass::W, sac::StencilMode::kGrouped, 3.20727265776402994e-18},
+    {Variant::kSacDirect, MgClass::W, sac::StencilMode::kGrouped, 3.20727265776402994e-18},
+    {Variant::kSac,       MgClass::W, sac::StencilMode::kPlanes,  2.77739287704745898e-18},
+    {Variant::kSacDirect, MgClass::W, sac::StencilMode::kPlanes,  2.71711919120625163e-18},
+};
+// clang-format on
+
+double run_backend_final_norm(Variant variant, MgClass cls,
+                              sac::BackendKind backend, sac::StencilMode mode,
+                              bool pool = false) {
+  sac::SacConfig cfg = sac::config();
+  cfg.pool = pool;
+  cfg.stencil_mode = mode;
+  cfg.backend = backend;
+  sac::ScopedConfig guard(cfg);
+  RunOptions opts;
+  opts.warmup = false;
+  opts.record_norms = false;
+  return run_benchmark(variant, MgSpec::for_class(cls), opts).final_norm;
+}
+
+class SimdGoldenNorm : public ::testing::TestWithParam<BackendGoldenCase> {};
+
+TEST_P(SimdGoldenNorm, MatchesPinnedConstant) {
+  const BackendGoldenCase& c = GetParam();
+  const double simd = run_backend_final_norm(c.variant, c.cls,
+                                             sac::BackendKind::kSimd, c.mode);
+  EXPECT_NEAR(simd / c.norm, 1.0, kTol)
+      << variant_name(c.variant) << " simd norm " << simd << " vs golden "
+      << c.norm;
+
+  // The portable 4-lane engine mirrors the AVX2 lane structure exactly, so
+  // forcing it must not change a single bit of the result.
+  const double portable = run_backend_final_norm(
+      c.variant, c.cls, sac::BackendKind::kSimdPortable, c.mode);
+  EXPECT_EQ(portable, simd)
+      << variant_name(c.variant) << ": simd vs simd-portable diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SimdGoldenNorm, ::testing::ValuesIn(kSimdGolden),
+    [](const ::testing::TestParamInfo<BackendGoldenCase>& info) {
+      std::string name = variant_name(info.param.variant);
+      for (char& ch : name) {
+        if (ch == '-' || ch == '/') ch = '_';
+      }
+      name += info.param.mode == sac::StencilMode::kPlanes ? "_planes" : "_grouped";
+      return name + (info.param.cls == MgClass::S ? "_S" : "_W");
+    });
+
+// The reference kernels bypass the array runtime entirely, so the backend
+// knob must be invisible to them: bit-equal results, not just within
+// tolerance.
+TEST(SimdGoldenNorm, ReferenceVariantsAreBackendInvariant) {
+  for (const Variant v : {Variant::kFortran, Variant::kOpenMp}) {
+    const double scalar = run_backend_final_norm(
+        v, MgClass::W, sac::BackendKind::kScalar, sac::StencilMode::kGrouped);
+    const double simd = run_backend_final_norm(
+        v, MgClass::W, sac::BackendKind::kSimd, sac::StencilMode::kGrouped);
+    EXPECT_EQ(simd, scalar) << variant_name(v);
+  }
+}
+
+// Pool recycling must stay arithmetic-neutral under the simd backend too.
+TEST(SimdGoldenNorm, PoolOnOffBitIdenticalUnderSimd) {
+  const double off = run_backend_final_norm(Variant::kSac, MgClass::S,
+                                            sac::BackendKind::kSimd,
+                                            sac::StencilMode::kPlanes,
+                                            /*pool=*/false);
+  const double on = run_backend_final_norm(Variant::kSac, MgClass::S,
+                                           sac::BackendKind::kSimd,
+                                           sac::StencilMode::kPlanes,
+                                           /*pool=*/true);
+  EXPECT_EQ(on, off);
 }
 
 TEST(GoldenNormMpi, ClassSMatchesWithPoolOffAndOn) {

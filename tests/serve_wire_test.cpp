@@ -24,6 +24,7 @@ SolveRequest sample_request() {
   req.nit = 7;
   req.priority = Priority::kHigh;
   req.stencil_mode = sac::StencilMode::kPlanes;
+  req.backend = sac::BackendKind::kSimd;
   req.gang = 3;
   req.deadline_ns = 1'500'000'000;
   req.record_norms = true;
@@ -58,6 +59,7 @@ TEST(ServeWire, RequestRoundTrip) {
   EXPECT_EQ(back.nit, req.nit);
   EXPECT_EQ(back.priority, req.priority);
   EXPECT_EQ(back.stencil_mode, req.stencil_mode);
+  EXPECT_EQ(back.backend, req.backend);
   EXPECT_EQ(back.gang, req.gang);
   EXPECT_EQ(back.deadline_ns, req.deadline_ns);
   EXPECT_EQ(back.record_norms, req.record_norms);
@@ -147,6 +149,17 @@ TEST(ServeWire, RejectsOutOfRangeEnums) {
   std::string error;
   EXPECT_FALSE(decode_request(frame, &out, &error));
   EXPECT_NE(error.find("priority"), std::string::npos) << error;
+}
+
+TEST(ServeWire, RejectsOutOfRangeBackend) {
+  // Backend byte sits after length(4) + magic(4) + version(1) + id(8) +
+  // cls(1) + variant(1) + priority(1) + stencil(1).
+  std::vector<std::uint8_t> frame = encode_request(sample_request());
+  frame[21] = 99;
+  SolveRequest out;
+  std::string error;
+  EXPECT_FALSE(decode_request(frame, &out, &error));
+  EXPECT_NE(error.find("backend"), std::string::npos) << error;
 }
 
 TEST(ServeWire, DoublePackingRoundTrip) {

@@ -96,6 +96,27 @@ run serve_consolidate python3 "$(dirname "$0")/serve_consolidate.py" \
   "$OUT/serve_raw.json" "$(dirname "$0")/serve_schema.json" \
   "$OUT/BENCH_serve.json"
 
+# Tracing artifact: a 2x-overloaded loadgen run with full tail sampling, so
+# the retained set carries both completed and shed requests, plus paired
+# class-W runs with tracing fully off/on.  The consolidator re-validates
+# every stitched trace (one serve_e2e root, queue+exec within 5% of it for
+# completed requests), gates the overload factor at >= 2x and the tracing
+# overhead at <= 1%, and folds a "tracing" section into BENCH_obs.json --
+# refusing to update the artifact when any gate fails.
+run trace_loadgen "$BUILD/examples/mg_loadgen" --class S --requests 48 \
+  --rate 400 --deadline-ms 250 --slo-ms 100 --trace-sample 1.0 \
+  --traces-out "$OUT/loadgen_traces.json"
+for i in 1 2; do
+  run "trace_off_W_$i" "$BUILD/examples/npb_mg" --class W --impl sac
+  run "trace_on_W_$i" "$BUILD/examples/npb_mg" --class W --impl sac \
+    --obs --trace-sample 1.0
+done
+run trace_consolidate python3 "$(dirname "$0")/trace_consolidate.py" \
+  "$OUT/loadgen_traces.json" "$(dirname "$0")/trace_schema.json" \
+  "$OUT/BENCH_obs.json" 0.01 "$OUT/trace_loadgen.txt" \
+  "$OUT/trace_off_W_1.txt" "$OUT/trace_off_W_2.txt" \
+  "$OUT/trace_on_W_1.txt" "$OUT/trace_on_W_2.txt"
+
 echo
 if [[ ${#FAILED[@]} -ne 0 ]]; then
   echo "FAILED: ${FAILED[*]}" >&2

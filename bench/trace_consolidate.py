@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate a retained-traces dump and gate the tracing overhead.
+
+Two modes:
+
+Validate-only (CI telemetry job)::
+
+    trace_consolidate.py TRACES_JSON SCHEMA_JSON
+
+  Validates the ``--traces-out`` dump (mg_loadgen / mg_server / npb_mg)
+  against bench/trace_schema.json and re-checks every trace against the
+  stitching rules of ``obs::validate_trace``: exactly one ``serve_e2e``
+  root, exactly one ``serve_queue``, exactly one ``serve_job`` iff the
+  request completed (none for sheds), every server-side span inside the
+  root window, and queue + exec within 5% of the root for completed
+  requests.
+
+Consolidate (bench/run_all.sh)::
+
+    trace_consolidate.py TRACES_JSON SCHEMA_JSON BENCH_OBS_JSON \\
+        MAX_OVERHEAD LOADGEN_TXT OFF1_TXT OFF2_TXT ON1_TXT ON2_TXT
+
+  Everything above, plus: requires the loadgen run to be >= 2x overloaded
+  (offered / achieved throughput), requires at least one completed and one
+  shed trace, computes the class-W tracing overhead from the paired npb_mg
+  runs (best Mop/s of the tracing-off pair vs best of the tracing-on pair;
+  min-of-2 so runner noise cannot manufacture a failure), gates it at
+  MAX_OVERHEAD, and folds the results into a ``"tracing"`` section of the
+  existing BENCH_obs.json.  Any failed gate refuses the artifact.
+
+Uses only the Python standard library; the JSON-Schema subset validator is
+shared with obs_consolidate.py.
+"""
+
+import json
+import os
+import re
+import sys
+
+from obs_consolidate import validate
+
+SERVE_ROOT = "serve_e2e"
+SERVE_QUEUE = "serve_queue"
+SERVE_EXEC = "serve_job"
+CLIENT_SPANS = ("client_request", "respond")
+SHED_STATUSES = ("shed-deadline", "shed-capacity")
+MIN_OVERLOAD = 2.0
+
+
+def is_completed(trace):
+    return trace["status"] not in SHED_STATUSES
+
+
+def check_stitching(trace):
+    """Mirror of obs::validate_trace; returns an error string or None."""
+    roots = [s for s in trace["spans"] if s["name"] == SERVE_ROOT]
+    queues = [s for s in trace["spans"] if s["name"] == SERVE_QUEUE]
+    execs = [s for s in trace["spans"] if s["name"] == SERVE_EXEC]
+    if len(roots) != 1:
+        return f"{len(roots)} {SERVE_ROOT} root spans (want exactly 1)"
+    if len(queues) != 1:
+        return f"{len(queues)} {SERVE_QUEUE} spans (want exactly 1)"
+    completed = is_completed(trace)
+    if completed and len(execs) != 1:
+        return f"completed trace has {len(execs)} {SERVE_EXEC} spans"
+    if not completed and execs:
+        return f"shed trace carries a {SERVE_EXEC} span"
+    root = roots[0]
+    slop = max(root["dur_ns"] // 20, 1_000_000)
+    lo = root["start_ns"] - slop
+    hi = root["start_ns"] + root["dur_ns"] + slop
+    for span in trace["spans"]:
+        if span["name"] in CLIENT_SPANS:
+            continue
+        if span["start_ns"] < lo or span["start_ns"] + span["dur_ns"] > hi:
+            return f"span '{span['name']}' outside the root window"
+    if completed and root["dur_ns"] > 0:
+        parts = queues[0]["dur_ns"] + execs[0]["dur_ns"]
+        if not 0.95 * root["dur_ns"] <= parts <= 1.05 * root["dur_ns"]:
+            return (
+                f"queue+exec = {parts} ns vs root {root['dur_ns']} ns "
+                f"({parts / root['dur_ns']:.1%}): outside the 5% gate"
+            )
+    return None
+
+
+def validate_traces(traces_path, schema_path):
+    """Schema + stitching validation; returns (dump, failures)."""
+    with open(traces_path) as f:
+        dump = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    failures = [f"schema: {e}" for e in validate(dump, schema)]
+    if failures:
+        return dump, failures
+    for trace in dump["traces"]:
+        err = check_stitching(trace)
+        if err:
+            failures.append(f"trace {trace['trace_id']} "
+                            f"({trace['status']}): {err}")
+    return dump, failures
+
+
+def parse_loadgen(path):
+    """offered/achieved req/s from mg_loadgen's exit summary."""
+    with open(path) as f:
+        text = f.read()
+    m = re.search(
+        r"offered ([0-9.]+) req/s, achieved ([0-9.]+) solves/s", text)
+    if not m:
+        raise ValueError(f"{path}: no offered/achieved summary line")
+    return float(m.group(1)), float(m.group(2))
+
+
+def parse_mops(path):
+    with open(path) as f:
+        text = f.read()
+    m = re.search(r"^ Mop/s total\s+= ([0-9.eE+-]+)$", text, re.MULTILINE)
+    if not m:
+        raise ValueError(f"{path}: no 'Mop/s total' line")
+    return float(m.group(1))
+
+
+def main(argv):
+    if len(argv) not in (3, 10):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    traces_path, schema_path = argv[1:3]
+
+    dump, failures = validate_traces(traces_path, schema_path)
+    completed = sum(1 for t in dump.get("traces", []) if is_completed(t))
+    sheds = len(dump.get("traces", [])) - completed
+    for err in failures:
+        print(f"trace_consolidate: {err}", file=sys.stderr)
+
+    if len(argv) == 3:
+        if not dump.get("traces"):
+            print("trace_consolidate: no retained traces", file=sys.stderr)
+            return 1
+        if failures:
+            return 1
+        print(f"trace_consolidate: {len(dump['traces'])} trace(s) OK "
+              f"({completed} completed, {sheds} shed)")
+        return 0
+
+    bench_obs_path = argv[3]
+    max_overhead = float(argv[4])
+    loadgen_txt = argv[5]
+    off_mops = max(parse_mops(p) for p in argv[6:8])
+    on_mops = max(parse_mops(p) for p in argv[8:10])
+
+    offered, achieved = parse_loadgen(loadgen_txt)
+    overload = offered / achieved if achieved > 0 else float("inf")
+    overload_ok = overload >= MIN_OVERLOAD
+    if not overload_ok:
+        print(f"trace_consolidate: loadgen only {overload:.2f}x overloaded "
+              f"(need >= {MIN_OVERLOAD}x)", file=sys.stderr)
+    if completed < 1 or sheds < 1:
+        failures.append(
+            f"2x-overload run must retain both completed and shed traces "
+            f"(got {completed} completed, {sheds} shed)")
+        print(f"trace_consolidate: {failures[-1]}", file=sys.stderr)
+
+    # Wall time scales as 1/Mop/s on the fixed class-W work, so the overhead
+    # of turning tracing fully on is off/on - 1 over the best run of each
+    # pair.  Gating the tracing-ON ratio subsumes the tracing-off claim.
+    overhead = off_mops / on_mops - 1.0 if on_mops > 0 else float("inf")
+    overhead_ok = overhead <= max_overhead
+    if not overhead_ok:
+        print(f"trace_consolidate: class-W tracing overhead {overhead:.2%} "
+              f"exceeds the {max_overhead:.0%} gate", file=sys.stderr)
+
+    ok = overload_ok and overhead_ok and not failures
+    with open(bench_obs_path) as f:
+        bench = json.load(f)
+    bench["tracing"] = {
+        "loadgen": {
+            "offered_rps": offered,
+            "achieved_rps": achieved,
+            "overload_factor": overload,
+            "overload_ok": overload_ok,
+        },
+        "stitching": {
+            "retained": len(dump.get("traces", [])),
+            "completed": completed,
+            "shed": sheds,
+            "failures": failures,
+            "decomposition_ok": not failures,
+        },
+        "overhead": {
+            "baseline_mops": off_mops,
+            "traced_mops": on_mops,
+            "overhead": overhead,
+            "max_overhead": max_overhead,
+            "overhead_ok": overhead_ok,
+        },
+        "ok": ok,
+    }
+    obs_schema_path = os.path.join(
+        os.path.dirname(os.path.abspath(schema_path)), "obs_schema.json")
+    with open(obs_schema_path) as f:
+        obs_schema = json.load(f)
+    for err in validate(bench, obs_schema):
+        ok = False
+        print(f"trace_consolidate: merged artifact: {err}", file=sys.stderr)
+
+    if not ok:
+        print("trace_consolidate: gates failed; refusing to update "
+              f"{bench_obs_path}", file=sys.stderr)
+        return 1
+    with open(bench_obs_path, "w") as f:
+        json.dump(bench, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"trace_consolidate: tracing section added to {bench_obs_path} "
+          f"({overload:.1f}x overload, {completed} completed / {sheds} shed "
+          f"traces, overhead {overhead:+.2%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -34,6 +34,7 @@
 #include "sacpp/common/table.hpp"
 #include "sacpp/mg/driver.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/trace.hpp"
 #include "sacpp/serve/server.hpp"
 #include "sacpp/serve/wire.hpp"
 
@@ -141,6 +142,47 @@ bool write_all(int fd, const std::vector<std::uint8_t>& bytes) {
   return true;
 }
 
+// Stitching report over the retained traces: how many validate into one
+// well-formed tree, and how much of each completed request's e2e the
+// queue + exec spans explain (the bench gate wants >= 95%).
+void print_trace_summary() {
+  const std::vector<obs::RetainedTrace> traces = obs::retained_traces();
+  if (traces.empty()) return;
+  std::size_t stitched = 0;
+  std::size_t completed = 0;
+  double coverage_sum = 0.0;
+  std::string first_failure;
+  for (const obs::RetainedTrace& t : traces) {
+    // Sheds (queue or dispatch) never execute, so they legitimately have no
+    // serve_job span; everything else must decompose.
+    const bool done =
+        t.meta.status != "shed-deadline" && t.meta.status != "shed-capacity";
+    std::string why;
+    if (obs::validate_trace(t, done, &why)) {
+      stitched += 1;
+    } else if (first_failure.empty()) {
+      first_failure = why;
+    }
+    if (done && t.meta.e2e_ns > 0) {
+      completed += 1;
+      coverage_sum +=
+          static_cast<double>(t.meta.queue_ns + t.meta.exec_ns) /
+          static_cast<double>(t.meta.e2e_ns);
+    }
+  }
+  std::printf("mg_loadgen: retained %zu trace(s), %zu stitched, "
+              "mean queue+exec coverage %.1f%% over %zu completed\n",
+              traces.size(), stitched,
+              completed > 0 ? 100.0 * coverage_sum /
+                                  static_cast<double>(completed)
+                            : 0.0,
+              completed);
+  if (!first_failure.empty()) {
+    std::printf("mg_loadgen: first stitch failure: %s\n",
+                first_failure.c_str());
+  }
+}
+
 int connect_to(const std::string& endpoint) {
   const std::size_t colon = endpoint.rfind(':');
   if (colon == std::string::npos) return -1;
@@ -179,6 +221,16 @@ int main(int argc, char** argv) {
                  "host:port of a running mg_server (default: in-process)");
   cli.add_option("cores", "0", "in-process core budget (0 = hardware)");
   cli.add_option("queue-cap", "64", "in-process admission queue capacity");
+  cli.add_option("trace-sample", "0",
+                 "fraction of requests minted with a client trace context "
+                 "(kTraceForced, so each is retained server-side)");
+  cli.add_option("traces-out", "",
+                 "write retained traces as JSON at exit (in-process mode; "
+                 "with --connect the server holds the trace store)");
+  cli.add_option("slo-ms", "0",
+                 "p99 budget per lane in ms for the in-process SLO watchdog");
+  cli.add_option("flight-out", "",
+                 "flight-recorder dump path for the in-process service");
   cli.add_flag("obs", "enable telemetry in the in-process service");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -187,7 +239,11 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const double high_frac = cli.get_double("high-frac");
   const double low_frac = cli.get_double("low-frac");
-  if (cli.get_flag("obs")) obs::set_enabled(true);
+  const double trace_sample = cli.get_double("trace-sample");
+  // sac::set_obs, not obs::set_enabled: the first sac::config() access
+  // (inside ServeConfig's constructor) applies the SACPP_OBS env default,
+  // which would silently undo a bare obs::set_enabled done before it.
+  if (cli.get_flag("obs") || trace_sample > 0.0) sac::set_obs(true);
 
   const std::vector<std::int64_t> schedule =
       make_schedule(cli.get("arrival"), n, rate,
@@ -204,6 +260,15 @@ int main(int argc, char** argv) {
     req.gang = static_cast<std::uint32_t>(cli.get_int("gang"));
     req.deadline_ns = cli.get_int("deadline-ms") * 1'000'000;
     req.priority = sample_priority(high_frac, low_frac, rng);
+    if (trace_sample > 0.0) {
+      std::uniform_real_distribution<double> uni(0.0, 1.0);
+      if (uni(rng) < trace_sample) {
+        // Client-minted context, forced retention: these are the stitched
+        // exemplars the exit decomposition summary and CI validate.
+        req.trace_id = obs::mint_trace_id();
+        req.trace_flags = obs::kTraceSampled | obs::kTraceForced;
+      }
+    }
   }
 
   Tally tally;
@@ -218,27 +283,66 @@ int main(int argc, char** argv) {
     serve::ServeConfig cfg;
     cfg.total_cores = static_cast<unsigned>(cli.get_int("cores"));
     cfg.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap"));
+    // Contexts are minted client-side above (forced), so the service's own
+    // head sampler stays off; budgets and the flight recorder pass through.
+    const std::int64_t slo_ns = cli.get_int("slo-ms") * 1'000'000;
+    if (slo_ns > 0) {
+      for (auto& budget : cfg.slo.p99_budget_ns) budget = slo_ns;
+    }
+    cfg.flight_path = cli.get("flight-out");
     serve::SolverService service(cfg);
     std::vector<std::future<serve::SolveResult>> futures;
+    std::vector<std::int64_t> sent_ns(n, 0);
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       std::this_thread::sleep_until(at(i));  // open loop: never waits on results
+      sent_ns[i] = obs::now_ns();
       futures.push_back(service.submit(requests[i]));
     }
-    for (auto& f : futures) tally.results.push_back(f.get());
+    for (std::size_t i = 0; i < n; ++i) {
+      serve::SolveResult res = futures[i].get();
+      if (res.trace_id != 0) {
+        // Attach the client-observed span to the trace the server retained
+        // at job end.  Futures drain in submission order, so this measures
+        // send -> drained-here (client-perceived latency in an open loop),
+        // not the server's e2e.
+        obs::SpanRecord span;
+        span.start_ns = sent_ns[i];
+        span.dur_ns = obs::now_ns() - sent_ns[i];
+        span.arg = static_cast<std::int64_t>(res.id);
+        span.trace = res.trace_id;
+        span.name = obs::kSpanClient;
+        span.kind = obs::SpanKind::kPhase;
+        obs::add_trace_span(res.trace_id, span, "loadgen-client");
+      }
+      tally.results.push_back(std::move(res));
+    }
     tally.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     print_tally(tally, rate);
     const serve::ServerSnapshot snap = service.snapshot();
     std::printf("mg_loadgen: service peak queue depth %zu, shed %llu, "
-                "evicted %llu, rejected %llu\n",
+                "evicted %llu, rejected %llu, shed-overload %llu\n",
                 snap.counters.queue.peak_depth,
                 static_cast<unsigned long long>(
                     snap.counters.queue.shed_deadline),
                 static_cast<unsigned long long>(snap.counters.queue.evicted),
                 static_cast<unsigned long long>(
-                    snap.counters.queue.rejected));
+                    snap.counters.queue.rejected),
+                static_cast<unsigned long long>(
+                    snap.counters.queue.shed_overload));
+    print_trace_summary();
+    const std::string traces_out = cli.get("traces-out");
+    if (!traces_out.empty()) {
+      if (obs::write_traces_file(traces_out)) {
+        std::printf("mg_loadgen: %zu retained trace(s) written to %s\n",
+                    obs::retained_trace_count(), traces_out.c_str());
+      } else {
+        std::fprintf(stderr, "mg_loadgen: cannot write traces to %s\n",
+                     traces_out.c_str());
+      }
+    }
   } else {
     const int fd = connect_to(endpoint);
     if (fd < 0) {
@@ -287,6 +391,12 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     print_tally(tally, rate);
+    if (!cli.get("traces-out").empty()) {
+      std::fprintf(stderr,
+                   "mg_loadgen: --traces-out ignored with --connect; the "
+                   "server's trace store has the spans (mg_server "
+                   "--traces-out)\n");
+    }
   }
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "sacpp/common/cli.hpp"
 #include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/trace.hpp"
 #include "sacpp/serve/selfcheck.hpp"
 #include "sacpp/serve/server.hpp"
 #include "sacpp/serve/wire.hpp"
@@ -267,6 +268,17 @@ int main(int argc, char** argv) {
   cli.add_option("deadline-ms", "0",
                  "default deadline for requests without one (0 = none)");
   cli.add_option("max-conns", "0", "exit after N connections (0 = forever)");
+  cli.add_option("trace-sample", "0",
+                 "request-trace head-sampling rate 0..1 (>0 mints a trace "
+                 "context per request and implies --obs)");
+  cli.add_option("traces-out", "",
+                 "write retained request traces as JSON at exit");
+  cli.add_option("flight-out", "",
+                 "flight-recorder dump path (configures crash/deadline/"
+                 "drain-timeout black-box dumps)");
+  cli.add_option("slo-ms", "0",
+                 "p99 end-to-end budget per lane in ms for the SLO "
+                 "watchdog (0 = no latency SLO)");
   cli.add_flag("obs", "enable telemetry; dump metrics at exit");
   cli.add_flag("selftest", "loopback round trip over TCP, then exit");
   cli.add_flag("check",
@@ -277,7 +289,12 @@ int main(int argc, char** argv) {
                  "(--check=locks)");
   if (!cli.parse(argc, argv)) return 1;
 
-  if (cli.get_flag("obs")) obs::set_enabled(true);
+  const double trace_sample = cli.get_double("trace-sample");
+  // Tracing records spans; it needs the obs layer on.  sac::set_obs, not
+  // obs::set_enabled: the first sac::config() access (inside ServeConfig's
+  // constructor) applies the SACPP_OBS env default, which would silently
+  // undo a bare obs::set_enabled done before it.
+  if (cli.get_flag("obs") || trace_sample > 0.0) sac::set_obs(true);
 
   // Verifier passes run stand-alone (docs/static_analysis.md): each is
   // independently CI-failable with exit status 2.
@@ -311,6 +328,12 @@ int main(int argc, char** argv) {
   cfg.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap"));
   cfg.max_gang = static_cast<unsigned>(cli.get_int("max-gang"));
   cfg.default_deadline_ns = cli.get_int("deadline-ms") * 1'000'000;
+  cfg.trace_sample = trace_sample;
+  cfg.flight_path = cli.get("flight-out");
+  const std::int64_t slo_ns = cli.get_int("slo-ms") * 1'000'000;
+  if (slo_ns > 0) {
+    for (auto& budget : cfg.slo.p99_budget_ns) budget = slo_ns;
+  }
   serve::SolverService service(cfg);
 
   int port = static_cast<int>(cli.get_int("port"));
@@ -325,8 +348,27 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
+  const auto write_traces = [&cli, &service] {
+    const std::string path = cli.get("traces-out");
+    if (path.empty()) return;
+    if (obs::write_traces_file(path)) {
+      std::printf("mg_server: %zu retained trace(s) written to %s "
+                  "(slo overloaded=%d)\n",
+                  obs::retained_trace_count(), path.c_str(),
+                  service.watchdog().overloaded() ? 1 : 0);
+    } else {
+      std::fprintf(stderr, "mg_server: cannot write traces to %s\n",
+                   path.c_str());
+    }
+  };
+
   if (cli.get_flag("selftest")) {
     const int rc = run_selftest(service, listen_fd, bound_port);
+    write_traces();
+    if (cli.get_flag("obs")) {
+      obs::write_prometheus_file("mg_server_metrics.txt");
+      std::printf("mg_server: metrics written to mg_server_metrics.txt\n");
+    }
     const int fd = g_listen_fd.exchange(-1);
     if (fd >= 0) ::close(fd);
     return rc;
@@ -351,6 +393,7 @@ int main(int argc, char** argv) {
   for (auto& t : connections) t.join();
   service.drain();
   print_summary(service);
+  write_traces();
   if (cli.get_flag("obs")) {
     obs::write_prometheus_file("mg_server_metrics.txt");
     std::printf("mg_server: metrics written to mg_server_metrics.txt\n");

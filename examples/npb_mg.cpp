@@ -24,6 +24,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "sacpp/check/check.hpp"
@@ -31,7 +32,9 @@
 #include "sacpp/common/table.hpp"
 #include "sacpp/mg/driver.hpp"
 #include "sacpp/obs/export.hpp"
+#include "sacpp/obs/flight.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/trace.hpp"
 #include "sacpp/sac/backend.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/sac/stats.hpp"
@@ -119,6 +122,11 @@ int main(int argc, char** argv) {
                  "write a Chrome trace-event JSON (Perfetto-loadable)");
   cli.add_option("metrics-out", "",
                  "write a Prometheus-style text metrics dump");
+  cli.add_option("trace-sample", "0",
+                 "> 0 traces the benchmark run as one request "
+                 "(stamps every span; retains the trace at exit)");
+  cli.add_option("flight-out", "",
+                 "flight-recorder dump path; installs crash handlers");
   if (!cli.parse(argc, argv)) return 1;
 
   // --check with a pass selector short-circuits into the serve verifier;
@@ -183,11 +191,18 @@ int main(int argc, char** argv) {
   const std::string trace_out = cli.get("trace-out");
   const std::string metrics_out = cli.get("metrics-out");
   const bool obs_summary = cli.get_flag("obs");
+  const bool run_traced = cli.get_double("trace-sample") > 0.0;
   // Any telemetry consumer turns recording on; SACPP_OBS=1 also works.
-  if (obs_summary || !trace_out.empty() || !metrics_out.empty()) {
+  if (obs_summary || run_traced || !trace_out.empty() ||
+      !metrics_out.empty()) {
     sac::set_obs(true);
   }
   obs::set_thread_name("main");
+  const std::string flight_out = cli.get("flight-out");
+  if (!flight_out.empty()) {
+    obs::flight_configure(flight_out);
+    obs::flight_install_signal_handlers();
+  }
 
   std::printf(" NAS Parallel Benchmarks (sacpp reproduction) - MG Benchmark\n");
   std::printf(" Size: %lld x %lld x %lld  Iterations: %d\n\n",
@@ -205,7 +220,34 @@ int main(int argc, char** argv) {
   std::unique_ptr<check::Session> session;
   if (checked) session = std::make_unique<check::Session>();
 
+  // --trace-sample: the whole benchmark is one traced "request" — every
+  // span it records (with-loops, levels, kernels, worker chunks) carries
+  // the minted id, and the stitched trace is retained at exit.
+  std::uint64_t run_trace_id = 0;
+  std::int64_t run_trace_start = 0;
+  std::optional<obs::TraceBinding> run_trace_binding;
+  if (run_traced) {
+    run_trace_id = obs::mint_trace_id();
+    run_trace_start = obs::now_ns();
+    run_trace_binding.emplace(
+        obs::TraceContext{run_trace_id, 0, obs::kTraceForced});
+  }
+
   const MgResult result = run_benchmark(variant, spec, opts);
+
+  if (run_trace_id != 0) {
+    run_trace_binding.reset();
+    obs::TraceMeta meta;
+    meta.trace_id = run_trace_id;
+    meta.reason = obs::RetainReason::kFlagged;
+    meta.status = "benchmark";
+    meta.e2e_ns = obs::now_ns() - run_trace_start;
+    meta.submit_ns = run_trace_start;
+    obs::retain_trace(meta);
+    std::printf(" Trace               = %llu (%zu retained)\n",
+                static_cast<unsigned long long>(run_trace_id),
+                obs::retained_trace_count());
+  }
 
   if (opts.record_norms) {
     for (std::size_t it = 0; it < result.norms.size(); ++it) {

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/trace.hpp"
 
 namespace sacpp::msg {
 
@@ -56,9 +57,14 @@ void World::run(const std::function<void(Comm&)>& fn) {
                                                   std::memory_order_relaxed);
   }
   running_.store(true, std::memory_order_release);
+  // Rank threads inherit the spawning thread's request trace context, so a
+  // traced serve job running the MPI-style variant stitches its rank spans
+  // (sends, barriers, solve phases) into the request's tree.
+  const obs::TraceContext trace_ctx = obs::current_trace();
   for (int r = 0; r < ranks_; ++r) {
-    threads.emplace_back([this, r, &fn, &errors] {
+    threads.emplace_back([this, r, &fn, &errors, trace_ctx] {
       obs::set_thread_name("rank-" + std::to_string(r));
+      const obs::TraceBinding trace_binding(trace_ctx);
       Comm comm(this, r);
       try {
         fn(comm);

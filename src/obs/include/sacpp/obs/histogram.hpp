@@ -35,8 +35,30 @@ class LogHistogram {
     count_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Observe with an exemplar: remember (trace_id, v) as the bucket's most
+  // recent traced sample, so the Prometheus dump can point from a latency
+  // bucket (e.g. the p99 spike) to an exact retained trace.  Last-writer-
+  // wins per bucket; a torn pair is tolerable (both fields are recent
+  // samples of the same bucket).
+  void observe(std::uint64_t v, std::uint64_t trace_id) noexcept {
+    const int b = bucket_of(v);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_id != 0) {
+      exemplar_trace_[b].store(trace_id, std::memory_order_relaxed);
+      exemplar_value_[b].store(v, std::memory_order_relaxed);
+    }
+  }
+
   std::uint64_t bucket(int i) const noexcept {
     return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t exemplar_trace(int i) const noexcept {
+    return exemplar_trace_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t exemplar_value(int i) const noexcept {
+    return exemplar_value_[i].load(std::memory_order_relaxed);
   }
   std::uint64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
@@ -47,12 +69,16 @@ class LogHistogram {
 
   void clear() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    for (auto& e : exemplar_trace_) e.store(0, std::memory_order_relaxed);
+    for (auto& e : exemplar_value_) e.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> exemplar_trace_[kBuckets]{};
+  std::atomic<std::uint64_t> exemplar_value_[kBuckets]{};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> count_{0};
 };

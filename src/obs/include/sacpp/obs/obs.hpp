@@ -40,6 +40,11 @@ namespace sacpp::obs {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<std::uint32_t> g_probe_mask;
+// Count a span suppressed by a disabled probe on the calling thread (the
+// ring never sees it; ThreadSpans::skipped reports these separately from
+// ring overwrites).
+void note_probe_skip() noexcept;
 }
 
 // The one guard every instrumentation point tests (relaxed: a toggle only
@@ -52,6 +57,24 @@ inline bool enabled() noexcept {
 // Turn recording on/off (SacConfig::obs / SACPP_OBS route through this).
 // Enabling also primes the clock epoch so the first span is not skewed.
 void set_enabled(bool on) noexcept;
+
+// Per-kind probe mask: bit `1 << kind` on means spans of that kind are
+// recorded.  Only consulted when enabled() is already true, preserving the
+// one-load-one-branch disabled-path contract.  A span arriving at a masked
+// probe is counted as a skip (ThreadSpans::skipped), never as a ring drop.
+inline constexpr std::uint32_t kAllProbes = 0xffffffffu;
+
+inline constexpr std::uint32_t probe_bit(SpanKind kind) noexcept {
+  return std::uint32_t{1} << static_cast<unsigned>(kind);
+}
+
+inline bool probe_enabled(SpanKind kind) noexcept {
+  return (detail::g_probe_mask.load(std::memory_order_relaxed) &
+          probe_bit(kind)) != 0;
+}
+
+void set_probe_mask(std::uint32_t mask) noexcept;
+std::uint32_t probe_mask() noexcept;
 
 // Nanoseconds since the process obs epoch (steady clock).
 std::int64_t now_ns() noexcept;
@@ -71,6 +94,14 @@ void record_span(SpanKind kind, const char* name, std::int64_t start_ns,
 // enabled()).
 inline void observe(Hist h, std::uint64_t value) noexcept {
   histogram(h).observe(value);
+}
+
+// Same, with an exemplar: remember trace_id as the bucket's most recent
+// traced sample so the Prometheus dump can link a latency bucket to a
+// retained trace (trace_id 0 records no exemplar).
+inline void observe(Hist h, std::uint64_t value,
+                    std::uint64_t trace_id) noexcept {
+  histogram(h).observe(value, trace_id);
 }
 
 // Fresh correlation id for a parallel region (links the region span on the
@@ -162,12 +193,17 @@ struct ThreadSpans {
   std::uint32_t tid = 0;     // registration order, stable for the process
   std::string name;          // set_thread_name value or "thread-N"
   std::uint64_t recorded = 0;
-  std::uint64_t dropped = 0;  // oldest-span evictions (ring overflow)
+  std::uint64_t overwritten = 0;  // oldest-span evictions (ring overflow)
+  std::uint64_t skipped = 0;      // suppressed by a disabled probe (mask)
   std::vector<SpanRecord> spans;
 };
 std::vector<ThreadSpans> snapshot_spans();
 
+// Overwrite-drops (ring overflow) summed across threads.  Kept under the
+// historical "dropped" name because obs_consolidate.py and the dashboards
+// read sacpp_obs_spans_dropped_total; probe skips are a separate total.
 std::uint64_t total_dropped_spans();
+std::uint64_t total_skipped_spans();
 
 // Default capacity for rings created after this call (power of two; the
 // SACPP_OBS_RING environment variable sets the startup value).

@@ -9,8 +9,10 @@
 // data-race-free (TSan-clean) without the writer ever taking a lock.
 //
 // Capacity is fixed at construction (a power of two).  When the ring is full
-// the oldest span is overwritten; `dropped()` reports how many were lost that
-// way, so exports can state their own completeness.
+// the oldest span is overwritten; `overwritten()` reports how many were lost
+// that way, so exports can state their own completeness.  Spans suppressed by
+// a disabled probe never reach the ring — that skip count lives in the obs
+// thread registry, not here (the two used to alias; see docs/observability.md).
 
 #include <atomic>
 #include <bit>
@@ -47,6 +49,7 @@ struct SpanRecord {
   std::int64_t dur_ns = 0;
   std::int64_t arg = 0;       // kind-specific: level, worker id, bytes, ...
   std::uint64_t id = 0;       // correlation id (parallel region), 0 = none
+  std::uint64_t trace = 0;    // request trace id (trace.hpp), 0 = untraced
   const char* name = "";
   SpanKind kind = SpanKind::kPhase;
 };
@@ -73,6 +76,7 @@ class SpanRing {
     s.dur_ns.store(r.dur_ns, std::memory_order_relaxed);
     s.arg.store(r.arg, std::memory_order_relaxed);
     s.id.store(r.id, std::memory_order_relaxed);
+    s.trace.store(r.trace, std::memory_order_relaxed);
     s.name.store(r.name, std::memory_order_relaxed);
     s.kind.store(static_cast<std::uint8_t>(r.kind),
                  std::memory_order_relaxed);
@@ -86,7 +90,7 @@ class SpanRing {
   }
 
   // Oldest-span evictions: pushes beyond capacity overwrite.
-  std::uint64_t dropped() const noexcept {
+  std::uint64_t overwritten() const noexcept {
     const std::uint64_t h = recorded();
     return h > cap_ ? h - cap_ : 0;
   }
@@ -108,6 +112,7 @@ class SpanRing {
       r.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
       r.arg = s.arg.load(std::memory_order_relaxed);
       r.id = s.id.load(std::memory_order_relaxed);
+      r.trace = s.trace.load(std::memory_order_relaxed);
       r.name = s.name.load(std::memory_order_relaxed);
       r.kind = static_cast<SpanKind>(s.kind.load(std::memory_order_relaxed));
       std::atomic_thread_fence(std::memory_order_acquire);
@@ -128,6 +133,7 @@ class SpanRing {
     std::atomic<std::int64_t> dur_ns{0};
     std::atomic<std::int64_t> arg{0};
     std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> trace{0};
     std::atomic<const char*> name{nullptr};
     std::atomic<std::uint8_t> kind{0};
   };

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <string>
 
+#include "sacpp/obs/trace.hpp"
+
 namespace sacpp::obs {
 
 // ---------------------------------------------------------------------------
@@ -92,6 +94,7 @@ void write_chrome_trace(std::ostream& out) {
           << "\",\"name\":\"" << json_escape(s.name) << "\",\"args\":{\"arg\":"
           << s.arg;
       if (s.id != 0) out << ",\"region\":" << s.id;
+      if (s.trace != 0) out << ",\"trace_id\":\"" << s.trace << "\"";
       out << "}}";
     }
   }
@@ -140,7 +143,14 @@ void write_histogram(std::ostream& out, Hist h) {
     if (n == 0) continue;
     cumulative += n;
     out << name << "_bucket{le=\"" << LogHistogram::bucket_upper(i) << "\"} "
-        << cumulative << "\n";
+        << cumulative;
+    // OpenMetrics exemplar: the bucket's most recent traced sample, linking
+    // a latency bucket back to a retained trace id.
+    const std::uint64_t ex = hist.exemplar_trace(i);
+    if (ex != 0) {
+      out << " # {trace_id=\"" << ex << "\"} " << hist.exemplar_value(i);
+    }
+    out << "\n";
   }
   out << name << "_bucket{le=\"+Inf\"} " << hist.count() << "\n";
   out << name << "_sum " << hist.sum() << "\n";
@@ -174,19 +184,41 @@ void write_prometheus(std::ostream& out) {
     for (const Collector& c : collectors) c(sink);
   }
 
-  // Span bookkeeping.
+  // Span bookkeeping.  Overwrite-drops (ring overflow) and disabled-probe
+  // skips used to alias under the "dropped" counter; they are distinct
+  // losses — an overwrite lost a span that was recorded, a skip never
+  // recorded one — so both get their own counter.  The historical dropped
+  // name stays as an alias of overwrites for obs_consolidate.py.
   {
     std::uint64_t recorded = 0;
+    std::uint64_t overwritten = 0;
+    std::uint64_t skipped = 0;
     const auto threads = snapshot_spans();
-    for (const ThreadSpans& t : threads) recorded += t.recorded;
+    for (const ThreadSpans& t : threads) {
+      recorded += t.recorded;
+      overwritten += t.overwritten;
+      skipped += t.skipped;
+    }
     TextSink sink(out);
     sink.counter("sacpp_obs_spans_recorded_total",
                  static_cast<double>(recorded), "spans recorded (all threads)");
     sink.counter("sacpp_obs_spans_dropped_total",
-                 static_cast<double>(total_dropped_spans()),
+                 static_cast<double>(overwritten),
+                 "spans evicted by ring overflow (alias of overwritten)");
+    sink.counter("sacpp_obs_spans_overwritten_total",
+                 static_cast<double>(overwritten),
                  "spans evicted by ring overflow");
+    sink.counter("sacpp_obs_spans_skipped_total",
+                 static_cast<double>(skipped),
+                 "spans suppressed by a disabled probe (probe mask)");
     sink.gauge("sacpp_obs_threads", static_cast<double>(threads.size()),
                "threads registered with the telemetry layer");
+    sink.counter("sacpp_obs_traces_retained_total",
+                 static_cast<double>(retained_trace_count()),
+                 "request traces currently promoted to the retained store");
+    sink.counter("sacpp_obs_traces_evicted_total",
+                 static_cast<double>(evicted_trace_count()),
+                 "retained traces evicted by the store's FIFO bound");
   }
 
   // Histograms.

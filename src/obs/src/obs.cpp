@@ -6,10 +6,14 @@
 #include <memory>
 #include <mutex>
 
+#include "sacpp/obs/trace.hpp"
+
 namespace sacpp::obs {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+std::atomic<std::uint32_t> g_probe_mask{kAllProbes};
+thread_local TraceContext tl_trace;
 }
 
 // ---------------------------------------------------------------------------
@@ -34,6 +38,14 @@ std::int64_t now_ns() noexcept {
 void set_enabled(bool on) noexcept {
   (void)epoch();  // prime the epoch before the first span
   detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_probe_mask(std::uint32_t mask) noexcept {
+  detail::g_probe_mask.store(mask, std::memory_order_relaxed);
+}
+
+std::uint32_t probe_mask() noexcept {
+  return detail::g_probe_mask.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -143,6 +155,9 @@ constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 15;
 struct ThreadRec {
   std::uint32_t tid = 0;
   std::string name;
+  // Spans suppressed by a masked probe (satellite of the overwrite/skip
+  // accounting split): counted here because they never reach the ring.
+  std::atomic<std::uint64_t> skipped{0};
   std::unique_ptr<SpanRing> ring;  // created on first record
 };
 
@@ -200,11 +215,16 @@ SpanRing& thread_ring() {
 void record_span(SpanKind kind, const char* name, std::int64_t start_ns,
                  std::int64_t dur_ns, std::int64_t arg,
                  std::uint64_t id) noexcept {
+  if (!probe_enabled(kind)) {
+    detail::note_probe_skip();
+    return;
+  }
   SpanRecord r;
   r.start_ns = start_ns;
   r.dur_ns = dur_ns;
   r.arg = arg;
   r.id = id;
+  r.trace = detail::tl_trace.trace_id;
   r.name = name;
   r.kind = kind;
   thread_ring().push(r);
@@ -213,6 +233,12 @@ void record_span(SpanKind kind, const char* name, std::int64_t start_ns,
     histogram(h).observe(dur_ns > 0 ? static_cast<std::uint64_t>(dur_ns) : 0);
   }
 }
+
+namespace detail {
+void note_probe_skip() noexcept {
+  thread_rec().skipped.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 void set_thread_name(std::string name) {
   ThreadRec& rec = thread_rec();
@@ -246,9 +272,10 @@ std::vector<ThreadSpans> snapshot_spans() {
       std::lock_guard<std::mutex> lock(reg.mutex);
       ts.name = rec->name;
     }
+    ts.skipped = rec->skipped.load(std::memory_order_relaxed);
     if (rec->ring != nullptr) {
       ts.recorded = rec->ring->recorded();
-      ts.dropped = rec->ring->dropped();
+      ts.overwritten = rec->ring->overwritten();
       ts.spans = rec->ring->snapshot();
     }
     out.push_back(std::move(ts));
@@ -258,7 +285,13 @@ std::vector<ThreadSpans> snapshot_spans() {
 
 std::uint64_t total_dropped_spans() {
   std::uint64_t total = 0;
-  for (const ThreadSpans& t : snapshot_spans()) total += t.dropped;
+  for (const ThreadSpans& t : snapshot_spans()) total += t.overwritten;
+  return total;
+}
+
+std::uint64_t total_skipped_spans() {
+  std::uint64_t total = 0;
+  for (const ThreadSpans& t : snapshot_spans()) total += t.skipped;
   return total;
 }
 
@@ -365,11 +398,13 @@ void reset() {
   {
     std::lock_guard<std::mutex> lock(reg.mutex);
     for (auto& t : reg.threads) {
+      t->skipped.store(0, std::memory_order_relaxed);
       if (t->ring != nullptr) t->ring->clear();
     }
   }
   for (auto& h : g_histograms) h.clear();
   reset_levels();
+  clear_retained_traces();
 }
 
 void reset_levels() {

@@ -9,6 +9,7 @@
 
 #include "sacpp/common/error.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/trace.hpp"
 #include "sacpp/sac/check_events.hpp"
 #include "sacpp/sac/config.hpp"
 
@@ -120,6 +121,21 @@ void ThreadPool::parallel_for(
       fn(lo, hi, who);
     };
     base = &cfg_wrapped;
+  }
+
+  // Same for the coordinator's request trace context (obs/trace.hpp): bind
+  // it around every worker chunk so the spans a traced solve records on the
+  // gang threads stitch into the request's tree.
+  const obs::TraceContext trace_ctx = obs::current_trace();
+  std::function<void(extent_t, extent_t, unsigned)> trace_wrapped;
+  if (trace_ctx.active()) [[unlikely]] {
+    const auto* inner = base;
+    trace_wrapped = [inner, trace_ctx](extent_t lo, extent_t hi,
+                                       unsigned who) {
+      obs::TraceBinding bind(trace_ctx);
+      (*inner)(lo, hi, who);
+    };
+    base = &trace_wrapped;
   }
 
   // Checked mode: log this region and the interval each worker will write,

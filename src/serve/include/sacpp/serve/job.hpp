@@ -40,6 +40,10 @@ struct SolveRequest {
   std::uint32_t gang = 0;   // worker threads wanted; 0 = scheduler policy
   std::int64_t deadline_ns = 0;  // latency budget from submit; 0 = none
   bool record_norms = false;     // per-iteration norms (costs a resid pass)
+  // Request trace context (obs/trace.hpp; wire v3).  trace_id 0 = untraced.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;  // client-side root span id
+  std::uint8_t trace_flags = 0;    // obs::kTraceSampled / kTraceForced
 };
 
 // How a request ended.
@@ -68,6 +72,7 @@ struct SolveResult {
   std::uint32_t gang = 0;    // worker threads actually granted
   bool verified = false;     // matched the recorded class norm
   std::string error;         // kError diagnostic (empty otherwise)
+  std::uint64_t trace_id = 0;  // echoed request trace id (wire v3)
 };
 
 }  // namespace sacpp::serve

@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 
@@ -49,6 +50,7 @@ struct QueueCounters {
   std::uint64_t rejected = 0;       // pushed into a full queue, no victim
   std::uint64_t evicted = 0;        // displaced by a higher-priority push
   std::uint64_t shed_deadline = 0;  // expired before dispatch
+  std::uint64_t shed_overload = 0;  // low-priority push shed by the SLO advisory
   std::uint64_t dispatched = 0;
   std::size_t peak_depth = 0;
 };
@@ -70,8 +72,24 @@ class AdmissionQueue {
     kAccepted,
     kAcceptedEvicted,  // accepted; a lower-priority job was displaced
     kRejected,         // full and nothing lower-priority to displace
+    kShedOverload,     // low-priority push shed on the SLO overload advisory
     kClosed,           // queue closed (service stopping)
   };
+
+  // Advisory overload signal (the SLO watchdog's overloaded()).  Consulted
+  // under the queue lock on every LOW-priority push, so it must be cheap
+  // and lock-free and must never call back into this queue.  When it
+  // returns true the push is shed immediately (kShedCapacity verdict on the
+  // promise) instead of aging out in a lane that will not drain in budget.
+  using OverloadAdvisor = std::function<bool()>;
+  void set_overload_advisor(OverloadAdvisor advisor);
+
+  // Called (outside no locks the observer can see) for every job this queue
+  // settles itself — sheds, rejections, evictions — so the service's SLO
+  // watchdog sees the requests that never reach an executor.  Same
+  // constraints as the advisor: cheap, no calls back into the queue.
+  using SettleObserver = std::function<void(Priority, SolveStatus)>;
+  void set_settle_observer(SettleObserver observer);
 
   // Always consumes `job`: on kRejected / kClosed its promise is fulfilled
   // (kShedCapacity) before returning, so the caller only keeps the future.
@@ -103,8 +121,10 @@ class AdmissionQueue {
 
  private:
   std::size_t depth_locked() const;
-  static void settle(QueuedJob&& job, SolveStatus status,
-                     const std::string& why);
+  // Settles the promise, records/retains the job's trace when it carries
+  // one (a shed is always an anomaly worth a post-mortem), and notifies the
+  // settle observer.
+  void settle(QueuedJob&& job, SolveStatus status, const std::string& why);
 
   const std::size_t capacity_;
   // Tracked for the lock-order analyzer (docs/static_analysis.md); _any cv
@@ -113,6 +133,8 @@ class AdmissionQueue {
   std::condition_variable_any cv_;
   std::deque<QueuedJob> lanes_[kPriorityLanes];
   QueueCounters counters_;
+  OverloadAdvisor overload_advisor_;
+  SettleObserver settle_observer_;
   std::uint32_t head_bypass_ = 0;
   bool closed_ = false;
 };

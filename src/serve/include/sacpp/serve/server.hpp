@@ -29,13 +29,16 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sacpp/obs/histogram.hpp"
+#include "sacpp/obs/sampler.hpp"
 #include "sacpp/sac/config.hpp"
 #include "sacpp/serve/job.hpp"
 #include "sacpp/serve/queue.hpp"
+#include "sacpp/serve/slo.hpp"
 
 namespace sacpp::sac {
 class ThreadPool;
@@ -67,6 +70,17 @@ struct ServeConfig {
   // NPB warm-up iteration per job (off: serving measures end-to-end time,
   // not the benchmark protocol).
   bool warmup = false;
+  // Request tracing (obs/trace.hpp).  > 0 mints a TraceContext for every
+  // untraced submit; the value is the head-sampling rate (0..1) fed to the
+  // tail sampler — anomalies (sheds, errors, deadline misses, slow tail)
+  // are retained regardless of it.  0 disables minting; requests that
+  // arrive already traced (wire v3) are still honoured.
+  double trace_sample = 0.0;
+  // SLO budgets driving the watchdog and the queue's overload advisory.
+  SloConfig slo;
+  // Flight-recorder dump path; non-empty configures the recorder and
+  // installs the crash handlers on service start.
+  std::string flight_path;
   // Template for per-job config snapshots.  MT fields are overridden per
   // job from the gang grant; stencil_mode from the request.
   sac::SacConfig base;
@@ -125,6 +139,11 @@ class SolverService {
   // Block until no queued and no running jobs remain.
   void drain();
 
+  // drain() with a budget.  On timeout returns false after forcing a
+  // flight-recorder dump ("drain-timeout") — the black-box record of what
+  // the queue, executors, and lock graph looked like while stuck.
+  bool drain_for(std::int64_t timeout_ns);
+
   // Stop admitting, shed everything still queued (kShedCapacity), finish
   // running jobs, join all threads.  Idempotent.
   void stop();
@@ -136,6 +155,10 @@ class SolverService {
   }
 
   const ServeConfig& config() const noexcept { return cfg_; }
+
+  // The SLO watchdog backing the queue's overload advisory (burn rates,
+  // shed ratio, overloaded flag).
+  const SloWatchdog& watchdog() const noexcept { return watchdog_; }
 
   // Resident set size of this process in bytes (/proc/self/statm); -1 where
   // unavailable.  Exported as the sacpp_serve_rss_bytes gauge.
@@ -177,6 +200,10 @@ class SolverService {
   obs::LogHistogram queue_wait_hist_;
   obs::LogHistogram exec_hist_;
   obs::LogHistogram e2e_hist_[kPriorityLanes];
+
+  // Tail-based trace retention and SLO burn-rate accounting.
+  obs::TailSampler sampler_;
+  SloWatchdog watchdog_;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_ok_{0};

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/trace.hpp"
 
 namespace sacpp::serve {
 
@@ -32,7 +34,55 @@ void AdmissionQueue::settle(QueuedJob&& job, SolveStatus status,
   res.status = status;
   res.gang = job.gang;
   res.error = why;
+  res.trace_id = job.request.trace_id;
+  const std::int64_t now = obs::now_ns();
+  if (job.enqueue_ns > 0) res.queue_ns = std::max<std::int64_t>(0, now - job.enqueue_ns);
+  if (job.submit_ns > 0) res.e2e_ns = std::max<std::int64_t>(0, now - job.submit_ns);
+  if (job.request.trace_id != 0) {
+    // A shed is always an anomaly worth a post-mortem: record the span pair
+    // on this thread's ring and retain the trace unconditionally, bypassing
+    // the tail sampler.
+    const obs::TraceContext ctx{job.request.trace_id, job.request.trace_parent,
+                                job.request.trace_flags};
+    if (obs::enabled()) {
+      const obs::TraceBinding bind(ctx);
+      if (job.enqueue_ns > 0) {
+        obs::record_span(obs::SpanKind::kPhase, obs::kSpanServeQueue,
+                         job.enqueue_ns, res.queue_ns,
+                         static_cast<std::int64_t>(job.request.priority));
+      }
+      if (job.submit_ns > 0) {
+        obs::record_span(obs::SpanKind::kPhase, obs::kSpanServeE2e,
+                         job.submit_ns, res.e2e_ns,
+                         static_cast<std::int64_t>(job.request.id));
+      }
+    }
+    obs::TraceMeta meta;
+    meta.trace_id = job.request.trace_id;
+    meta.request_id = job.request.id;
+    meta.reason = obs::RetainReason::kShed;
+    meta.status = solve_status_name(status);
+    meta.priority = static_cast<int>(job.request.priority);
+    meta.submit_ns = job.submit_ns;
+    meta.queue_ns = res.queue_ns;
+    meta.exec_ns = 0;
+    meta.e2e_ns = res.e2e_ns;
+    meta.gang = job.gang;
+    meta.flags = job.request.trace_flags;
+    obs::retain_trace(meta);
+  }
+  if (settle_observer_) settle_observer_(job.request.priority, status);
   job.promise.set_value(std::move(res));
+}
+
+void AdmissionQueue::set_overload_advisor(OverloadAdvisor advisor) {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  overload_advisor_ = std::move(advisor);
+}
+
+void AdmissionQueue::set_settle_observer(SettleObserver observer) {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  settle_observer_ = std::move(observer);
 }
 
 AdmissionQueue::Admit AdmissionQueue::push(QueuedJob&& job) {
@@ -45,6 +95,16 @@ AdmissionQueue::Admit AdmissionQueue::push(QueuedJob&& job) {
       return Admit::kClosed;
     }
     const auto lane = static_cast<std::size_t>(job.request.priority);
+    if (job.request.priority == Priority::kLow && overload_advisor_ &&
+        overload_advisor_()) {
+      // SLO feedback: under overload an incoming LOW job would only age out
+      // in a lane that is not draining in budget — shed it at the door so
+      // the caller can back off immediately.
+      counters_.shed_overload += 1;
+      settle(std::move(job), SolveStatus::kShedCapacity,
+             "shed at admission: SLO watchdog reports overload");
+      return Admit::kShedOverload;
+    }
     if (depth_locked() >= capacity_) {
       // Full: displace the newest job of the lowest lane that is strictly
       // lower priority than the incoming job, if any.

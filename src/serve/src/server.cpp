@@ -14,9 +14,12 @@
 #endif
 
 #include "sacpp/common/error.hpp"
+#include "sacpp/common/lockorder.hpp"
 #include "sacpp/mg/driver.hpp"
 #include "sacpp/obs/export.hpp"
+#include "sacpp/obs/flight.hpp"
 #include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/trace.hpp"
 #include "sacpp/sac/pool.hpp"
 #include "sacpp/sac/runtime.hpp"
 
@@ -30,6 +33,7 @@ namespace {
 TrackedMutex g_service_mutex{"serve.collector"};
 SolverService* g_current_service = nullptr;
 std::atomic<bool> g_collector_registered{false};
+std::atomic<bool> g_flight_provider_registered{false};
 
 // Idle gang pools kept for reuse; beyond this they are torn down.
 constexpr std::size_t kMaxIdlePools = 4;
@@ -83,7 +87,10 @@ LatencySummary summarize_histogram(const obs::LogHistogram& hist) {
 // ---------------------------------------------------------------------------
 
 SolverService::SolverService(const ServeConfig& cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity) {
+    : cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      sampler_(cfg.trace_sample),
+      watchdog_(cfg.slo) {
   if (cfg_.total_cores == 0) {
     cfg_.total_cores = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -106,6 +113,65 @@ SolverService::SolverService(const ServeConfig& cfg)
     obs::register_collector([](obs::MetricSink& sink) {
       std::lock_guard<TrackedMutex> lock(g_service_mutex);
       if (g_current_service != nullptr) g_current_service->collect(sink);
+    });
+  }
+
+  // SLO feedback loop: the queue consults the watchdog's relaxed overload
+  // flag on the push path, and reports every job it settles itself (sheds,
+  // rejections, evictions) so the shed ratio covers requests no executor
+  // ever saw.
+  queue_.set_overload_advisor([this] { return watchdog_.overloaded(); });
+  queue_.set_settle_observer([this](Priority lane, SolveStatus status) {
+    watchdog_.observe(lane, status, -1);
+  });
+
+  // Flight recorder: the black-box dump gains a "serve" section describing
+  // the live service (queue/executor/core state) and a "locks" section with
+  // the tracked-lock graph.  Like the metrics collector, providers are
+  // process-lifetime, so they indirect through the current-service slot.
+  if (!cfg_.flight_path.empty()) {
+    obs::flight_configure(cfg_.flight_path);
+    obs::flight_install_signal_handlers();
+  }
+  if (!g_flight_provider_registered.exchange(true)) {
+    obs::flight_register_provider("serve", [] {
+      std::lock_guard<TrackedMutex> lock(g_service_mutex);
+      if (g_current_service == nullptr) return std::string("null");
+      const ServerSnapshot snap = g_current_service->snapshot();
+      std::string out = "{";
+      const auto field = [&out](const char* key, std::uint64_t v,
+                                bool first = false) {
+        if (!first) out += ",";
+        out += "\"";
+        out += key;
+        out += "\":";
+        out += std::to_string(v);
+      };
+      field("queue_depth", snap.queue_depth, true);
+      field("active_jobs", snap.active_jobs);
+      field("cores_in_use", snap.cores_in_use);
+      field("cores_total", snap.total_cores);
+      field("submitted", snap.counters.submitted);
+      field("completed_ok", snap.counters.completed_ok);
+      field("errors", snap.counters.errors);
+      field("deadline_miss", snap.counters.deadline_miss);
+      field("rejected", snap.counters.queue.rejected);
+      field("evicted", snap.counters.queue.evicted);
+      field("shed_deadline", snap.counters.queue.shed_deadline);
+      field("shed_overload", snap.counters.queue.shed_overload);
+      out += "}";
+      return out;
+    });
+    obs::flight_register_provider("locks", [] {
+      const auto& reg = LockRegistry::instance();
+      std::string out = "{\"tracked\":";
+      out += std::to_string(reg.lock_count());
+      out += ",\"edges\":";
+      out += std::to_string(reg.edge_count());
+      out += ",\"cycles\":";
+      out += std::to_string(reg.find_cycles().size());
+      out += "}";
+      return out;
     });
   }
 
@@ -152,6 +218,22 @@ void SolverService::drain() {
   }
 }
 
+bool SolverService::drain_for(std::int64_t timeout_ns) {
+  const std::int64_t deadline = obs::now_ns() + timeout_ns;
+  std::unique_lock<TrackedMutex> lock(done_mutex_);
+  while (queue_.depth() != 0 ||
+         active_jobs_.load(std::memory_order_acquire) != 0) {
+    if (obs::now_ns() >= deadline) {
+      // A drain that does not converge is exactly what the black box is
+      // for: dump queue/executor/lock state before the caller escalates.
+      obs::flight_dump("drain-timeout", /*force=*/true);
+      return false;
+    }
+    done_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Submission
 // ---------------------------------------------------------------------------
@@ -167,6 +249,13 @@ unsigned SolverService::resolve_gang(const SolveRequest& req) const {
 
 std::future<SolveResult> SolverService::submit(SolveRequest req) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (req.trace_id == 0 && cfg_.trace_sample > 0.0) {
+    // In-process callers do not mint their own contexts; give every request
+    // one so the tail sampler can decide retention after the outcome is
+    // known (stamping is cheap — retention is what is sampled).
+    req.trace_id = obs::mint_trace_id();
+    req.trace_flags |= obs::kTraceSampled;
+  }
   const std::int64_t now = obs::now_ns();
   QueuedJob job;
   job.request = req;
@@ -228,16 +317,34 @@ void SolverService::run_job(QueuedJob job) {
   const std::int64_t dispatch_ns = obs::now_ns();
   const std::int64_t queue_ns = std::max<std::int64_t>(
       0, dispatch_ns - job.enqueue_ns);
-  queue_wait_hist_.observe(static_cast<std::uint64_t>(queue_ns));
+  // Bind the request's trace context for the whole dispatch: every span the
+  // solve records below — the serve_job exec span, with-loops, V-cycle
+  // levels, pool traffic (parallel_for re-binds on the gang workers) — gets
+  // stamped with this id.
+  const obs::TraceContext trace_ctx{job.request.trace_id,
+                                    job.request.trace_parent,
+                                    job.request.trace_flags};
+  const obs::TraceBinding trace_binding(trace_ctx);
+  queue_wait_hist_.observe(static_cast<std::uint64_t>(queue_ns),
+                           trace_ctx.trace_id);
   if (obs::enabled()) [[unlikely]] {
     obs::observe(obs::Hist::kServeQueueNs,
-                 static_cast<std::uint64_t>(queue_ns));
+                 static_cast<std::uint64_t>(queue_ns), trace_ctx.trace_id);
+    if (trace_ctx.active()) {
+      // Retroactive queue-wait span: the wait already happened (on no
+      // particular thread), so record it here with explicit bounds.
+      obs::record_span(obs::SpanKind::kPhase, obs::kSpanServeQueue,
+                       job.enqueue_ns, queue_ns,
+                       static_cast<std::int64_t>(job.request.priority));
+    }
   }
 
   SolveResult res;
   res.id = job.request.id;
   res.gang = job.gang;
   res.queue_ns = queue_ns;
+  res.trace_id = trace_ctx.trace_id;
+  bool executed = false;
 
   if (job.deadline_ns != 0 && dispatch_ns > job.deadline_ns) {
     // The sweep in pop_best bounds this window, but it can still close
@@ -245,6 +352,7 @@ void SolverService::run_job(QueuedJob job) {
     res.status = SolveStatus::kShedDeadline;
     res.error = "deadline expired at dispatch";
   } else {
+    executed = true;
     // Per-job isolation: a config snapshot bound to this thread (and
     // propagated to pool workers by parallel_for) plus, for gangs, a
     // private ThreadPool — the process-global config()/runtime() are never
@@ -267,8 +375,6 @@ void SolverService::run_job(QueuedJob job) {
     opts.warmup = cfg_.warmup;
     opts.record_norms = job.request.record_norms;
     try {
-      obs::ScopedSpan span(obs::SpanKind::kPhase, "serve_job",
-                           static_cast<std::int64_t>(job.request.id));
       const mg::MgResult run = mg::run_benchmark(job.request.variant, spec,
                                                  opts);
       res.final_norm = run.final_norm;
@@ -313,13 +419,76 @@ void SolverService::run_job(QueuedJob job) {
       break;
   }
 
-  exec_hist_.observe(static_cast<std::uint64_t>(exec_ns));
+  exec_hist_.observe(static_cast<std::uint64_t>(exec_ns), trace_ctx.trace_id);
   e2e_hist_[static_cast<std::size_t>(job.request.priority)].observe(
-      static_cast<std::uint64_t>(res.e2e_ns));
+      static_cast<std::uint64_t>(res.e2e_ns), trace_ctx.trace_id);
   if (obs::enabled()) [[unlikely]] {
-    obs::observe(obs::Hist::kServeJobNs, static_cast<std::uint64_t>(exec_ns));
+    obs::observe(obs::Hist::kServeJobNs, static_cast<std::uint64_t>(exec_ns),
+                 trace_ctx.trace_id);
     obs::observe(obs::Hist::kServeE2eNs,
-                 static_cast<std::uint64_t>(res.e2e_ns));
+                 static_cast<std::uint64_t>(res.e2e_ns), trace_ctx.trace_id);
+    if (executed) {
+      // Recorded retroactively with exact dispatch -> completion bounds so
+      // queue + exec tile the e2e root (the decomposition gate): a scoped
+      // span around just the solve would miss pool spin-up and verification.
+      obs::record_span(obs::SpanKind::kPhase, obs::kSpanServeExec,
+                       dispatch_ns, exec_ns,
+                       static_cast<std::int64_t>(job.request.id));
+    }
+    if (trace_ctx.active()) {
+      // The stitched tree's root: submit -> completion, enclosing the queue
+      // and exec spans recorded above.
+      obs::record_span(obs::SpanKind::kPhase, obs::kSpanServeE2e,
+                       job.submit_ns, res.e2e_ns,
+                       static_cast<std::int64_t>(job.request.id));
+    }
+  }
+
+  // SLO accounting (also drives the queue's overload advisory) and the
+  // tail-retention decision.
+  watchdog_.observe(job.request.priority, res.status, res.e2e_ns);
+  watchdog_.observe_queue(queue_.depth(), cfg_.queue_capacity);
+  sampler_.observe(static_cast<std::uint64_t>(res.e2e_ns));
+  if (trace_ctx.active()) {
+    const bool anomalous = res.status != SolveStatus::kOk;
+    obs::RetainReason reason = obs::RetainReason::kSampled;
+    if (sampler_.should_retain(static_cast<std::uint64_t>(res.e2e_ns),
+                               anomalous, trace_ctx.flags, trace_ctx.trace_id,
+                               &reason)) {
+      if (anomalous) {
+        switch (res.status) {
+          case SolveStatus::kDeadlineMiss:
+            reason = obs::RetainReason::kDeadline;
+            break;
+          case SolveStatus::kShedDeadline:
+          case SolveStatus::kShedCapacity:
+            reason = obs::RetainReason::kShed;
+            break;
+          default:
+            reason = obs::RetainReason::kError;
+            break;
+        }
+      }
+      obs::TraceMeta meta;
+      meta.trace_id = trace_ctx.trace_id;
+      meta.request_id = job.request.id;
+      meta.reason = reason;
+      meta.status = solve_status_name(res.status);
+      meta.priority = static_cast<int>(job.request.priority);
+      meta.submit_ns = job.submit_ns;
+      meta.queue_ns = queue_ns;
+      meta.exec_ns = exec_ns;
+      meta.e2e_ns = res.e2e_ns;
+      meta.gang = static_cast<int>(job.gang);
+      meta.flags = trace_ctx.flags;
+      obs::retain_trace(meta);
+    }
+  }
+  if (res.status == SolveStatus::kDeadlineMiss ||
+      res.status == SolveStatus::kShedDeadline) {
+    // Black-box trigger: a missed deadline is the moment operators want the
+    // rings frozen (rate-limited inside flight_dump; no-op unconfigured).
+    obs::flight_dump("deadline-miss");
   }
 
   job.promise.set_value(std::move(res));
@@ -436,6 +605,10 @@ void SolverService::collect(obs::MetricSink& sink) const {
   sink.counter("sacpp_serve_dispatched_total",
                static_cast<double>(snap.counters.queue.dispatched),
                "requests handed to an executor");
+  sink.counter("sacpp_serve_shed_overload_total",
+               static_cast<double>(snap.counters.queue.shed_overload),
+               "low-priority requests shed on the SLO overload advisory");
+  watchdog_.collect(sink);
 }
 
 long long SolverService::rss_bytes() {

@@ -1,0 +1,152 @@
+#include "sacpp/serve/slo.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sacpp/obs/obs.hpp"
+
+namespace sacpp::serve {
+
+namespace {
+
+bool is_shed(SolveStatus s) noexcept {
+  return s == SolveStatus::kShedDeadline || s == SolveStatus::kShedCapacity;
+}
+
+}  // namespace
+
+void SloWatchdog::maybe_rotate_locked(std::int64_t now) {
+  if (epoch_start_ns_ < 0) epoch_start_ns_ = now;
+  const std::int64_t half = std::max<std::int64_t>(1, cfg_.window_ns / 2);
+  if (now - epoch_start_ns_ < half) return;
+  epoch_ ^= 1;
+  epoch_start_ns_ = now;
+  for (auto& lane : lanes_) lane.epochs[epoch_].clear();
+  submitted_[epoch_] = 0;
+  shed_[epoch_] = 0;
+}
+
+std::int64_t SloWatchdog::p99_locked(int lane) const {
+  const obs::LogHistogram& a = lanes_[lane].epochs[0];
+  const obs::LogHistogram& b = lanes_[lane].epochs[1];
+  const std::uint64_t total = a.count() + b.count();
+  if (total == 0) return 0;
+  const std::uint64_t target = total - total / 100;  // rank of the p99 sample
+  std::uint64_t seen = 0;
+  for (int i = 0; i < obs::LogHistogram::kBuckets; ++i) {
+    seen += a.bucket(i) + b.bucket(i);
+    if (seen >= target) {
+      // Conservative: the bucket's lower bound, so a burn alarm means the
+      // p99 is at least this slow even under log-bucket quantisation.
+      return i <= 1 ? i : static_cast<std::int64_t>(std::uint64_t{1} << (i - 1));
+    }
+  }
+  return 0;
+}
+
+void SloWatchdog::recompute_locked() {
+  bool over = false;
+  for (int lane = 0; lane < kPriorityLanes; ++lane) {
+    const std::int64_t budget = cfg_.p99_budget_ns[lane];
+    if (budget > 0 && p99_locked(lane) > budget) over = true;
+  }
+  const std::uint64_t sub = submitted_[0] + submitted_[1];
+  const std::uint64_t shed = shed_[0] + shed_[1];
+  if (cfg_.max_shed_ratio > 0 && sub > 0 &&
+      static_cast<double>(shed) >
+          cfg_.max_shed_ratio * static_cast<double>(sub)) {
+    over = true;
+  }
+  if (cfg_.max_queue_saturation > 0 && queue_capacity_ > 0 &&
+      static_cast<double>(queue_depth_) >
+          cfg_.max_queue_saturation * static_cast<double>(queue_capacity_)) {
+    over = true;
+  }
+  overloaded_.store(over, std::memory_order_relaxed);
+}
+
+void SloWatchdog::observe(Priority lane, SolveStatus status,
+                          std::int64_t e2e_ns) {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  maybe_rotate_locked(obs::now_ns());
+  submitted_[epoch_] += 1;
+  if (is_shed(status)) shed_[epoch_] += 1;
+  if (e2e_ns >= 0) {
+    lanes_[static_cast<int>(lane)].epochs[epoch_].observe(
+        static_cast<std::uint64_t>(e2e_ns));
+  }
+  recompute_locked();
+}
+
+void SloWatchdog::observe_queue(std::size_t depth, std::size_t capacity) {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  queue_depth_ = depth;
+  queue_capacity_ = capacity == 0 ? 1 : capacity;
+  recompute_locked();
+}
+
+std::int64_t SloWatchdog::window_p99_ns(Priority lane) const {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  return p99_locked(static_cast<int>(lane));
+}
+
+double SloWatchdog::burn_rate(Priority lane) const {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  const std::int64_t budget = cfg_.p99_budget_ns[static_cast<int>(lane)];
+  if (budget <= 0) return 0.0;
+  return static_cast<double>(p99_locked(static_cast<int>(lane))) /
+         static_cast<double>(budget);
+}
+
+double SloWatchdog::shed_ratio() const {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  const std::uint64_t sub = submitted_[0] + submitted_[1];
+  if (sub == 0) return 0.0;
+  return static_cast<double>(shed_[0] + shed_[1]) / static_cast<double>(sub);
+}
+
+void SloWatchdog::rotate_now() {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  epoch_ ^= 1;
+  epoch_start_ns_ = obs::now_ns();
+  for (auto& lane : lanes_) lane.epochs[epoch_].clear();
+  submitted_[epoch_] = 0;
+  shed_[epoch_] = 0;
+  recompute_locked();
+}
+
+void SloWatchdog::collect(obs::MetricSink& sink) const {
+  std::lock_guard<TrackedMutex> lock(mutex_);
+  for (int lane = 0; lane < kPriorityLanes; ++lane) {
+    const auto p = static_cast<Priority>(lane);
+    const std::string stem =
+        std::string("sacpp_slo_") + priority_name(p);
+    sink.gauge(stem + "_p99_window_ns",
+               static_cast<double>(p99_locked(lane)),
+               "windowed p99 end-to-end latency for this lane");
+    const std::int64_t budget = cfg_.p99_budget_ns[lane];
+    if (budget > 0) {
+      sink.gauge(stem + "_burn_rate",
+                 static_cast<double>(p99_locked(lane)) /
+                     static_cast<double>(budget),
+                 "windowed p99 over the lane's latency budget");
+    }
+  }
+  const std::uint64_t sub = submitted_[0] + submitted_[1];
+  const std::uint64_t shed = shed_[0] + shed_[1];
+  sink.gauge("sacpp_slo_shed_ratio",
+             sub == 0 ? 0.0
+                      : static_cast<double>(shed) / static_cast<double>(sub),
+             "windowed shed fraction of submitted requests");
+  sink.gauge("sacpp_slo_queue_saturation",
+             queue_capacity_ == 0
+                 ? 0.0
+                 : static_cast<double>(queue_depth_) /
+                       static_cast<double>(queue_capacity_),
+             "admission queue depth over capacity (last sample)");
+  sink.gauge("sacpp_slo_overloaded",
+             overloaded_.load(std::memory_order_relaxed) ? 1.0 : 0.0,
+             "advisory overload signal consulted by the admission queue");
+}
+
+}  // namespace sacpp::serve

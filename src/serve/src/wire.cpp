@@ -1,5 +1,6 @@
 #include "sacpp/serve/wire.hpp"
 
+#include <cstdio>
 #include <cstring>
 
 #include "sacpp/check/session.hpp"
@@ -157,9 +158,14 @@ void seal(std::vector<std::uint8_t>& frame) {
 }
 
 // Shared prologue: peel the length prefix, check magic + version, and hand
-// back a reader positioned at the first payload field.
+// back a reader positioned at the first payload field plus the peer's frame
+// version (kMinWireVersion..kWireVersion; decoders branch on it for fields
+// added after v2).  A cross-version peer gets a diagnostic naming ITS
+// version and the range this build speaks — "bad magic" alone would send an
+// operator diffing byte dumps when the real story is a version skew.
 bool open_frame(std::span<const std::uint8_t> frame, std::uint32_t want_magic,
-                const char* what, Reader* r, std::string* error) {
+                const char* what, Reader* r, std::uint8_t* version_out,
+                std::string* error) {
   r->data = frame;
   const std::uint32_t body = r->u32();
   if (!r->ok || frame.size() != sizeof(std::uint32_t) + body) {
@@ -175,16 +181,20 @@ bool open_frame(std::span<const std::uint8_t> frame, std::uint32_t want_magic,
   }
   const std::uint32_t magic = r->u32();
   if (!r->ok || magic != want_magic) {
-    return fail(error, std::string("serve wire: bad ") + what +
-                           " magic (not an " + what + " frame)");
+    char found[16];
+    std::snprintf(found, sizeof(found), "0x%08x", magic);
+    return fail(error, std::string("serve wire: bad ") + what + " magic " +
+                           found + " (not an " + what + " frame)");
   }
   const std::uint8_t version = r->u8();
-  if (!r->ok || version != kWireVersion) {
-    return fail(error, std::string("serve wire: unsupported ") + what +
-                           " version " + std::to_string(version) +
-                           " (expected " + std::to_string(kWireVersion) +
-                           ")");
+  if (!r->ok || version < kMinWireVersion || version > kWireVersion) {
+    return fail(error, std::string("serve wire: peer sent ") + what +
+                           " frame version " + std::to_string(version) +
+                           "; this build speaks versions " +
+                           std::to_string(kMinWireVersion) + ".." +
+                           std::to_string(kWireVersion));
   }
+  *version_out = version;
   return true;
 }
 
@@ -245,6 +255,10 @@ std::vector<std::uint8_t> encode_request(const SolveRequest& req) {
   put_u32(frame, req.nit);
   put_u32(frame, req.gang);
   put_i64(frame, req.deadline_ns);
+  // v3 trace context rides at the end so all v2 field offsets are stable.
+  put_u64(frame, req.trace_id);
+  put_u64(frame, req.trace_parent);
+  put_u8(frame, req.trace_flags);
   seal(frame);
   return frame;
 }
@@ -270,6 +284,7 @@ std::vector<std::uint8_t> encode_result(const SolveResult& res) {
   if (err.size() > kMaxError) err.resize(kMaxError);
   put_u16(frame, static_cast<std::uint16_t>(err.size()));
   frame.insert(frame.end(), err.begin(), err.end());
+  put_u64(frame, res.trace_id);  // v3: echo for client-side stitching
   seal(frame);
   return frame;
 }
@@ -295,7 +310,10 @@ std::size_t frame_size(std::span<const std::uint8_t> data) noexcept {
 bool decode_request(std::span<const std::uint8_t> frame, SolveRequest* out,
                     std::string* error) {
   Reader r;
-  if (!open_frame(frame, kRequestMagic, "request", &r, error)) return false;
+  std::uint8_t version = 0;
+  if (!open_frame(frame, kRequestMagic, "request", &r, &version, error)) {
+    return false;
+  }
   SolveRequest req;
   req.id = r.u64();
   const std::uint8_t cls = r.u8();
@@ -307,6 +325,11 @@ bool decode_request(std::span<const std::uint8_t> frame, SolveRequest* out,
   req.nit = r.u32();
   req.gang = r.u32();
   req.deadline_ns = r.i64();
+  if (version >= 3) {
+    req.trace_id = r.u64();
+    req.trace_parent = r.u64();
+    req.trace_flags = r.u8();
+  }
   if (!r.ok || r.pos != frame.size()) {
     return fail(error, "serve wire: request frame has wrong payload size");
   }
@@ -342,7 +365,10 @@ bool decode_request(std::span<const std::uint8_t> frame, SolveRequest* out,
 bool decode_result(std::span<const std::uint8_t> frame, SolveResult* out,
                    std::string* error) {
   Reader r;
-  if (!open_frame(frame, kResultMagic, "result", &r, error)) return false;
+  std::uint8_t version = 0;
+  if (!open_frame(frame, kResultMagic, "result", &r, &version, error)) {
+    return false;
+  }
   SolveResult res;
   res.id = r.u64();
   const std::uint8_t status = r.u8();
@@ -354,6 +380,7 @@ bool decode_result(std::span<const std::uint8_t> frame, SolveResult* out,
   res.e2e_ns = r.i64();
   const std::uint16_t err_len = r.u16();
   res.error = r.bytes(err_len);
+  if (version >= 3) res.trace_id = r.u64();
   if (!r.ok || r.pos != frame.size()) {
     return fail(error, "serve wire: result frame has wrong payload size");
   }

@@ -1,5 +1,5 @@
 // The telemetry span rings: capacity rounding, overflow/wrap semantics with
-// the dropped counter, seqlock consistency under a concurrent writer, and
+// the overwrite counter, seqlock consistency under a concurrent writer, and
 // the enable-flag gating of the recording API.
 
 #include <gtest/gtest.h>
@@ -38,7 +38,7 @@ TEST(SpanRing, SnapshotReturnsPushedRecordsOldestFirst) {
   SpanRing ring(8);
   for (std::int64_t i = 0; i < 5; ++i) ring.push(make_record(i));
   EXPECT_EQ(ring.recorded(), 5u);
-  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.overwritten(), 0u);
   const auto spans = ring.snapshot();
   ASSERT_EQ(spans.size(), 5u);
   for (std::int64_t i = 0; i < 5; ++i) {
@@ -53,7 +53,7 @@ TEST(SpanRing, OverflowEvictsOldestAndCountsDropped) {
   ASSERT_EQ(ring.capacity(), 8u);
   for (std::int64_t i = 0; i < 20; ++i) ring.push(make_record(i));
   EXPECT_EQ(ring.recorded(), 20u);
-  EXPECT_EQ(ring.dropped(), 12u);  // 20 pushes into 8 slots
+  EXPECT_EQ(ring.overwritten(), 12u);  // 20 pushes into 8 slots
   const auto spans = ring.snapshot();
   ASSERT_EQ(spans.size(), 8u);
   // The survivors are the 8 newest, still oldest-first.
@@ -67,7 +67,7 @@ TEST(SpanRing, ClearForgetsEverything) {
   for (std::int64_t i = 0; i < 20; ++i) ring.push(make_record(i));
   ring.clear();
   EXPECT_EQ(ring.recorded(), 0u);
-  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.overwritten(), 0u);
   EXPECT_TRUE(ring.snapshot().empty());
 }
 

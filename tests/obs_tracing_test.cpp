@@ -1,0 +1,401 @@
+// Request-scoped tracing (sacpp_obs v2): thread-local context binding and
+// span stamping, tail-based retention (store FIFO + re-retain semantics),
+// the TailSampler's decision table, the stitching validator's rules, and the
+// JSON export shape.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "sacpp/obs/obs.hpp"
+#include "sacpp/obs/sampler.hpp"
+#include "sacpp/obs/trace.hpp"
+
+namespace sacpp::obs {
+namespace {
+
+// Fresh global state per test: the rings and the retained store are both
+// process-wide.
+void scrub() {
+  set_enabled(false);
+  reset();
+  clear_retained_traces();
+  set_retained_trace_capacity(64);
+}
+
+// ---------------------------------------------------------------------------
+// Context binding
+// ---------------------------------------------------------------------------
+
+TEST(TraceContext, DefaultIsInactive) {
+  EXPECT_FALSE(current_trace().active());
+  EXPECT_EQ(current_trace().trace_id, 0u);
+}
+
+TEST(TraceContext, MintedIdsAreUniqueAndNonzero) {
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = mint_trace_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate trace id " << id;
+  }
+}
+
+TEST(TraceContext, BindingNestsAndRestoresLikeAStack) {
+  const std::uint64_t outer_id = mint_trace_id();
+  const std::uint64_t inner_id = mint_trace_id();
+  {
+    TraceBinding outer({outer_id, 0, kTraceSampled});
+    EXPECT_EQ(current_trace().trace_id, outer_id);
+    EXPECT_EQ(current_trace().flags, kTraceSampled);
+    {
+      TraceBinding inner({inner_id, 7, kTraceForced});
+      EXPECT_EQ(current_trace().trace_id, inner_id);
+      EXPECT_EQ(current_trace().parent_span, 7u);
+    }
+    EXPECT_EQ(current_trace().trace_id, outer_id);
+  }
+  EXPECT_FALSE(current_trace().active());
+}
+
+TEST(TraceContext, BindingIsPerThread) {
+  const std::uint64_t id = mint_trace_id();
+  TraceBinding bind({id, 0, 0});
+  std::uint64_t seen_on_other_thread = 99;
+  std::thread([&] { seen_on_other_thread = current_trace().trace_id; }).join();
+  EXPECT_EQ(seen_on_other_thread, 0u) << "context leaked across threads";
+  EXPECT_EQ(current_trace().trace_id, id);
+}
+
+TEST(TraceContext, BoundContextStampsRecordedSpans) {
+  scrub();
+  set_enabled(true);
+  const std::uint64_t id = mint_trace_id();
+  {
+    TraceBinding bind({id, 0, 0});
+    record_span(SpanKind::kPhase, "stamped", 10, 5, 1);
+  }
+  record_span(SpanKind::kPhase, "unstamped", 20, 5, 2);
+  set_enabled(false);
+
+  std::uint64_t stamped_trace = 99;
+  std::uint64_t unstamped_trace = 99;
+  for (const ThreadSpans& t : snapshot_spans()) {
+    for (const SpanRecord& r : t.spans) {
+      if (std::string_view(r.name) == "stamped") stamped_trace = r.trace;
+      if (std::string_view(r.name) == "unstamped") unstamped_trace = r.trace;
+    }
+  }
+  EXPECT_EQ(stamped_trace, id);
+  EXPECT_EQ(unstamped_trace, 0u);
+  scrub();
+}
+
+// ---------------------------------------------------------------------------
+// Retained store
+// ---------------------------------------------------------------------------
+
+TraceMeta meta_for(std::uint64_t id) {
+  TraceMeta m;
+  m.trace_id = id;
+  m.request_id = id;
+  m.reason = RetainReason::kFlagged;
+  m.status = "ok";
+  m.e2e_ns = 100;
+  return m;
+}
+
+TEST(TraceRetention, RejectsZeroId) {
+  EXPECT_FALSE(retain_trace(TraceMeta{}));
+}
+
+TEST(TraceRetention, HarvestsOnlySpansStampedWithTheTraceId) {
+  scrub();
+  set_enabled(true);
+  const std::uint64_t mine = mint_trace_id();
+  const std::uint64_t other = mint_trace_id();
+  {
+    TraceBinding bind({mine, 0, 0});
+    record_span(SpanKind::kPhase, "b_second", 50, 5);
+    record_span(SpanKind::kPhase, "a_first", 10, 5);
+  }
+  {
+    TraceBinding bind({other, 0, 0});
+    record_span(SpanKind::kPhase, "foreign", 30, 5);
+  }
+  set_enabled(false);
+
+  ASSERT_TRUE(retain_trace(meta_for(mine)));
+  const auto traces = retained_traces();
+  ASSERT_EQ(traces.size(), 1u);
+  const RetainedTrace& t = traces[0];
+  EXPECT_EQ(t.meta.trace_id, mine);
+  ASSERT_EQ(t.spans.size(), 2u);
+  // Harvest sorts by start time regardless of recording order.
+  EXPECT_STREQ(t.spans[0].span.name, "a_first");
+  EXPECT_STREQ(t.spans[1].span.name, "b_second");
+  scrub();
+}
+
+TEST(TraceRetention, ReRetainRefreshesInsteadOfDuplicating) {
+  scrub();
+  set_enabled(true);
+  const std::uint64_t id = mint_trace_id();
+  {
+    TraceBinding bind({id, 0, 0});
+    record_span(SpanKind::kPhase, "early", 10, 5);
+    ASSERT_TRUE(retain_trace(meta_for(id)));
+    record_span(SpanKind::kPhase, "late", 20, 5);
+    ASSERT_TRUE(retain_trace(meta_for(id)));
+  }
+  set_enabled(false);
+  const auto traces = retained_traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].spans.size(), 2u);
+  scrub();
+}
+
+TEST(TraceRetention, FifoEvictionAtCapacity) {
+  scrub();
+  set_retained_trace_capacity(2);
+  const std::uint64_t a = mint_trace_id();
+  const std::uint64_t b = mint_trace_id();
+  const std::uint64_t c = mint_trace_id();
+  ASSERT_TRUE(retain_trace(meta_for(a)));
+  ASSERT_TRUE(retain_trace(meta_for(b)));
+  ASSERT_TRUE(retain_trace(meta_for(c)));
+  EXPECT_EQ(retained_trace_count(), 2u);
+  EXPECT_EQ(evicted_trace_count(), 1u);
+  const auto traces = retained_traces();
+  EXPECT_EQ(traces[0].meta.trace_id, b);  // a (oldest) was evicted
+  EXPECT_EQ(traces[1].meta.trace_id, c);
+  scrub();
+}
+
+TEST(TraceRetention, AddTraceSpanAppendsToRetainedOnly) {
+  scrub();
+  const std::uint64_t kept = mint_trace_id();
+  const std::uint64_t unknown = mint_trace_id();
+  ASSERT_TRUE(retain_trace(meta_for(kept)));
+
+  SpanRecord client;
+  client.start_ns = 5;
+  client.dur_ns = 50;
+  client.name = kSpanClient;
+  client.kind = SpanKind::kPhase;
+  add_trace_span(kept, client, "client-thread");
+  add_trace_span(unknown, client, "client-thread");  // silent no-op
+
+  const auto traces = retained_traces();
+  ASSERT_EQ(traces.size(), 1u);
+  ASSERT_EQ(traces[0].spans.size(), 1u);
+  EXPECT_STREQ(traces[0].spans[0].span.name, kSpanClient);
+  EXPECT_EQ(traces[0].spans[0].span.trace, kept);  // stamped on append
+  EXPECT_EQ(traces[0].spans[0].thread, "client-thread");
+  scrub();
+}
+
+// ---------------------------------------------------------------------------
+// Stitching validation
+// ---------------------------------------------------------------------------
+
+// One millisecond units keep the numbers readable; the validator's slop is
+// max(root/20, 1ms) so a 100ms root tolerates 5ms.
+constexpr std::int64_t kMs = 1'000'000;
+
+TraceSpan make_span(const char* name, std::int64_t start_ms,
+                    std::int64_t dur_ms) {
+  TraceSpan s;
+  s.span.name = name;
+  s.span.kind = SpanKind::kPhase;
+  s.span.start_ns = start_ms * kMs;
+  s.span.dur_ns = dur_ms * kMs;
+  s.thread = "test";
+  return s;
+}
+
+RetainedTrace completed_trace() {
+  RetainedTrace t;
+  t.meta = meta_for(1234);
+  t.spans.push_back(make_span(kSpanServeE2e, 0, 100));
+  t.spans.push_back(make_span(kSpanServeQueue, 0, 30));
+  t.spans.push_back(make_span(kSpanServeExec, 30, 70));
+  t.spans.push_back(make_span("mg_level", 40, 10));  // solver detail span
+  return t;
+}
+
+TEST(ValidateTrace, AcceptsWellFormedCompletedTrace) {
+  std::string why;
+  EXPECT_TRUE(validate_trace(completed_trace(), /*completed=*/true, &why))
+      << why;
+}
+
+TEST(ValidateTrace, AcceptsShedTraceWithoutExecSpan) {
+  RetainedTrace t;
+  t.meta = meta_for(99);
+  t.spans.push_back(make_span(kSpanServeE2e, 0, 100));
+  t.spans.push_back(make_span(kSpanServeQueue, 0, 100));
+  std::string why;
+  EXPECT_TRUE(validate_trace(t, /*completed=*/false, &why)) << why;
+}
+
+TEST(ValidateTrace, RejectsMissingRoot) {
+  RetainedTrace t = completed_trace();
+  t.spans.erase(t.spans.begin());  // drop serve_e2e
+  std::string why;
+  EXPECT_FALSE(validate_trace(t, true, &why));
+  EXPECT_NE(why.find("serve_e2e"), std::string::npos) << why;
+}
+
+TEST(ValidateTrace, RejectsDuplicateRoot) {
+  RetainedTrace t = completed_trace();
+  t.spans.push_back(make_span(kSpanServeE2e, 0, 100));
+  std::string why;
+  EXPECT_FALSE(validate_trace(t, true, &why));
+  EXPECT_NE(why.find("duplicate"), std::string::npos) << why;
+}
+
+TEST(ValidateTrace, RejectsCompletedWithoutExecSpan) {
+  RetainedTrace t = completed_trace();
+  t.spans.erase(t.spans.begin() + 2);  // drop serve_job
+  std::string why;
+  EXPECT_FALSE(validate_trace(t, true, &why));
+  EXPECT_NE(why.find("serve_job"), std::string::npos) << why;
+}
+
+TEST(ValidateTrace, RejectsShedCarryingAnExecSpan) {
+  const RetainedTrace t = completed_trace();
+  std::string why;
+  EXPECT_FALSE(validate_trace(t, /*completed=*/false, &why));
+  EXPECT_NE(why.find("shed"), std::string::npos) << why;
+}
+
+TEST(ValidateTrace, RejectsOrphanSpanOutsideTheRootWindow) {
+  RetainedTrace t = completed_trace();
+  t.spans.push_back(make_span("stray", 200, 10));  // far past root end
+  std::string why;
+  EXPECT_FALSE(validate_trace(t, true, &why));
+  EXPECT_NE(why.find("orphan"), std::string::npos) << why;
+}
+
+TEST(ValidateTrace, ClientAndRespondSpansAreExemptFromContainment) {
+  RetainedTrace t = completed_trace();
+  // The client span brackets the server window from the minting side.
+  t.spans.push_back(make_span(kSpanClient, -50, 200));
+  t.spans.push_back(make_span(kSpanRespond, 101, 10));
+  std::string why;
+  EXPECT_TRUE(validate_trace(t, true, &why)) << why;
+}
+
+TEST(ValidateTrace, RejectsDecompositionOutsideFivePercent) {
+  RetainedTrace t = completed_trace();
+  t.spans[2] = make_span(kSpanServeExec, 30, 50);  // queue 30 + exec 50 = 80%
+  std::string why;
+  EXPECT_FALSE(validate_trace(t, true, &why));
+  EXPECT_NE(why.find("5%"), std::string::npos) << why;
+}
+
+// ---------------------------------------------------------------------------
+// Tail sampler
+// ---------------------------------------------------------------------------
+
+TEST(TailSampler, AnomaliesAlwaysRetainWithErrorDefault) {
+  TailSampler s;
+  RetainReason reason = RetainReason::kSampled;
+  EXPECT_TRUE(s.should_retain(10, /*anomalous=*/true, 0, 1, &reason));
+  EXPECT_EQ(reason, RetainReason::kError);
+}
+
+TEST(TailSampler, ForcedFlagRetainsAsFlagged) {
+  TailSampler s;
+  RetainReason reason = RetainReason::kSampled;
+  EXPECT_TRUE(s.should_retain(10, false, kTraceForced, 1, &reason));
+  EXPECT_EQ(reason, RetainReason::kFlagged);
+}
+
+TEST(TailSampler, NothingRetainsDuringWarmup) {
+  TailSampler s;  // head rate 0
+  for (std::uint64_t i = 0; i < TailSampler::kWarmupCount - 1; ++i) {
+    s.observe(1000);
+  }
+  EXPECT_EQ(s.slow_threshold_ns(), 0u);
+  RetainReason reason;
+  EXPECT_FALSE(s.should_retain(1'000'000'000, false, 0, 42, &reason));
+}
+
+TEST(TailSampler, SlowTailRetainsAfterWarmup) {
+  TailSampler s;
+  for (int i = 0; i < 1000; ++i) s.observe(1000);
+  const std::uint64_t slow = s.slow_threshold_ns();
+  ASSERT_GT(slow, 0u);
+  ASSERT_LE(slow, 1024u);  // log-bucket lower bound of the 1000ns population
+  RetainReason reason = RetainReason::kError;
+  EXPECT_TRUE(s.should_retain(1'000'000, false, 0, 7, &reason));
+  EXPECT_EQ(reason, RetainReason::kSlow);
+  EXPECT_FALSE(s.should_retain(1, false, 0, 7, &reason));
+}
+
+TEST(TailSampler, HeadRateOneRetainsEverything) {
+  TailSampler s(1.0);
+  RetainReason reason = RetainReason::kError;
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    EXPECT_TRUE(s.should_retain(10, false, 0, id, &reason)) << id;
+    EXPECT_EQ(reason, RetainReason::kSampled);
+  }
+}
+
+TEST(TailSampler, HeadRateIsDeterministicPerTraceId) {
+  TailSampler s(0.5);
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    const bool first = s.should_retain(10, false, 0, id, nullptr);
+    EXPECT_EQ(first, s.should_retain(10, false, 0, id, nullptr)) << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+TEST(TraceExport, JsonCarriesSchemaKeys) {
+  scrub();
+  set_enabled(true);
+  const std::uint64_t id = mint_trace_id();
+  {
+    TraceBinding bind({id, 0, kTraceForced});
+    record_span(SpanKind::kPhase, kSpanServeQueue, 10, 20);
+  }
+  set_enabled(false);
+  TraceMeta m = meta_for(id);
+  m.queue_ns = 20;
+  m.exec_ns = 75;
+  m.e2e_ns = 100;
+  ASSERT_TRUE(retain_trace(m));
+
+  std::ostringstream out;
+  write_traces_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"retained\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":\"" + std::to_string(id) + "\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"decomposition\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"flagged\""), std::string::npos);
+  EXPECT_NE(json.find(kSpanServeQueue), std::string::npos);
+  scrub();
+}
+
+TEST(TraceExport, ReasonNamesAreStable) {
+  EXPECT_STREQ(retain_reason_name(RetainReason::kSlow), "slow");
+  EXPECT_STREQ(retain_reason_name(RetainReason::kShed), "shed");
+  EXPECT_STREQ(retain_reason_name(RetainReason::kDeadline), "deadline");
+  EXPECT_STREQ(retain_reason_name(RetainReason::kError), "error");
+  EXPECT_STREQ(retain_reason_name(RetainReason::kFlagged), "flagged");
+  EXPECT_STREQ(retain_reason_name(RetainReason::kSampled), "sampled");
+}
+
+}  // namespace
+}  // namespace sacpp::obs

@@ -162,6 +162,112 @@ TEST(ServeWire, RejectsOutOfRangeBackend) {
   EXPECT_NE(error.find("backend"), std::string::npos) << error;
 }
 
+TEST(ServeWire, TraceContextRoundTrip) {
+  SolveRequest req = sample_request();
+  req.trace_id = 0xfeedfacecafebeefull;
+  req.trace_parent = 0x1122334455667788ull;
+  req.trace_flags = 0x3;
+  SolveRequest back;
+  std::string error;
+  ASSERT_TRUE(decode_request(encode_request(req), &back, &error)) << error;
+  EXPECT_EQ(back.trace_id, req.trace_id);
+  EXPECT_EQ(back.trace_parent, req.trace_parent);
+  EXPECT_EQ(back.trace_flags, req.trace_flags);
+
+  SolveResult res = sample_result();
+  res.trace_id = 0xfeedfacecafebeefull;
+  SolveResult res_back;
+  ASSERT_TRUE(decode_result(encode_result(res), &res_back, &error)) << error;
+  EXPECT_EQ(res_back.trace_id, res.trace_id);
+}
+
+// -- cross-version negotiation ----------------------------------------------
+// v3 appended the trace context at the END of each payload, so a v2 frame is
+// a v3 frame minus its trace tail with the version byte rolled back.  These
+// tests pin both directions of the skew: a v2 peer's frames decode with the
+// trace fields defaulted, and out-of-range versions are rejected with a
+// diagnostic naming the PEER's version (not a bare "bad frame").
+
+// Rewrites the length prefix after surgery on the frame body.
+void reseal(std::vector<std::uint8_t>& frame) {
+  const std::uint32_t body = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body >> (8 * i));
+  }
+}
+
+std::vector<std::uint8_t> downgrade_to_v2(std::vector<std::uint8_t> frame,
+                                          std::size_t trace_tail_bytes) {
+  frame.resize(frame.size() - trace_tail_bytes);
+  frame[8] = 2;  // version byte follows length(4) + magic(4)
+  reseal(frame);
+  return frame;
+}
+
+TEST(ServeWireVersions, V2RequestDecodesWithTraceFieldsDefaulted) {
+  // Request trace tail: trace_id(8) + trace_parent(8) + trace_flags(1).
+  SolveRequest v3 = sample_request();
+  v3.trace_id = 0xdeadbeefull;  // must NOT leak through the v2 decode
+  const std::vector<std::uint8_t> frame =
+      downgrade_to_v2(encode_request(v3), 17);
+  SolveRequest back;
+  std::string error;
+  ASSERT_TRUE(decode_request(frame, &back, &error)) << error;
+  EXPECT_EQ(back.id, v3.id);
+  EXPECT_EQ(back.deadline_ns, v3.deadline_ns);
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.trace_parent, 0u);
+  EXPECT_EQ(back.trace_flags, 0u);
+}
+
+TEST(ServeWireVersions, V2ResultDecodesWithTraceIdDefaulted) {
+  // Result trace tail: the echoed trace_id(8).
+  SolveResult v3 = sample_result();
+  v3.trace_id = 0xdeadbeefull;
+  const std::vector<std::uint8_t> frame =
+      downgrade_to_v2(encode_result(v3), 8);
+  SolveResult back;
+  std::string error;
+  ASSERT_TRUE(decode_result(frame, &back, &error)) << error;
+  EXPECT_EQ(back.id, v3.id);
+  EXPECT_EQ(back.error, v3.error);
+  EXPECT_EQ(back.trace_id, 0u);
+}
+
+TEST(ServeWireVersions, PreV2PeerIsRejectedNamingItsVersion) {
+  std::vector<std::uint8_t> frame = encode_request(sample_request());
+  frame[8] = 1;
+  SolveRequest out;
+  std::string error;
+  EXPECT_FALSE(decode_request(frame, &out, &error));
+  EXPECT_NE(error.find("version 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("2..3"), std::string::npos)
+      << "diagnostic should name the supported range: " << error;
+}
+
+TEST(ServeWireVersions, FutureVersionIsRejectedNamingItsVersion) {
+  std::vector<std::uint8_t> frame = encode_result(sample_result());
+  frame[8] = kWireVersion + 1;
+  SolveResult out;
+  std::string error;
+  EXPECT_FALSE(decode_result(frame, &out, &error));
+  EXPECT_NE(error.find("version " + std::to_string(kWireVersion + 1)),
+            std::string::npos)
+      << error;
+}
+
+TEST(ServeWireVersions, V2FrameWithV3LengthIsRejected) {
+  // A frame claiming v2 but still carrying the v3 trace tail has the wrong
+  // payload size for its version — it must not decode as either.
+  std::vector<std::uint8_t> frame = encode_request(sample_request());
+  frame[8] = 2;  // lie about the version, keep the v3 body
+  SolveRequest out;
+  std::string error;
+  EXPECT_FALSE(decode_request(frame, &out, &error));
+  EXPECT_NE(error.find("payload size"), std::string::npos) << error;
+}
+
 TEST(ServeWire, DoublePackingRoundTrip) {
   for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
     std::vector<std::uint8_t> bytes(n);

@@ -34,6 +34,7 @@
 #include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
 #include "sacpp/obs/trace.hpp"
+#include "sacpp/sac/config.hpp"
 #include "sacpp/serve/selfcheck.hpp"
 #include "sacpp/serve/server.hpp"
 #include "sacpp/serve/wire.hpp"
@@ -268,6 +269,11 @@ int main(int argc, char** argv) {
   cli.add_option("deadline-ms", "0",
                  "default deadline for requests without one (0 = none)");
   cli.add_option("max-conns", "0", "exit after N connections (0 = forever)");
+  cli.add_option("backend", "",
+                 "default row-primitive engine for requests that do not "
+                 "pick one: " +
+                     sac::backend_names() +
+                     " (default: config / SACPP_BACKEND)");
   cli.add_option("trace-sample", "0",
                  "request-trace head-sampling rate 0..1 (>0 mints a trace "
                  "context per request and implies --obs)");
@@ -295,6 +301,14 @@ int main(int argc, char** argv) {
   // constructor) applies the SACPP_OBS env default, which would silently
   // undo a bare obs::set_enabled done before it.
   if (cli.get_flag("obs") || trace_sample > 0.0) sac::set_obs(true);
+
+  const std::string backend_arg = cli.get("backend");
+  if (!backend_arg.empty() &&
+      !sac::parse_backend(backend_arg.c_str(), &sac::config().backend)) {
+    std::fprintf(stderr, "mg_server: unknown --backend '%s' (%s)\n",
+                 backend_arg.c_str(), sac::backend_names().c_str());
+    return 1;
+  }
 
   // Verifier passes run stand-alone (docs/static_analysis.md): each is
   // independently CI-failable with exit status 2.

@@ -113,8 +113,8 @@ int main(int argc, char** argv) {
                  "stencil evaluation: grouped | naive | planes "
                  "(default: config / SACPP_STENCIL_MODE)");
   cli.add_option("backend", "",
-                 "row-primitive engine: scalar | simd | simd-portable "
-                 "(default: config / SACPP_BACKEND)");
+                 "row-primitive engine: " + sac::backend_names() +
+                     " (default: config / SACPP_BACKEND)");
   cli.add_flag("obs", "record telemetry and print the end-of-run summary");
   cli.add_option("threads", "",
                  "run multithreaded with N workers (0 = hardware)");
@@ -177,10 +177,8 @@ int main(int argc, char** argv) {
   const std::string backend_arg = cli.get("backend");
   if (!backend_arg.empty() &&
       !sac::parse_backend(backend_arg.c_str(), &sac::config().backend)) {
-    std::fprintf(stderr,
-                 "npb_mg: unknown --backend '%s' "
-                 "(scalar | simd | simd-portable)\n",
-                 backend_arg.c_str());
+    std::fprintf(stderr, "npb_mg: unknown --backend '%s' (%s)\n",
+                 backend_arg.c_str(), sac::backend_names().c_str());
     return 1;
   }
   const std::string threads_arg = cli.get("threads");

@@ -103,6 +103,8 @@ enum class Hist : int {
   kServeQueueNs,  // admission-to-dispatch time in queue
   kServeJobNs,    // dispatch-to-completion execution time
   kServeE2eNs,    // submit-to-completion end-to-end latency
+  // JIT backend (docs/jit.md): fed by the kernel cache per compile.
+  kJitCompileNs,  // source-to-dlopen latency of one JIT kernel
   kCount,
 };
 

@@ -86,6 +86,7 @@ const char* hist_name(Hist h) noexcept {
     case Hist::kServeQueueNs: return "sacpp_serve_queue_wait_ns";
     case Hist::kServeJobNs: return "sacpp_serve_job_duration_ns";
     case Hist::kServeE2eNs: return "sacpp_serve_e2e_latency_ns";
+    case Hist::kJitCompileNs: return "sacpp_jit_compile_ns";
     case Hist::kCount: break;
   }
   return "?";
@@ -108,6 +109,7 @@ const char* hist_help(Hist h) noexcept {
     case Hist::kServeQueueNs: return "solve request time in admission queue";
     case Hist::kServeJobNs: return "solve job execution time";
     case Hist::kServeE2eNs: return "solve request submit-to-done latency";
+    case Hist::kJitCompileNs: return "JIT kernel source-to-dlopen latency";
     case Hist::kCount: break;
   }
   return "?";

@@ -15,14 +15,14 @@
 //    ewise combines, copies, gathers, scatters — compute every output
 //    element with exactly the scalar reference's association order.  They
 //    are bit-identical across ALL backends, any row length, any sub-range.
-//  * Row folds (sum_sq_row / max_abs_row) may reassociate: a vectorized
-//    backend folds into `lanes()` independent lane accumulators (element
-//    `lo + n` goes to lane `n % lanes`) and combines them in a fixed
-//    left-to-right order after the row.  Results differ from kScalar only
-//    by rounding (tests pin 1e-12), but are deterministic per backend:
-//    the portable fallback performs the identical lane arithmetic as the
-//    AVX2 engine (and neither emits FMA), so kSimd folds are bit-identical
-//    across hosts with and without AVX2.
+//  * Row folds (sum_sq_row / max_abs_row) may reassociate — but only into
+//    one fixed shape: four independent lane accumulators (element `lo + n`
+//    goes to lane `n % 4`) combined in a fixed left-to-right order after
+//    the row.  Results differ from kScalar only by rounding (tests pin
+//    1e-12), but are identical across every vectorized engine: portable,
+//    AVX2, AVX-512 and JIT all perform the same 4-lane arithmetic (none
+//    emits FMA; the wider engines keep their folds at 4 lanes), so kSimd
+//    and kJit folds are bit-identical across hosts.
 //  * Tail handling is masked, never special-cased: a partial final vector
 //    processes only the live lanes (folds feed masked lanes the neutral
 //    element 0.0, exact for both sum-of-squares and max-abs).  No row
@@ -43,18 +43,25 @@ class Backend {
  public:
   virtual ~Backend() = default;
 
-  // Resolved implementation name ("scalar" | "avx2" | "portable") — what the
-  // engine actually is, as opposed to backend_name(kind), which names the
-  // selection policy.
+  // Resolved implementation name ("scalar" | "avx2" | "avx512" | "portable"
+  // | "jit") — what the engine actually is, as opposed to
+  // backend_name(kind), which names the selection policy.
   virtual const char* name() const noexcept = 0;
 
-  // Vector width the row primitives operate at (1 for scalar, 4 for the
-  // SIMD engines).  Fold lane structure is defined in terms of this.
+  // Vector width the element-parallel row primitives operate at (1 for
+  // scalar, 4 for the 4-wide engines, 8 for AVX-512).  Fold lane structure
+  // is NOT defined by this: every vectorized engine folds in the fixed
+  // 4-lane structure described above, whatever width its element-parallel
+  // loops run at, so kSimd fold results stay host-independent.
   virtual unsigned lanes() const noexcept = 0;
 
   // True for the vectorized engines; drives stats().backend_simd_rows and
   // the row paths that only pay off when rows are vector-processed.
   virtual bool vectorized() const noexcept = 0;
+
+  // True for the runtime code-generation engine (docs/jit.md); lets callers
+  // and stats distinguish it from the fixed SIMD engines it falls back to.
+  virtual bool jit() const noexcept { return false; }
 
   // -- element-parallel row primitives (bit-identical across backends) ------
 
@@ -87,6 +94,23 @@ class Backend {
   virtual void accumulate_row(const double* c, const double* uc,
                               const double* u1, const double* u2, double* out,
                               extent_t lo, extent_t hi) const = 0;
+
+  // One fused kPlanes output row: the plane_sums over the eight neighbour
+  // rows of centre row `uc` followed by the per-point combine (or
+  // accumulate) into out[lo, hi) — the exact two-call sequence the planes
+  // stencil engine used to issue, exposed as a single primitive so an
+  // engine can fuse the two passes (the JIT backend generates one-pass row
+  // kernels for it, docs/jit.md).  The default composes this engine's own
+  // plane_sums and combine_row/accumulate_row through the caller's u1/u2
+  // scratch (each readable on [0, n)); overrides must stay bit-identical to
+  // that composition and may leave the scratch untouched.
+  virtual void stencil_row(const double* c, const double* uc,
+                           const double* im, const double* ip,
+                           const double* jm, const double* jp,
+                           const double* imm, const double* imp,
+                           const double* ipm, const double* ipp, double* u1,
+                           double* u2, double* out, extent_t lo, extent_t hi,
+                           extent_t n, bool accumulate) const;
 
   // Fused ewise combines (the EwiseBinaryExpr row pass-through, expr.hpp):
   // for k in [lo, hi), out[k] = a[k] <op> out[k].
@@ -121,13 +145,17 @@ class Backend {
 };
 
 // The engine a BackendKind resolves to on this host: kScalar and
-// kSimdPortable are fixed; kSimd picks AVX2 when the CPU supports it
-// (checked once) and the portable 4-wide engine otherwise.  Always returns
-// a live singleton.
+// kSimdPortable are fixed; kSimd picks the widest vector engine the CPU
+// supports (AVX-512, then AVX2, then the portable 4-wide engine — checked
+// once); kJit is the code-generating engine, which itself falls back to
+// the resolved kSimd engine per row until a kernel is compiled.  Always
+// returns a live singleton.
 const Backend& backend_for(BackendKind kind);
 
-// Whether this process can run the AVX2 engine (cached CPUID probe).
+// Whether this process can run the AVX2 / AVX-512 engines (cached CPUID
+// probes).  cpu_has_avx512 requires the F+DQ+VL subset the engine uses.
 bool cpu_has_avx2() noexcept;
+bool cpu_has_avx512() noexcept;
 
 // The backend governing work on the calling thread: resolved from
 // active_config().backend, so per-job config snapshots (serve) and
@@ -137,13 +165,16 @@ inline const Backend& active_backend() noexcept {
 }
 
 namespace detail {
-// The singleton engines (backend_scalar.cpp / backend_simd.cpp).  Exposed
-// for the differential battery, which pins avx2 vs portable bit-for-bit
-// regardless of what kSimd resolves to.
+// The singleton engines (backend_scalar.cpp / backend_simd.cpp /
+// backend_jit.cpp).  Exposed for the differential battery, which pins the
+// vector engines against each other bit-for-bit regardless of what kSimd
+// resolves to.
 const Backend& scalar_backend() noexcept;
 const Backend& portable_backend() noexcept;
-// nullptr when the CPU lacks AVX2.
+// nullptr when the CPU lacks the instruction set.
 const Backend* avx2_backend() noexcept;
+const Backend* avx512_backend() noexcept;
+const Backend& jit_backend() noexcept;
 }  // namespace detail
 
 }  // namespace sacpp::sac

@@ -8,6 +8,7 @@
 // D1-D4) can quantify each one's contribution.
 
 #include <cstdint>
+#include <string>
 
 namespace sacpp::sac {
 
@@ -40,11 +41,29 @@ const char* stencil_mode_name(StencilMode mode);
 //  * kSimdPortable — the 4-wide portable fallback unconditionally, even on
 //    AVX2 hardware.  Exists so CI can exercise the no-AVX2 path everywhere
 //    and so the differential battery can pin AVX2 against it bit-for-bit.
-enum class BackendKind { kScalar, kSimd, kSimdPortable };
+//  * kJit — the runtime code-generation engine (docs/jit.md): row work is
+//    captured as a small expression IR, lowered to C++ specialised on the
+//    (coefficients, row length) pair, compiled with the host toolchain into
+//    a shared object and dlopen'd.  Rows whose kernel is still compiling —
+//    or whose compile failed because the host has no usable compiler — run
+//    on the kSimd engine; results are bit-identical either way.
+enum class BackendKind { kScalar, kSimd, kSimdPortable, kJit };
 
 // Canonical names used by SACPP_BACKEND / --backend / BENCH_mg:
-// "scalar" | "simd" | "simd-portable".
+// "scalar" | "simd" | "simd-portable" | "jit".
 const char* backend_name(BackendKind kind);
+
+// The backend registry: every selectable kind, in wire-byte order (the
+// serve protocol encodes BackendKind as this index).  CLI help text and
+// error messages enumerate this instead of hard-coding names, so a new
+// engine appears everywhere at once.
+inline constexpr BackendKind kAllBackendKinds[] = {
+    BackendKind::kScalar, BackendKind::kSimd, BackendKind::kSimdPortable,
+    BackendKind::kJit};
+
+// The canonical names of every registered backend joined with `sep`:
+// backend_names() == "scalar | simd | simd-portable | jit".
+std::string backend_names(const char* sep = " | ");
 
 struct SacConfig {
   // D1: with-loop folding.  When true, the high-level MG code composes lazy
@@ -176,7 +195,7 @@ SacConfig config_from_env();
 // (leaving `out` untouched) on anything else.
 bool parse_stencil_mode(const char* name, StencilMode* out);
 
-// Parse a backend name ("scalar" | "simd" | "simd-portable").  Returns false
+// Parse a backend name (any entry of backend_names()).  Returns false
 // (leaving `out` untouched) on anything else.
 bool parse_backend(const char* name, BackendKind* out);
 

@@ -220,10 +220,8 @@ class StencilExpr {
     const extent_t n2 = shp[2];
     if (k_lo < 1) out[0] = 0.0;
     if (k_hi > n2 - 1) out[n2 - 1] = 0.0;
-    sum_planes(st, i, j);
-    be_->combine_row(c_.c.data(), a_.data() + i * s0_ + j * s1_, st.u1(),
-                     st.u2(), out, std::max<extent_t>(k_lo, 1),
-                     std::min<extent_t>(k_hi, n2 - 1));
+    fused_row(st, i, j, out, std::max<extent_t>(k_lo, 1),
+              std::min<extent_t>(k_hi, n2 - 1), /*accumulate=*/false);
     st.rows += 1;
   }
 
@@ -235,10 +233,8 @@ class StencilExpr {
                       extent_t k_lo, extent_t k_hi) const {
     const Shape& shp = a_.shape();
     if (i < 1 || i >= shp[0] - 1 || j < 1 || j >= shp[1] - 1) return;
-    sum_planes(st, i, j);
-    be_->accumulate_row(c_.c.data(), a_.data() + i * s0_ + j * s1_, st.u1(),
-                        st.u2(), out, std::max<extent_t>(k_lo, 1),
-                        std::min<extent_t>(k_hi, shp[2] - 1));
+    fused_row(st, i, j, out, std::max<extent_t>(k_lo, 1),
+              std::min<extent_t>(k_hi, shp[2] - 1), /*accumulate=*/true);
     st.rows += 1;
   }
 
@@ -284,19 +280,23 @@ class StencilExpr {
   }
 
  private:
-  // The NPB u1/u2 plane sums for output row (i, j): u1[k] sums the four
+  // One fused output row (i, j): the NPB u1/u2 plane sums — u1[k] the four
   // class-1 neighbours in the i/j directions, u2[k] the four class-2
-  // diagonal rows.  The nine source rows are pairwise disjoint segments of
-  // the argument and the scratch is a separate block.  The loops live in
-  // the active Backend (docs/backends.md).
-  void sum_planes(PlaneScratch& st, extent_t i, extent_t j) const {
+  // diagonal rows — feeding the per-point combine, issued as the Backend's
+  // single stencil_row primitive so a fusing engine (the JIT) runs both
+  // passes in one kernel.  The nine source rows are pairwise disjoint
+  // segments of the argument and the scratch is a separate block
+  // (docs/backends.md, docs/jit.md).
+  void fused_row(PlaneScratch& st, extent_t i, extent_t j, double* out,
+                 extent_t k_lo, extent_t k_hi, bool accumulate) const {
     const double* c = a_.data() + i * s0_ + j * s1_;
     const double* im = c - s0_;
     const double* ip = c + s0_;
     const double* jm = c - s1_;
     const double* jp = c + s1_;
-    be_->plane_sums(im, ip, jm, jp, im - s1_, im + s1_, ip - s1_, ip + s1_,
-                    st.u1(), st.u2(), a_.shape().extent(2));
+    be_->stencil_row(c_.c.data(), c, im, ip, jm, jp, im - s1_, im + s1_,
+                     ip - s1_, ip + s1_, st.u1(), st.u2(), out, k_lo, k_hi,
+                     a_.shape().extent(2), accumulate);
   }
 
   Array<double> a_;

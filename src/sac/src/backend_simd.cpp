@@ -1,20 +1,26 @@
-// The kSimd engines: an AVX2 row engine plus the 4-wide portable fallback.
+// The kSimd engines: AVX-512 and AVX2 row engines plus the 4-wide portable
+// fallback.
 //
-// Both are compiled unconditionally — the AVX2 functions carry
-// __attribute__((target("avx2"))) so the translation unit builds at the
-// baseline -march, and backend.cpp dispatches at runtime via CPUID.  The
-// two engines are bit-identical to each other by construction:
+// All are compiled unconditionally — the vector functions carry
+// __attribute__((target("avx2"))) / target("avx512f,avx512dq,avx512vl") so
+// the translation unit builds at the baseline -march, and backend.cpp
+// dispatches at runtime via CPUID (widest first).  The engines are
+// bit-identical to each other by construction:
 //  * element-parallel primitives keep the scalar association order per
-//    element (so they are bit-identical to kScalar too);
-//  * folds use the same 4-lane structure (element lo+n lands in lane n%4,
-//    masked tail lanes contribute the neutral 0.0) and the same fixed
-//    horizontal combine ((l0+l1)+l2)+l3;
-//  * no FMA: the AVX2 code uses explicit mul/add intrinsics and the target
-//    attribute does not enable the FMA ISA, so the compiler cannot
-//    contract — kSimd results do not depend on the host CPU.
-// Tail handling is masked (maskload/maskstore), never a separate code
-// path: masked lanes are architecturally not accessed, so reading a
-// partial vector at the end of a row cannot fault or trip ASan.
+//    element (so they are bit-identical to kScalar too), whether they run
+//    4 or 8 lanes at a time;
+//  * folds use the same fixed 4-lane structure in every engine (element
+//    lo+n lands in lane n%4, masked tail lanes contribute the neutral 0.0)
+//    and the same horizontal combine ((l0+l1)+l2)+l3 — the AVX-512 engine
+//    deliberately folds through the portable 4-lane code rather than 8
+//    zmm lanes, so kSimd fold results do not depend on the host CPU;
+//  * no FMA: explicit mul/add intrinsics, and the build pins
+//    -ffp-contract=off on this file (AVX-512 brings zmm FMA into the ISA,
+//    so the target attribute alone would no longer prevent contraction).
+// Tail handling is masked (maskload/maskstore/AVX-512 mask registers),
+// never a separate code path: masked lanes are architecturally not
+// accessed, so reading a partial vector at the end of a row cannot fault
+// or trip ASan.
 
 #include <algorithm>
 #include <cmath>
@@ -23,6 +29,7 @@
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #define SACPP_HAVE_AVX2_TARGET 1
+#define SACPP_HAVE_AVX512_TARGET 1
 #endif
 
 #include "sacpp/sac/backend.hpp"
@@ -364,6 +371,152 @@ __attribute__((target("avx2"))) double max_abs_row_avx2(double acc,
 
 #endif  // SACPP_HAVE_AVX2_TARGET
 
+#ifdef SACPP_HAVE_AVX512_TARGET
+
+// -- AVX-512 kernels ---------------------------------------------------------
+//
+// 8-wide versions of the element-parallel primitives only.  Folds are NOT
+// widened: the backend contract fixes the 4-lane fold structure, so the
+// AVX-512 engine routes sum_sq/max_abs through the portable code.
+
+#define SACPP_AVX512_TARGET \
+  __attribute__((target("avx512f,avx512dq,avx512vl")))
+
+// Mask with the low `r` lanes live (r in [1, 7]).
+SACPP_AVX512_TARGET inline __mmask8 tail_mask8(extent_t r) {
+  return static_cast<__mmask8>((1u << r) - 1u);
+}
+
+SACPP_AVX512_TARGET void fill_row_avx512(double* out, extent_t lo,
+                                         extent_t hi, double v) {
+  const __m512d vv = _mm512_set1_pd(v);
+  extent_t k = lo;
+  for (; k + 8 <= hi; k += 8) _mm512_storeu_pd(out + k, vv);
+  if (k < hi) _mm512_mask_storeu_pd(out + k, tail_mask8(hi - k), vv);
+}
+
+SACPP_AVX512_TARGET void plane_sums_avx512(
+    const double* im, const double* ip, const double* jm, const double* jp,
+    const double* imm, const double* imp, const double* ipm,
+    const double* ipp, double* u1, double* u2, extent_t n) {
+  extent_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512d s1 = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(_mm512_loadu_pd(im + k),
+                                    _mm512_loadu_pd(ip + k)),
+                      _mm512_loadu_pd(jm + k)),
+        _mm512_loadu_pd(jp + k));
+    const __m512d s2 = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(_mm512_loadu_pd(imm + k),
+                                    _mm512_loadu_pd(imp + k)),
+                      _mm512_loadu_pd(ipm + k)),
+        _mm512_loadu_pd(ipp + k));
+    _mm512_storeu_pd(u1 + k, s1);
+    _mm512_storeu_pd(u2 + k, s2);
+  }
+  if (k < n) {
+    const __mmask8 m = tail_mask8(n - k);
+    const __m512d s1 = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(_mm512_maskz_loadu_pd(m, im + k),
+                                    _mm512_maskz_loadu_pd(m, ip + k)),
+                      _mm512_maskz_loadu_pd(m, jm + k)),
+        _mm512_maskz_loadu_pd(m, jp + k));
+    const __m512d s2 = _mm512_add_pd(
+        _mm512_add_pd(_mm512_add_pd(_mm512_maskz_loadu_pd(m, imm + k),
+                                    _mm512_maskz_loadu_pd(m, imp + k)),
+                      _mm512_maskz_loadu_pd(m, ipm + k)),
+        _mm512_maskz_loadu_pd(m, ipp + k));
+    _mm512_mask_storeu_pd(u1 + k, m, s1);
+    _mm512_mask_storeu_pd(u2 + k, m, s2);
+  }
+}
+
+// Same per-element association as combine_block, eight lanes at a time.
+SACPP_AVX512_TARGET inline __m512d combine_block_avx512(
+    const __m512d c0, const __m512d c1, const __m512d c2, const __m512d c3,
+    const __m512d uck, const __m512d ucm, const __m512d ucp,
+    const __m512d u1k, const __m512d u1m, const __m512d u1p,
+    const __m512d u2k, const __m512d u2m, const __m512d u2p) {
+  const __m512d t1 = _mm512_add_pd(_mm512_add_pd(u1k, ucm), ucp);
+  const __m512d t2 = _mm512_add_pd(_mm512_add_pd(u2k, u1m), u1p);
+  const __m512d t3 = _mm512_add_pd(u2m, u2p);
+  return _mm512_add_pd(
+      _mm512_add_pd(_mm512_add_pd(_mm512_mul_pd(c0, uck),
+                                  _mm512_mul_pd(c1, t1)),
+                    _mm512_mul_pd(c2, t2)),
+      _mm512_mul_pd(c3, t3));
+}
+
+SACPP_AVX512_TARGET void combine_row_avx512(
+    const double* c, const double* uc, const double* u1, const double* u2,
+    double* out, extent_t lo, extent_t hi, bool accumulate) {
+  const __m512d c0 = _mm512_set1_pd(c[0]);
+  const __m512d c1 = _mm512_set1_pd(c[1]);
+  const __m512d c2 = _mm512_set1_pd(c[2]);
+  const __m512d c3 = _mm512_set1_pd(c[3]);
+  extent_t k = lo;
+  for (; k + 8 <= hi; k += 8) {
+    const __m512d r = combine_block_avx512(
+        c0, c1, c2, c3, _mm512_loadu_pd(uc + k), _mm512_loadu_pd(uc + k - 1),
+        _mm512_loadu_pd(uc + k + 1), _mm512_loadu_pd(u1 + k),
+        _mm512_loadu_pd(u1 + k - 1), _mm512_loadu_pd(u1 + k + 1),
+        _mm512_loadu_pd(u2 + k), _mm512_loadu_pd(u2 + k - 1),
+        _mm512_loadu_pd(u2 + k + 1));
+    if (accumulate) {
+      _mm512_storeu_pd(out + k, _mm512_add_pd(_mm512_loadu_pd(out + k), r));
+    } else {
+      _mm512_storeu_pd(out + k, r);
+    }
+  }
+  if (k < hi) {
+    const __mmask8 m = tail_mask8(hi - k);
+    const __m512d r = combine_block_avx512(
+        c0, c1, c2, c3, _mm512_maskz_loadu_pd(m, uc + k),
+        _mm512_maskz_loadu_pd(m, uc + k - 1),
+        _mm512_maskz_loadu_pd(m, uc + k + 1),
+        _mm512_maskz_loadu_pd(m, u1 + k),
+        _mm512_maskz_loadu_pd(m, u1 + k - 1),
+        _mm512_maskz_loadu_pd(m, u1 + k + 1),
+        _mm512_maskz_loadu_pd(m, u2 + k),
+        _mm512_maskz_loadu_pd(m, u2 + k - 1),
+        _mm512_maskz_loadu_pd(m, u2 + k + 1));
+    if (accumulate) {
+      _mm512_mask_storeu_pd(
+          out + k, m,
+          _mm512_add_pd(_mm512_maskz_loadu_pd(m, out + k), r));
+    } else {
+      _mm512_mask_storeu_pd(out + k, m, r);
+    }
+  }
+}
+
+SACPP_AVX512_TARGET void ewise_into_row_avx512(const double* a, double* out,
+                                               extent_t lo, extent_t hi,
+                                               int op) {
+  extent_t k = lo;
+  for (; k + 8 <= hi; k += 8) {
+    const __m512d av = _mm512_loadu_pd(a + k);
+    const __m512d ov = _mm512_loadu_pd(out + k);
+    const __m512d r = op == 0   ? _mm512_add_pd(av, ov)
+                      : op == 1 ? _mm512_sub_pd(av, ov)
+                                : _mm512_mul_pd(av, ov);
+    _mm512_storeu_pd(out + k, r);
+  }
+  if (k < hi) {
+    const __mmask8 m = tail_mask8(hi - k);
+    const __m512d av = _mm512_maskz_loadu_pd(m, a + k);
+    const __m512d ov = _mm512_maskz_loadu_pd(m, out + k);
+    const __m512d r = op == 0   ? _mm512_add_pd(av, ov)
+                      : op == 1 ? _mm512_sub_pd(av, ov)
+                                : _mm512_mul_pd(av, ov);
+    _mm512_mask_storeu_pd(out + k, m, r);
+  }
+}
+
+#undef SACPP_AVX512_TARGET
+
+#endif  // SACPP_HAVE_AVX512_TARGET
+
 // -- engines -----------------------------------------------------------------
 
 class PortableSimdBackend final : public Backend {
@@ -490,6 +643,72 @@ class Avx2Backend final : public Backend {
 
 #endif  // SACPP_HAVE_AVX2_TARGET
 
+#ifdef SACPP_HAVE_AVX512_TARGET
+
+class Avx512Backend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "avx512"; }
+  unsigned lanes() const noexcept override { return 8; }
+  bool vectorized() const noexcept override { return true; }
+
+  void fill_row(double* out, extent_t lo, extent_t hi,
+                double v) const override {
+    fill_row_avx512(out, lo, hi, v);
+  }
+  void copy_row(double* out, const double* src, extent_t lo,
+                extent_t hi) const override {
+    copy_row_generic(out, src, lo, hi);
+  }
+  void plane_sums(const double* im, const double* ip, const double* jm,
+                  const double* jp, const double* imm, const double* imp,
+                  const double* ipm, const double* ipp, double* u1,
+                  double* u2, extent_t n) const override {
+    plane_sums_avx512(im, ip, jm, jp, imm, imp, ipm, ipp, u1, u2, n);
+  }
+  void combine_row(const double* c, const double* uc, const double* u1,
+                   const double* u2, double* out, extent_t lo,
+                   extent_t hi) const override {
+    combine_row_avx512(c, uc, u1, u2, out, lo, hi, /*accumulate=*/false);
+  }
+  void accumulate_row(const double* c, const double* uc, const double* u1,
+                      const double* u2, double* out, extent_t lo,
+                      extent_t hi) const override {
+    combine_row_avx512(c, uc, u1, u2, out, lo, hi, /*accumulate=*/true);
+  }
+  void add_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    ewise_into_row_avx512(a, out, lo, hi, 0);
+  }
+  void sub_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    ewise_into_row_avx512(a, out, lo, hi, 1);
+  }
+  void mul_into_row(const double* a, double* out, extent_t lo,
+                    extent_t hi) const override {
+    ewise_into_row_avx512(a, out, lo, hi, 2);
+  }
+  void gather_row(double* out, const double* src, extent_t stride,
+                  extent_t n) const override {
+    gather_row_generic(out, src, stride, n);
+  }
+  void scatter_row(double* out, extent_t stride, const double* src,
+                   extent_t n) const override {
+    scatter_row_generic(out, stride, src, n);
+  }
+  // Folds stay 4-lane (header contract): delegate to the portable shape so
+  // norms do not change when dispatch picks this engine over avx2.
+  double sum_sq_row(double acc, const double* p, extent_t lo,
+                    extent_t hi) const override {
+    return sum_sq_row_portable(acc, p, lo, hi);
+  }
+  double max_abs_row(double acc, const double* p, extent_t lo,
+                     extent_t hi) const override {
+    return max_abs_row_portable(acc, p, lo, hi);
+  }
+};
+
+#endif  // SACPP_HAVE_AVX512_TARGET
+
 }  // namespace
 
 namespace detail {
@@ -503,6 +722,16 @@ const Backend* avx2_backend() noexcept {
 #ifdef SACPP_HAVE_AVX2_TARGET
   if (!cpu_has_avx2()) return nullptr;
   static const Avx2Backend be;
+  return &be;
+#else
+  return nullptr;
+#endif
+}
+
+const Backend* avx512_backend() noexcept {
+#ifdef SACPP_HAVE_AVX512_TARGET
+  if (!cpu_has_avx512()) return nullptr;
+  static const Avx512Backend be;
   return &be;
 #else
   return nullptr;

@@ -39,22 +39,31 @@ const char* backend_name(BackendKind kind) {
     case BackendKind::kScalar: return "scalar";
     case BackendKind::kSimd: return "simd";
     case BackendKind::kSimdPortable: return "simd-portable";
+    case BackendKind::kJit: return "jit";
   }
   return "scalar";
 }
 
+// Parsing walks the registry rather than repeating the strings, so the
+// accepted set, the canonical names and the CLI help text cannot drift.
 bool parse_backend(const char* name, BackendKind* out) {
   if (name == nullptr || out == nullptr) return false;
-  if (std::strcmp(name, "scalar") == 0) {
-    *out = BackendKind::kScalar;
-  } else if (std::strcmp(name, "simd") == 0) {
-    *out = BackendKind::kSimd;
-  } else if (std::strcmp(name, "simd-portable") == 0) {
-    *out = BackendKind::kSimdPortable;
-  } else {
-    return false;
+  for (BackendKind kind : kAllBackendKinds) {
+    if (std::strcmp(name, backend_name(kind)) == 0) {
+      *out = kind;
+      return true;
+    }
   }
-  return true;
+  return false;
+}
+
+std::string backend_names(const char* sep) {
+  std::string joined;
+  for (BackendKind kind : kAllBackendKinds) {
+    if (!joined.empty()) joined += sep;
+    joined += backend_name(kind);
+  }
+  return joined;
 }
 
 SacConfig config_from_env() {
@@ -115,6 +124,21 @@ void collect_stats(obs::MetricSink& sink) {
   sink.counter("sacpp_backend_simd_rows_total",
                static_cast<double>(st.backend_simd_rows),
                "rows dispatched through a vectorized backend row primitive");
+  sink.counter("sacpp_jit_kernel_calls_total",
+               static_cast<double>(st.jit_kernel_calls),
+               "row primitive calls served by a compiled JIT kernel");
+  sink.counter("sacpp_jit_fallback_calls_total",
+               static_cast<double>(st.jit_fallback_calls),
+               "JIT row calls that ran on the fallback SIMD engine");
+  sink.counter("sacpp_jit_compiles_total",
+               static_cast<double>(st.jit_compiles),
+               "JIT kernels compiled by the host toolchain");
+  sink.counter("sacpp_jit_compile_fails_total",
+               static_cast<double>(st.jit_compile_fails),
+               "JIT kernel compiles that failed (engine degrades to simd)");
+  sink.counter("sacpp_jit_disk_hits_total",
+               static_cast<double>(st.jit_disk_hits),
+               "JIT kernels served from the SACPP_JIT_CACHE_DIR disk cache");
   // Which row engine the process-wide default resolves to right now: the
   // vector width (1 = scalar, 4 = simd), so dashboards can tell a scalar
   // serving fleet from a vectorized one at a glance.

@@ -349,7 +349,7 @@ bool decode_request(std::span<const std::uint8_t> frame, SolveRequest* out,
     return fail(error, "serve wire: request stencil mode " +
                            std::to_string(stencil) + " out of range");
   }
-  if (backend > static_cast<std::uint8_t>(sac::BackendKind::kSimdPortable)) {
+  if (backend > static_cast<std::uint8_t>(sac::BackendKind::kJit)) {
     return fail(error, "serve wire: request backend " +
                            std::to_string(backend) + " out of range");
   }

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Consolidate mg_cluster --json runs into BENCH_net.json.
+
+Usage:
+    net_consolidate.py SINGLE_JSON TWO_JSON TWO_NO_OVERLAP_JSON \
+        SCHEMA_JSON OUT_JSON
+
+Joins a 1-process class-A run, a 2-process run over loopback TCP, and a
+2-process run with halo/compute overlap disabled into one artifact:
+
+  * speedup  = single.seconds / two_proc.seconds, gated on a core-scaled
+    floor (the acceptance target assumes >= 2 hardware threads; on a
+    single-core host two processes time-slice one CPU, so the floor drops
+    to a bounded-overhead check: the wire must not cost more than ~30%).
+  * overlap_ratio = no_overlap.seconds / overlap.seconds; overlapping the
+    halo exchange with interior compute must never cost more than ~15%
+    (on multi-core hosts it must win outright).
+  * norms: the 2-process final norm must match the single-process one to
+    1e-12 relative -- a fast wrong answer is a failure, not a result.
+
+Validates against bench/net_schema.json and refuses to write the artifact
+when any gate fails.  Stdlib only; the JSON-Schema subset validator is
+shared with obs_consolidate.py.
+"""
+
+import json
+import os
+import sys
+
+from obs_consolidate import validate
+
+
+def speedup_gate(cores):
+    """Core-scaled 2-process speedup floor (mirrors serve_bench)."""
+    if cores >= 8:
+        return 1.5
+    if cores >= 4:
+        return 1.3
+    if cores >= 2:
+        return 1.15
+    return 0.70  # one core: the wire may not cost more than ~30%
+
+
+def overlap_gate(cores):
+    """Overlap-on vs overlap-off floor: >1 demands an outright win."""
+    if cores >= 2:
+        return 1.0
+    return 0.85  # one core: overlap must not cost more than ~15%
+
+
+def main(argv):
+    if len(argv) != 6:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    single_path, two_path, no_overlap_path, schema_path, out_path = argv[1:6]
+    with open(single_path) as f:
+        single = json.load(f)
+    with open(two_path) as f:
+        two = json.load(f)
+    with open(no_overlap_path) as f:
+        no_overlap = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    for name, run, ranks, overlap in (("single", single, 1, True),
+                                      ("two_proc", two, 2, True),
+                                      ("no_overlap", no_overlap, 2, False)):
+        if run.get("ranks") != ranks or run.get("overlap") != overlap:
+            print(f"net_consolidate: {name} run is ranks="
+                  f"{run.get('ranks')} overlap={run.get('overlap')}, "
+                  f"expected ranks={ranks} overlap={overlap}",
+                  file=sys.stderr)
+            return 1
+    if not (single["class"] == two["class"] == no_overlap["class"]
+            and single["nit"] == two["nit"] == no_overlap["nit"]):
+        print("net_consolidate: runs disagree on class/nit", file=sys.stderr)
+        return 1
+
+    cores = os.cpu_count() or 1
+    speedup = single["seconds"] / max(two["seconds"], 1e-12)
+    s_gate = speedup_gate(cores)
+    ratio = no_overlap["seconds"] / max(two["seconds"], 1e-12)
+    o_gate = overlap_gate(cores)
+    norm_err = (abs(single["final_norm"] - two["final_norm"])
+                / max(abs(single["final_norm"]), 1e-300))
+
+    summary = {
+        "run": {"class": two["class"], "nit": two["nit"]},
+        "host": {"hw_threads": cores},
+        "single": {"seconds": single["seconds"],
+                   "final_norm": single["final_norm"]},
+        "two_proc": {"seconds": two["seconds"],
+                     "final_norm": two["final_norm"],
+                     "bytes_sent": two["bytes_sent"],
+                     "bytes_received": two["bytes_received"],
+                     "messages": two["messages"]},
+        "two_proc_no_overlap": {"seconds": no_overlap["seconds"]},
+        "speedup": speedup,
+        "speedup_gate": s_gate,
+        "speedup_ok": speedup >= s_gate,
+        "overlap_ratio": ratio,
+        "overlap_gate": o_gate,
+        "overlap_ok": ratio >= o_gate,
+        "max_norm_rel_err": norm_err,
+        "norms_ok": norm_err <= 1e-12,
+    }
+    summary["ok"] = (summary["speedup_ok"] and summary["overlap_ok"]
+                     and summary["norms_ok"])
+
+    errors = validate(summary, schema)
+    if errors:
+        for err in errors:
+            print(f"net_consolidate: {err}", file=sys.stderr)
+        return 1
+    if not summary["ok"]:
+        print(f"net_consolidate: gates failed "
+              f"(speedup {speedup:.3f} vs floor {s_gate} on {cores} "
+              f"core(s): {summary['speedup_ok']}, overlap ratio "
+              f"{ratio:.3f} vs floor {o_gate}: {summary['overlap_ok']}, "
+              f"norm rel err {norm_err:.3e}: {summary['norms_ok']}); "
+              f"refusing to write the artifact", file=sys.stderr)
+        return 1
+
+    with open(out_path, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"net_consolidate: wrote {out_path} "
+          f"(2-process speedup {speedup:.3f} on {cores} core(s), "
+          f"overlap ratio {ratio:.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

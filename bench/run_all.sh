@@ -136,6 +136,26 @@ run trace_consolidate python3 "$(dirname "$0")/trace_consolidate.py" \
   "$OUT/trace_off_W_1.txt" "$OUT/trace_off_W_2.txt" \
   "$OUT/trace_on_W_1.txt" "$OUT/trace_on_W_2.txt"
 
+# Distributed artifact: class A over real sockets (examples/mg_cluster forks
+# one OS process per rank and wires them with sacpp_net over loopback TCP).
+# One single-process baseline, one 2-process run (--verify re-checks the
+# norms against an in-process world at 1e-12), and one 2-process run with
+# halo/compute overlap disabled.  The consolidator gates the 2-process
+# speedup on a core-scaled floor (single-core hosts time-slice both ranks on
+# one CPU, so they get a bounded-overhead floor instead), demands overlap
+# never lose more than the floor allows, and refuses to write BENCH_net.json
+# when the distributed norms drift past 1e-12.
+run net_single "$BUILD/examples/mg_cluster" --ranks 1 --class A \
+  --json "$OUT/net_single.json"
+run net_two "$BUILD/examples/mg_cluster" --ranks 2 --class A --verify \
+  --json "$OUT/net_two.json"
+run net_two_no_overlap "$BUILD/examples/mg_cluster" --ranks 2 --class A \
+  --no-overlap --json "$OUT/net_two_no_overlap.json"
+run net_consolidate python3 "$(dirname "$0")/net_consolidate.py" \
+  "$OUT/net_single.json" "$OUT/net_two.json" \
+  "$OUT/net_two_no_overlap.json" \
+  "$(dirname "$0")/net_schema.json" "$OUT/BENCH_net.json"
+
 echo
 if [[ ${#FAILED[@]} -ne 0 ]]; then
   echo "FAILED: ${FAILED[*]}" >&2

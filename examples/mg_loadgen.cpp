@@ -33,6 +33,7 @@
 #include "sacpp/common/cli.hpp"
 #include "sacpp/common/table.hpp"
 #include "sacpp/mg/driver.hpp"
+#include "sacpp/net/codec.hpp"
 #include "sacpp/obs/obs.hpp"
 #include "sacpp/obs/trace.hpp"
 #include "sacpp/serve/server.hpp"
@@ -127,20 +128,9 @@ void print_tally(const Tally& tally, double offered_rate) {
   }
 }
 
-// ---------------------------------------------------------------------------
-// Connect-mode plumbing (same reader as mg_server's client side)
-// ---------------------------------------------------------------------------
-
-bool write_all(int fd, const std::vector<std::uint8_t>& bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+// Connect-mode plumbing (writes and frame reassembly) comes from the shared
+// codec in sacpp/net/codec.hpp — the same one mg_server and the socket
+// transport use.
 
 // Stitching report over the retained traces: how many validate into one
 // well-formed tree, and how much of each completed request's e2e the
@@ -353,33 +343,28 @@ int main(int argc, char** argv) {
     std::vector<serve::SolveResult> results;
     results.reserve(n);
     std::thread reader([fd, n, &results] {
-      std::vector<std::uint8_t> buffer;
+      net::FdFrameReader frames(fd, serve::kMaxFrameBytes);
       std::vector<std::uint8_t> frame;
+      std::string stream_error;
       while (results.size() < n) {
-        const std::size_t size = serve::frame_size(buffer);
-        if (size != 0) {
-          frame.assign(buffer.begin(),
-                       buffer.begin() + static_cast<std::ptrdiff_t>(size));
-          buffer.erase(buffer.begin(),
-                       buffer.begin() + static_cast<std::ptrdiff_t>(size));
-          serve::SolveResult res;
-          std::string error;
-          if (!serve::decode_result(frame, &res, &error)) {
-            std::fprintf(stderr, "mg_loadgen: %s\n", error.c_str());
-            return;
+        if (!frames.next(&frame, &stream_error)) {
+          if (!stream_error.empty()) {
+            std::fprintf(stderr, "mg_loadgen: %s\n", stream_error.c_str());
           }
-          results.push_back(std::move(res));
-          continue;
+          return;
         }
-        std::uint8_t chunk[4096];
-        const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
-        if (got <= 0) return;
-        buffer.insert(buffer.end(), chunk, chunk + got);
+        serve::SolveResult res;
+        std::string error;
+        if (!serve::decode_result(frame, &res, &error)) {
+          std::fprintf(stderr, "mg_loadgen: %s\n", error.c_str());
+          return;
+        }
+        results.push_back(std::move(res));
       }
     });
     for (std::size_t i = 0; i < n; ++i) {
       std::this_thread::sleep_until(at(i));
-      if (!write_all(fd, serve::encode_request(requests[i]))) {
+      if (!net::write_all(fd, serve::encode_request(requests[i]))) {
         std::fprintf(stderr, "mg_loadgen: server went away mid-send\n");
         break;
       }

@@ -31,6 +31,7 @@
 
 #include "sacpp/check/diagnostics.hpp"
 #include "sacpp/common/cli.hpp"
+#include "sacpp/net/codec.hpp"
 #include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
 #include "sacpp/obs/trace.hpp"
@@ -54,39 +55,10 @@ void on_signal(int) {
   if (fd >= 0) ::close(fd);
 }
 
-bool write_all(int fd, const std::vector<std::uint8_t>& bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-// Accumulates stream bytes and peels complete frames off the front.
-struct FrameReader {
-  int fd;
-  std::vector<std::uint8_t> buffer;
-
-  bool next(std::vector<std::uint8_t>* frame) {
-    for (;;) {
-      const std::size_t size = serve::frame_size(buffer);
-      if (size != 0) {
-        frame->assign(buffer.begin(),
-                      buffer.begin() + static_cast<std::ptrdiff_t>(size));
-        buffer.erase(buffer.begin(),
-                     buffer.begin() + static_cast<std::ptrdiff_t>(size));
-        return true;
-      }
-      std::uint8_t chunk[4096];
-      const ssize_t got = ::recv(fd, chunk, sizeof chunk, 0);
-      if (got <= 0) return false;  // clean close or error: connection done
-      buffer.insert(buffer.end(), chunk, chunk + got);
-    }
-  }
-};
+// Frame reassembly and blocking writes come from the shared codec
+// (sacpp/net/codec.hpp) — the same implementation the socket transport
+// uses.  The strict policy means a lying length prefix ends the stream with
+// a diagnostic instead of a clamped frame that fails to decode.
 
 // One connection: a reader streaming requests into the service and a writer
 // sending results back in request order (responses pipeline behind slower
@@ -113,14 +85,15 @@ void serve_connection(int fd, serve::SolverService& service) {
       // while the client is reachable.
       serve::SolveResult result = next.get();
       if (client_alive) {
-        client_alive = write_all(fd, serve::encode_result(result));
+        client_alive = net::write_all(fd, serve::encode_result(result));
       }
     }
   });
 
-  FrameReader reader{fd, {}};
+  net::FdFrameReader reader(fd, serve::kMaxFrameBytes);
   std::vector<std::uint8_t> frame;
-  while (!g_stop.load() && reader.next(&frame)) {
+  std::string stream_error;
+  while (!g_stop.load() && reader.next(&frame, &stream_error)) {
     serve::SolveRequest request;
     std::string error;
     if (!serve::decode_request(frame, &request, &error)) {
@@ -143,6 +116,19 @@ void serve_connection(int fd, serve::SolverService& service) {
       pending.push_back(service.submit(request));
     }
     cv.notify_all();
+  }
+  if (!stream_error.empty()) {
+    // A lying length prefix (or EOF mid-frame) has no trustworthy resync
+    // point; answer with an in-band error and drop the connection.
+    std::fprintf(stderr, "mg_server: dropping connection: %s\n",
+                 stream_error.c_str());
+    serve::SolveResult bad;
+    bad.status = serve::SolveStatus::kError;
+    bad.error = stream_error;
+    std::promise<serve::SolveResult> ready;
+    ready.set_value(std::move(bad));
+    std::lock_guard<std::mutex> lock(mutex);
+    pending.push_back(ready.get_future());
   }
   {
     std::lock_guard<std::mutex> lock(mutex);
@@ -215,9 +201,9 @@ int run_selftest(serve::SolverService& service, int listen_fd, int port) {
       req.id = static_cast<std::uint64_t>(100 + i);
       req.priority =
           i == 0 ? serve::Priority::kHigh : serve::Priority::kNormal;
-      if (!write_all(fd, serve::encode_request(req))) std::exit(1);
+      if (!net::write_all(fd, serve::encode_request(req))) std::exit(1);
     }
-    FrameReader reader{fd, {}};
+    net::FdFrameReader reader(fd, serve::kMaxFrameBytes);
     std::vector<std::uint8_t> frame;
     for (int i = 0; i < kRequests; ++i) {
       if (!reader.next(&frame)) {

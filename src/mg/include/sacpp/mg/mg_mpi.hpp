@@ -17,7 +17,16 @@
 // tests assert ≤1e-12 relative agreement for 1, 2 and 4 ranks.
 //
 // Runs on the in-process message-passing world (src/msg) — ranks are
-// threads with disjoint data communicating only through Comm.
+// threads with disjoint data communicating only through Comm — or, via
+// run_rank, on any Comm a caller provides, including one rank of a
+// socket-backed world (examples/mg_cluster.cpp, docs/net.md), where the
+// same program spans OS processes.
+//
+// With `overlap_halo` (the default) the smoother and residual sweeps
+// compute their boundary planes first, post the halo exchange, and overlap
+// the interior planes with the in-flight communication.  Plane updates are
+// independent, so the overlapped schedule is bitwise identical to the
+// post-sweep exchange — only the timing changes.
 
 #include <vector>
 
@@ -36,19 +45,28 @@ class MgMpi {
   };
 
   // ranks must be a power of two with 2 * ranks <= nx.
-  MgMpi(const MgSpec& spec, int ranks);
+  MgMpi(const MgSpec& spec, int ranks, bool overlap_halo = true);
 
   const MgSpec& spec() const { return spec_; }
   int ranks() const { return ranks_; }
+  bool overlap_halo() const { return overlap_halo_; }
 
-  // Execute the full benchmark SPMD: setup, optional untimed warm-up
-  // iteration, `nit` timed iterations of (V-cycle + residual), per-
-  // iteration norms via allreduce.
+  // Execute the full benchmark SPMD on an in-process world: setup, optional
+  // untimed warm-up iteration, `nit` timed iterations of (V-cycle +
+  // residual), per-iteration norms via allreduce.
   Result run(int nit, bool warmup = true) const;
+
+  // One rank's share of the same program on a caller-provided communicator
+  // (a transport-bound world's single local rank, or one thread of an
+  // in-process world).  comm.size() must equal ranks().  Every rank returns
+  // the norms and timing (they are allreduced anyway); `comm` stats are the
+  // caller's to collect from its world.
+  Result run_rank(msg::Comm& comm, int nit, bool warmup = true) const;
 
  private:
   MgSpec spec_;
   int ranks_;
+  bool overlap_halo_;
 };
 
 }  // namespace sacpp::mg

@@ -51,10 +51,11 @@ struct Slab {
 // Per-rank solver state and kernels.
 class RankSolver {
  public:
-  RankSolver(const MgSpec& spec, msg::Comm& comm)
+  RankSolver(const MgSpec& spec, msg::Comm& comm, bool overlap_halo)
       : spec_(spec),
         comm_(comm),
         ranks_(comm.size()),
+        overlap_(overlap_halo),
         lt_(spec.levels()),
         kd_(std::max(ceil_log2(comm.size()), kLb)) {
     u_.resize(static_cast<std::size_t>(lt_) + 1);
@@ -163,116 +164,171 @@ class RankSolver {
 
   // -- communication -------------------------------------------------------
 
-  // Cyclic halo exchange along the decomposed axis: local plane 1 goes to
-  // the previous rank's high halo, local plane m to the next rank's low
-  // halo.  The NPB pattern: post both receives, send both planes, wait —
-  // non-blocking receives let the two directions overlap.  Tags separate
-  // concurrent exchanges per level/kind.
-  void exchange_planes(Slab& s, int tag) {
+  // In-flight halo exchange: the irecv pair waiting on both neighbour
+  // planes.  Requests are value handles; wait via end_exchange.
+  struct ExchangeHandles {
+    msg::Comm::Request high;
+    msg::Comm::Request low;
+  };
+
+  // Post the cyclic halo exchange along the decomposed axis: local plane 1
+  // goes to the previous rank's high halo, local plane m to the next rank's
+  // low halo.  The NPB pattern: post both receives, send both planes —
+  // buffered-asynchronous sends (a socket transport drains them on its
+  // event loop) let communication proceed while the caller computes.  Tags
+  // separate concurrent exchanges per level/kind.
+  ExchangeHandles begin_exchange(Slab& s, int tag) {
+    obs::ScopedSpan span(obs::SpanKind::kPhase, "halo_post", s.n);
     const int prev = (comm_.rank() + ranks_ - 1) % ranks_;
     const int next = (comm_.rank() + 1) % ranks_;
     const std::size_t pe = s.plane_elems();
     auto high_halo = comm_.irecv(next, tag, {s.plane(s.m + 1), pe});
     auto low_halo = comm_.irecv(prev, tag + 1, {s.plane(0), pe});
-    comm_.send(prev, tag, {s.plane(1), pe});      // low-going
-    comm_.send(next, tag + 1, {s.plane(s.m), pe});  // high-going
-    high_halo.wait();
-    low_halo.wait();
+    comm_.isend(prev, tag, {s.plane(1), pe});      // low-going
+    comm_.isend(next, tag + 1, {s.plane(s.m), pe});  // high-going
+    return {high_halo, low_halo};
   }
 
-  // Periodic borders of the non-decomposed axes, applied per owned plane in
-  // the serial comm3 order (axis 2 first, then axis 1), followed by the
-  // halo exchange — together equivalent to the serial comm3.
-  void comm3_slab(Slab& s, int tag) {
+  void end_exchange(ExchangeHandles& h, extent_t n) {
+    obs::ScopedSpan span(obs::SpanKind::kPhase, "halo_wait", n);
+    h.high.wait();
+    h.low.wait();
+  }
+
+  void exchange_planes(Slab& s, int tag) {
+    ExchangeHandles h = begin_exchange(s, tag);
+    end_exchange(h, s.n);
+  }
+
+  // Periodic borders of the non-decomposed axes of one owned plane, in the
+  // serial comm3 order (axis 2 first, then axis 1).
+  void apply_jk_borders(Slab& s, extent_t l) {
     const extent_t n = s.n;
-    for (extent_t l = 1; l <= s.m; ++l) {
-      double* p = s.plane(l);
-      for (extent_t j = 0; j < n; ++j) {
-        double* row = p + j * n;
-        row[0] = row[n - 2];
-        row[n - 1] = row[1];
-      }
-      std::memcpy(p, p + (n - 2) * n, static_cast<std::size_t>(n) * 8);
-      std::memcpy(p + (n - 1) * n, p + n, static_cast<std::size_t>(n) * 8);
+    double* p = s.plane(l);
+    for (extent_t j = 0; j < n; ++j) {
+      double* row = p + j * n;
+      row[0] = row[n - 2];
+      row[n - 1] = row[1];
     }
+    std::memcpy(p, p + (n - 2) * n, static_cast<std::size_t>(n) * 8);
+    std::memcpy(p + (n - 1) * n, p + n, static_cast<std::size_t>(n) * 8);
+  }
+
+  // Borders for every owned plane followed by the halo exchange — together
+  // equivalent to the serial comm3.
+  void comm3_slab(Slab& s, int tag) {
+    for (extent_t l = 1; l <= s.m; ++l) apply_jk_borders(s, l);
     exchange_planes(s, tag);
   }
 
   // -- kernels (reference arithmetic on slabs) ------------------------------
 
-  void resid_slab(const Slab& u, const Slab& v, Slab& r) {
-    obs::ScopedSpan span(obs::SpanKind::kKernel, "resid", u.n);
+  // One output plane of the residual; planes are independent (u and v are
+  // only read), which is what licenses the overlapped sweep below.
+  void resid_plane(const Slab& u, const Slab& v, Slab& r, extent_t l) {
     const double a0 = spec_.a[0], a2 = spec_.a[2], a3 = spec_.a[3];
     const extent_t n = u.n;
     std::vector<double> u1(static_cast<std::size_t>(n)),
         u2(static_cast<std::size_t>(n));
-    for (extent_t l = 1; l <= u.m; ++l) {
-      const double* um = u.plane(l - 1);
-      const double* uc = u.plane(l);
-      const double* up = u.plane(l + 1);
-      const double* vc = v.plane(l);
-      double* rc = r.plane(l);
-      for (extent_t j = 1; j < n - 1; ++j) {
-        const double* ucm = uc + (j - 1) * n;
-        const double* ucp = uc + (j + 1) * n;
-        const double* umr = um + j * n;
-        const double* upr = up + j * n;
-        for (extent_t k = 0; k < n; ++k) {
-          u1[static_cast<std::size_t>(k)] = ucm[k] + ucp[k] + umr[k] + upr[k];
-          u2[static_cast<std::size_t>(k)] =
-              um[(j - 1) * n + k] + um[(j + 1) * n + k] +
-              up[(j - 1) * n + k] + up[(j + 1) * n + k];
-        }
-        const double* ur = uc + j * n;
-        const double* vr = vc + j * n;
-        double* rr = rc + j * n;
-        for (extent_t k = 1; k < n - 1; ++k) {
-          rr[k] = vr[k] - a0 * ur[k] -
-                  a2 * (u2[static_cast<std::size_t>(k)] +
-                        u1[static_cast<std::size_t>(k - 1)] +
-                        u1[static_cast<std::size_t>(k + 1)]) -
-                  a3 * (u2[static_cast<std::size_t>(k - 1)] +
-                        u2[static_cast<std::size_t>(k + 1)]);
-        }
+    const double* um = u.plane(l - 1);
+    const double* uc = u.plane(l);
+    const double* up = u.plane(l + 1);
+    const double* vc = v.plane(l);
+    double* rc = r.plane(l);
+    for (extent_t j = 1; j < n - 1; ++j) {
+      const double* ucm = uc + (j - 1) * n;
+      const double* ucp = uc + (j + 1) * n;
+      const double* umr = um + j * n;
+      const double* upr = up + j * n;
+      for (extent_t k = 0; k < n; ++k) {
+        u1[static_cast<std::size_t>(k)] = ucm[k] + ucp[k] + umr[k] + upr[k];
+        u2[static_cast<std::size_t>(k)] =
+            um[(j - 1) * n + k] + um[(j + 1) * n + k] +
+            up[(j - 1) * n + k] + up[(j + 1) * n + k];
+      }
+      const double* ur = uc + j * n;
+      const double* vr = vc + j * n;
+      double* rr = rc + j * n;
+      for (extent_t k = 1; k < n - 1; ++k) {
+        rr[k] = vr[k] - a0 * ur[k] -
+                a2 * (u2[static_cast<std::size_t>(k)] +
+                      u1[static_cast<std::size_t>(k - 1)] +
+                      u1[static_cast<std::size_t>(k + 1)]) -
+                a3 * (u2[static_cast<std::size_t>(k - 1)] +
+                      u2[static_cast<std::size_t>(k + 1)]);
       }
     }
+  }
+
+  void resid_slab(const Slab& u, const Slab& v, Slab& r) {
+    obs::ScopedSpan span(obs::SpanKind::kKernel, "resid", u.n);
+    if (overlap_ && r.m >= 2) {
+      // Boundary planes first: they are all the neighbours need, so the
+      // exchange flies while the interior planes compute.  Identical
+      // arithmetic per plane, only the schedule differs.
+      resid_plane(u, v, r, 1);
+      resid_plane(u, v, r, r.m);
+      apply_jk_borders(r, 1);
+      apply_jk_borders(r, r.m);
+      ExchangeHandles h = begin_exchange(r, 10);
+      for (extent_t l = 2; l < r.m; ++l) resid_plane(u, v, r, l);
+      for (extent_t l = 2; l < r.m; ++l) apply_jk_borders(r, l);
+      end_exchange(h, r.n);
+      return;
+    }
+    for (extent_t l = 1; l <= u.m; ++l) resid_plane(u, v, r, l);
     comm3_slab(r, 10);
   }
 
-  void psinv_slab(const Slab& r, Slab& u) {
-    obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv", r.n);
+  // One output plane of the smoother.  Reads r planes l-1..l+1, writes only
+  // u plane l, so the planes of a sweep are mutually independent.
+  void psinv_plane(const Slab& r, Slab& u, extent_t l) {
     const double c0 = spec_.s[0], c1 = spec_.s[1], c2 = spec_.s[2];
     const extent_t n = r.n;
     std::vector<double> r1(static_cast<std::size_t>(n)),
         r2(static_cast<std::size_t>(n));
-    for (extent_t l = 1; l <= r.m; ++l) {
-      const double* rm = r.plane(l - 1);
-      const double* rc = r.plane(l);
-      const double* rp = r.plane(l + 1);
-      double* uc = u.plane(l);
-      for (extent_t j = 1; j < n - 1; ++j) {
-        const double* rcm = rc + (j - 1) * n;
-        const double* rcp = rc + (j + 1) * n;
-        const double* rmr = rm + j * n;
-        const double* rpr = rp + j * n;
-        for (extent_t k = 0; k < n; ++k) {
-          r1[static_cast<std::size_t>(k)] = rcm[k] + rcp[k] + rmr[k] + rpr[k];
-          r2[static_cast<std::size_t>(k)] =
-              rm[(j - 1) * n + k] + rm[(j + 1) * n + k] +
-              rp[(j - 1) * n + k] + rp[(j + 1) * n + k];
-        }
-        const double* rr = rc + j * n;
-        double* ur = uc + j * n;
-        for (extent_t k = 1; k < n - 1; ++k) {
-          ur[k] += c0 * rr[k] +
-                   c1 * (rr[k - 1] + rr[k + 1] +
-                         r1[static_cast<std::size_t>(k)]) +
-                   c2 * (r2[static_cast<std::size_t>(k)] +
-                         r1[static_cast<std::size_t>(k - 1)] +
-                         r1[static_cast<std::size_t>(k + 1)]);
-        }
+    const double* rm = r.plane(l - 1);
+    const double* rc = r.plane(l);
+    const double* rp = r.plane(l + 1);
+    double* uc = u.plane(l);
+    for (extent_t j = 1; j < n - 1; ++j) {
+      const double* rcm = rc + (j - 1) * n;
+      const double* rcp = rc + (j + 1) * n;
+      const double* rmr = rm + j * n;
+      const double* rpr = rp + j * n;
+      for (extent_t k = 0; k < n; ++k) {
+        r1[static_cast<std::size_t>(k)] = rcm[k] + rcp[k] + rmr[k] + rpr[k];
+        r2[static_cast<std::size_t>(k)] =
+            rm[(j - 1) * n + k] + rm[(j + 1) * n + k] +
+            rp[(j - 1) * n + k] + rp[(j + 1) * n + k];
+      }
+      const double* rr = rc + j * n;
+      double* ur = uc + j * n;
+      for (extent_t k = 1; k < n - 1; ++k) {
+        ur[k] += c0 * rr[k] +
+                 c1 * (rr[k - 1] + rr[k + 1] +
+                       r1[static_cast<std::size_t>(k)]) +
+                 c2 * (r2[static_cast<std::size_t>(k)] +
+                       r1[static_cast<std::size_t>(k - 1)] +
+                       r1[static_cast<std::size_t>(k + 1)]);
       }
     }
+  }
+
+  void psinv_slab(const Slab& r, Slab& u) {
+    obs::ScopedSpan span(obs::SpanKind::kKernel, "psinv", r.n);
+    if (overlap_ && u.m >= 2) {
+      psinv_plane(r, u, 1);
+      psinv_plane(r, u, u.m);
+      apply_jk_borders(u, 1);
+      apply_jk_borders(u, u.m);
+      ExchangeHandles h = begin_exchange(u, 20);
+      for (extent_t l = 2; l < u.m; ++l) psinv_plane(r, u, l);
+      for (extent_t l = 2; l < u.m; ++l) apply_jk_borders(u, l);
+      end_exchange(h, u.n);
+      return;
+    }
+    for (extent_t l = 1; l <= r.m; ++l) psinv_plane(r, u, l);
     comm3_slab(u, 20);
   }
 
@@ -433,6 +489,7 @@ class RankSolver {
   MgSpec spec_;
   msg::Comm& comm_;
   int ranks_;
+  bool overlap_;  // overlap halo exchange with interior compute in sweeps
   int lt_;
   int kd_;  // coarsest distributed level
   std::vector<Slab> u_, r_;
@@ -442,10 +499,43 @@ class RankSolver {
 
 }  // namespace
 
-MgMpi::MgMpi(const MgSpec& spec, int ranks) : spec_(spec), ranks_(ranks) {
+MgMpi::MgMpi(const MgSpec& spec, int ranks, bool overlap_halo)
+    : spec_(spec), ranks_(ranks), overlap_halo_(overlap_halo) {
   SACPP_REQUIRE(is_power_of_two(ranks), "rank count must be a power of two");
   SACPP_REQUIRE(2 * static_cast<extent_t>(ranks) <= spec.nx,
                 "need at least two grid planes per rank at the top level");
+}
+
+MgMpi::Result MgMpi::run_rank(msg::Comm& comm, int nit, bool warmup) const {
+  SACPP_REQUIRE(comm.size() == ranks_,
+                "communicator size does not match configured rank count");
+  RankSolver solver(spec_, comm, overlap_halo_);
+  solver.setup_rhs();
+  solver.zero_solution();
+  solver.initial_resid();
+  if (warmup) {
+    solver.mg3p();
+    solver.initial_resid();
+    solver.zero_solution();
+    solver.initial_resid();
+  }
+  comm.barrier();            // all setup traffic delivered
+  comm.reset_world_stats();  // each process zeroes its own world's counters
+  comm.barrier();
+
+  Result result;
+  double elapsed = 0.0;
+  for (int it = 0; it < nit; ++it) {
+    Timer t;
+    solver.mg3p();
+    solver.initial_resid();
+    solver.barrier();
+    elapsed += t.elapsed_seconds();
+    result.norms.push_back(solver.residual_norm());
+  }
+  result.final_norm = result.norms.empty() ? 0.0 : result.norms.back();
+  result.seconds = elapsed;
+  return result;
 }
 
 MgMpi::Result MgMpi::run(int nit, bool warmup) const {
@@ -454,36 +544,10 @@ MgMpi::Result MgMpi::run(int nit, bool warmup) const {
   std::mutex result_mutex;
 
   world.run([&](msg::Comm& comm) {
-    RankSolver solver(spec_, comm);
-    solver.setup_rhs();
-    solver.zero_solution();
-    solver.initial_resid();
-    if (warmup) {
-      solver.mg3p();
-      solver.initial_resid();
-      solver.zero_solution();
-      solver.initial_resid();
-    }
-    comm.barrier();                          // all setup traffic delivered
-    if (comm.rank() == 0) world.reset_stats();  // single writer
-    comm.barrier();
-
-    std::vector<double> norms;
-    double elapsed = 0.0;
-    for (int it = 0; it < nit; ++it) {
-      Timer t;
-      solver.mg3p();
-      solver.initial_resid();
-      solver.barrier();
-      elapsed += t.elapsed_seconds();
-      norms.push_back(solver.residual_norm());
-    }
-
+    Result local = run_rank(comm, nit, warmup);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(result_mutex);
-      result.norms = std::move(norms);
-      result.final_norm = result.norms.empty() ? 0.0 : result.norms.back();
-      result.seconds = elapsed;
+      result = std::move(local);
     }
   });
   result.comm = world.stats();

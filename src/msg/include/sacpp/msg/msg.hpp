@@ -26,10 +26,21 @@
 
 #include "sacpp/common/error.hpp"
 #include "sacpp/common/lockorder.hpp"
+#include "sacpp/msg/transport.hpp"
 
 namespace sacpp::msg {
 
 class World;
+
+// Reserved tags of the transport-backed collectives (World routes its
+// barrier/allreduce over point-to-point traffic when bound to a Transport;
+// the in-process world keeps its shared-memory implementations).  All are
+// <= -1000 so collective_tag() exempts them from mailbox caps, and
+// net::classify_tag (src/net/session.hpp) can label them at the frame layer.
+inline constexpr int kBarrierGatherTag = -1003;   // leaf -> root token
+inline constexpr int kBarrierReleaseTag = -1004;  // root -> leaf release
+inline constexpr int kReduceContribTag = -1005;   // leaf -> root contribution
+inline constexpr int kReduceResultTag = -1006;    // root -> leaf result
 
 // Per-rank communicator handle (only valid inside World::run).
 class Comm {
@@ -73,6 +84,20 @@ class Comm {
 
   Request irecv(int source, int tag, std::span<double> out);
 
+  // Buffered-asynchronous send: returns once the payload is copied out of
+  // `data`; wire transmission proceeds concurrently (on the transport's
+  // event loop for a socket-backed world, immediately for mailboxes).  The
+  // overlapped halo exchange in mg_mpi pairs this with irecv to hide
+  // communication behind interior compute.
+  void isend(int dest, int tag, std::span<const double> data) {
+    send(dest, tag, data);
+  }
+
+  // Reset the enclosing world's traffic counters (rank 0 calls this at the
+  // start of the timed section; for a transport-backed world the wire-level
+  // baseline is captured too).
+  void reset_world_stats();
+
   // Collectives over all ranks.
   void barrier();
   double allreduce_sum(double value);
@@ -98,6 +123,15 @@ struct WorldStats {
   std::uint64_t barriers = 0;
   std::uint64_t reductions = 0;
   std::uint64_t send_blocked = 0;  // sends that hit mailbox backpressure
+  // Directional traffic accounting (exported through the Prometheus
+  // collector bridge as sacpp_msg_* totals; docs/net.md#counters).  For the
+  // in-process world both directions of a hop are local copies, so the two
+  // byte counters agree; for a transport-backed world they are this rank's
+  // wire-level payload traffic, and `reconnects` counts the transport's
+  // connect retries and re-establishments.
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t reconnects = 0;
 };
 
 // The shared SPMD world.  Construct with the rank count, then run() one or
@@ -115,14 +149,34 @@ class World {
  public:
   explicit World(int ranks, std::size_t max_mailbox_messages = 0);
 
+  // A world bound to a real interconnect: this process IS one rank
+  // (transport.rank()) of transport.size(); peers are other OS processes.
+  // run() executes fn exactly once, on the local rank, and every remote
+  // send/recv routes through the transport (self-traffic stays in a local
+  // mailbox).  Collectives run over point-to-point traffic with reserved
+  // tags, bit-identical in result to the in-process implementations.  The
+  // transport must outlive the world.
+  explicit World(Transport& transport);
+
+  ~World();
+
   int size() const noexcept { return ranks_; }
 
-  // Execute fn(comm) on every rank concurrently; rethrows the first rank
-  // failure after all threads joined.
+  // The rank this process plays (always valid; 0-based; the in-process
+  // world runs every rank, so the notion only matters when distributed()).
+  int local_rank() const noexcept { return local_rank_; }
+  bool distributed() const noexcept { return transport_ != nullptr; }
+
+  // Execute fn(comm) on every local rank concurrently (one thread per rank
+  // in-process, exactly one for a transport-bound world); rethrows the
+  // first rank failure after all threads joined.
   void run(const std::function<void(Comm&)>& fn);
 
-  const WorldStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = WorldStats{}; }
+  // Traffic counters; for a transport-bound world the wire-level transport
+  // stats (frames, directional bytes, reconnects) are merged in, minus the
+  // baseline captured at the last reset_stats().
+  WorldStats stats() const;
+  void reset_stats();
 
   // Messages currently queued in rank `self`'s mailbox (tests assert the
   // bounded-mailbox cap holds under a slow consumer).
@@ -158,6 +212,12 @@ class World {
   void barrier_wait();
   double reduce(int rank, double value, bool maximum);
 
+  // Transport-mode collectives (flat gather-to-root over reserved tags; the
+  // root accumulates in rank order so results are bit-identical to the
+  // in-process reduce_slots_ implementation).
+  void barrier_transport();
+  double reduce_transport(double value, bool maximum);
+
   // Wake every mailbox waiter so blocked receives/sends re-check the
   // running/finished state (called when a rank's program returns and when
   // run() completes).
@@ -184,7 +244,14 @@ class World {
   std::vector<double> reduce_slots_;
 
   WorldStats stats_;
-  TrackedMutex stats_mutex_{"msg.stats"};
+  mutable TrackedMutex stats_mutex_{"msg.stats"};
+
+  // Transport binding (null for the in-process world).  `stats_base_` is
+  // the transport's counters at the last reset_stats(), so stats() reports
+  // deltas scoped to the current measurement window.
+  Transport* transport_ = nullptr;
+  int local_rank_ = 0;
+  TransportStats stats_base_;
 };
 
 }  // namespace sacpp::msg

@@ -1,0 +1,62 @@
+#pragma once
+// The transport seam between msg::World and a real interconnect.
+//
+// The in-process World delivers messages through shared-memory mailboxes —
+// every rank is a thread of one OS process.  A Transport replaces that
+// substrate with something that leaves the process: construct a World bound
+// to a Transport and the *same* Comm API (send/recv/sendrecv/irecv plus all
+// collectives) runs one rank per OS process over whatever wire the transport
+// provides.  sacpp_net's TcpTransport (src/net) is the first implementation:
+// length-prefixed tagged frames over non-blocking TCP sockets (docs/net.md).
+//
+// Contract mirrored from the mailbox substrate so mg_mpi runs unmodified:
+//   * send is buffered-asynchronous: it may return once the payload is
+//     copied; actual wire transmission proceeds concurrently.  A transport
+//     may block for backpressure (count it in stats().blocked_sends).
+//   * recv matches by (source, tag); order between equal (source, tag)
+//     pairs is preserved; the payload length must equal the receive buffer.
+//   * try_recv is the non-blocking probe behind Comm::Request::test.
+//   * A peer that can no longer deliver (process died, connection reset)
+//     must surface a diagnostic (throw) from recv/send, never hang.
+//
+// Self-traffic never reaches the transport: World routes rank-to-self
+// messages through a local mailbox, so implementations may assume
+// dest != rank() and source != rank().
+
+#include <cstdint>
+#include <span>
+
+namespace sacpp::msg {
+
+// Wire-level accounting a transport exposes; World::stats() merges these
+// into WorldStats so callers see one unified view (docs/net.md#counters).
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;      // on-the-wire bytes, headers included
+  std::uint64_t bytes_received = 0;
+  std::uint64_t reconnects = 0;      // connect retries + re-establishments
+  std::uint64_t blocked_sends = 0;   // sends that waited on backpressure
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int rank() const noexcept = 0;
+  virtual int size() const noexcept = 0;
+
+  // Buffered-asynchronous tagged send to a remote rank (dest != rank()).
+  virtual void send(int dest, int tag, std::span<const double> data) = 0;
+
+  // Blocking matched receive from a remote rank (source != rank()).  The
+  // message must have exactly out.size() doubles.
+  virtual void recv(int source, int tag, std::span<double> out) = 0;
+
+  // Non-blocking probe: deliver-and-true if a matching message is queued.
+  virtual bool try_recv(int source, int tag, std::span<double> out) = 0;
+
+  virtual TransportStats stats() const = 0;
+};
+
+}  // namespace sacpp::msg

@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "sacpp/obs/export.hpp"
 #include "sacpp/obs/obs.hpp"
 #include "sacpp/obs/trace.hpp"
 
@@ -19,6 +20,84 @@ namespace {
 // it is exempt from the bounded-mailbox cap because it is self-limiting (at
 // most one collective message per rank pair in flight).
 bool collective_tag(int tag) noexcept { return tag <= -1000; }
+
+void accumulate(WorldStats& into, const WorldStats& s) {
+  into.messages += s.messages;
+  into.bytes += s.bytes;
+  into.barriers += s.barriers;
+  into.reductions += s.reductions;
+  into.send_blocked += s.send_blocked;
+  into.bytes_sent += s.bytes_sent;
+  into.bytes_received += s.bytes_received;
+  into.reconnects += s.reconnects;
+}
+
+// Process-global registry behind the sacpp_msg_* Prometheus counters: totals
+// across every world this process ever ran (live worlds polled, destroyed
+// worlds folded into `retired` so the counters stay monotonic).  Leaked
+// intentionally — worlds may outlive static destruction order.
+struct WorldRegistry {
+  TrackedMutex mutex{"msg.registry"};
+  std::vector<const World*> live;
+  WorldStats retired;
+};
+
+WorldRegistry& registry() {
+  static auto* r = new WorldRegistry();
+  return *r;
+}
+
+void register_world(const World* world) {
+  auto& reg = registry();
+  {
+    std::lock_guard<TrackedMutex> lock(reg.mutex);
+    reg.live.push_back(world);
+  }
+  static std::once_flag collector_once;
+  std::call_once(collector_once, [] {
+    obs::register_collector([](obs::MetricSink& sink) {
+      WorldStats total;
+      {
+        auto& r = registry();
+        std::lock_guard<TrackedMutex> lock(r.mutex);
+        total = r.retired;
+        for (const World* w : r.live) accumulate(total, w->stats());
+      }
+      sink.counter("sacpp_msg_messages_total",
+                   static_cast<double>(total.messages),
+                   "msg: point-to-point sends across all worlds");
+      sink.counter("sacpp_msg_payload_bytes_total",
+                   static_cast<double>(total.bytes),
+                   "msg: point-to-point payload bytes");
+      sink.counter("sacpp_msg_barriers_total",
+                   static_cast<double>(total.barriers),
+                   "msg: barrier operations");
+      sink.counter("sacpp_msg_reductions_total",
+                   static_cast<double>(total.reductions),
+                   "msg: allreduce operations");
+      sink.counter("sacpp_msg_send_blocked_total",
+                   static_cast<double>(total.send_blocked),
+                   "msg: sends that waited on backpressure");
+      sink.counter("sacpp_msg_bytes_sent_total",
+                   static_cast<double>(total.bytes_sent),
+                   "msg: bytes sent (wire-level for transport worlds)");
+      sink.counter("sacpp_msg_bytes_received_total",
+                   static_cast<double>(total.bytes_received),
+                   "msg: bytes received (wire-level for transport worlds)");
+      sink.counter("sacpp_msg_reconnects_total",
+                   static_cast<double>(total.reconnects),
+                   "msg: transport connect retries and re-establishments");
+    });
+  });
+}
+
+void unregister_world(const World* world) {
+  auto& reg = registry();
+  std::lock_guard<TrackedMutex> lock(reg.mutex);
+  accumulate(reg.retired, world->stats());
+  reg.live.erase(std::remove(reg.live.begin(), reg.live.end(), world),
+                 reg.live.end());
+}
 }  // namespace
 
 World::World(int ranks, std::size_t max_mailbox_messages)
@@ -35,7 +114,37 @@ World::World(int ranks, std::size_t max_mailbox_messages)
     rank_done_[static_cast<std::size_t>(r)].store(true,
                                                   std::memory_order_relaxed);
   }
+  register_world(this);
 }
+
+World::World(Transport& transport)
+    : ranks_(transport.size()),
+      mailbox_cap_(0),
+      transport_(&transport),
+      local_rank_(transport.rank()) {
+  SACPP_REQUIRE(ranks_ >= 1, "message-passing world needs >= 1 rank");
+  SACPP_REQUIRE(local_rank_ >= 0 && local_rank_ < ranks_,
+                "transport rank out of range for its world size");
+  // Mailboxes exist for every rank so indexing stays uniform, but only the
+  // local rank's box ever holds traffic (self-sends; 1-rank worlds exchange
+  // halos with themselves).  Remote ranks stay rank_done_ = true: receive()
+  // routes remote sources to the transport before consulting that flag.
+  mailboxes_.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  reduce_slots_.assign(static_cast<std::size_t>(ranks_), 0.0);
+  rank_done_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    rank_done_[static_cast<std::size_t>(r)].store(true,
+                                                  std::memory_order_relaxed);
+  }
+  stats_base_ = transport.stats();
+  register_world(this);
+}
+
+World::~World() { unregister_world(this); }
 
 void World::wake_all_mailboxes() {
   // Take each box mutex before notifying: a waiter that checked the state
@@ -49,10 +158,20 @@ void World::wake_all_mailboxes() {
 }
 
 void World::run(const std::function<void(Comm&)>& fn) {
+  // An in-process world hosts every rank as a thread; a transport-bound
+  // world hosts exactly one — the rank this OS process plays — and its
+  // peers run the same program in their own processes.
+  std::vector<int> local;
+  if (transport_ == nullptr) {
+    local.reserve(static_cast<std::size_t>(ranks_));
+    for (int r = 0; r < ranks_; ++r) local.push_back(r);
+  } else {
+    local.push_back(local_rank_);
+  }
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks_));
-  threads.reserve(static_cast<std::size_t>(ranks_));
-  for (int r = 0; r < ranks_; ++r) {
+  std::vector<std::exception_ptr> errors(local.size());
+  threads.reserve(local.size());
+  for (int r : local) {
     rank_done_[static_cast<std::size_t>(r)].store(false,
                                                   std::memory_order_relaxed);
   }
@@ -61,15 +180,16 @@ void World::run(const std::function<void(Comm&)>& fn) {
   // traced serve job running the MPI-style variant stitches its rank spans
   // (sends, barriers, solve phases) into the request's tree.
   const obs::TraceContext trace_ctx = obs::current_trace();
-  for (int r = 0; r < ranks_; ++r) {
-    threads.emplace_back([this, r, &fn, &errors, trace_ctx] {
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const int r = local[i];
+    threads.emplace_back([this, r, i, &fn, &errors, trace_ctx] {
       obs::set_thread_name("rank-" + std::to_string(r));
       const obs::TraceBinding trace_binding(trace_ctx);
       Comm comm(this, r);
       try {
         fn(comm);
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        errors[i] = std::current_exception();
       }
       // This rank's program is over: peers blocked on a recv from it (or on
       // backpressure toward it) must fail with a diagnostic, not hang.
@@ -94,6 +214,15 @@ void World::deliver(int source, int dest, int tag,
                        static_cast<std::int64_t>(payload_bytes));
   if (obs::enabled()) [[unlikely]] {
     obs::observe(obs::Hist::kMsgBytes, payload_bytes);
+  }
+  if (transport_ != nullptr && dest != local_rank_) {
+    // Remote rank: hand off to the wire.  The transport owns directional
+    // byte accounting (headers included); stats() merges it back in.
+    transport_->send(dest, tag, data);
+    std::lock_guard<TrackedMutex> lock(stats_mutex_);
+    stats_.messages += 1;
+    stats_.bytes += payload_bytes;
+    return;
   }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
   bool blocked = false;
@@ -128,13 +257,24 @@ void World::deliver(int source, int dest, int tag,
   {
     std::lock_guard<TrackedMutex> lock(stats_mutex_);
     stats_.messages += 1;
-    stats_.bytes += data.size() * sizeof(double);
+    stats_.bytes += payload_bytes;
     if (blocked) stats_.send_blocked += 1;
+    if (transport_ == nullptr) {
+      // In-process hop: both directions are the same local copy.  (A
+      // transport world's self-traffic never touches the wire, so its
+      // directional counters stay wire-only.)
+      stats_.bytes_sent += payload_bytes;
+      stats_.bytes_received += payload_bytes;
+    }
   }
 }
 
 void World::receive(int self, int source, int tag, std::span<double> out) {
   SACPP_REQUIRE(source >= 0 && source < ranks_, "recv source out of range");
+  if (transport_ != nullptr && source != local_rank_) {
+    transport_->recv(source, tag, out);
+    return;
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   std::unique_lock<TrackedMutex> lock(box.mutex);
   for (;;) {
@@ -174,6 +314,9 @@ void World::receive(int self, int source, int tag, std::span<double> out) {
 bool World::try_receive(int self, int source, int tag,
                         std::span<double> out) {
   SACPP_REQUIRE(source >= 0 && source < ranks_, "recv source out of range");
+  if (transport_ != nullptr && source != local_rank_) {
+    return transport_->try_recv(source, tag, out);
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(self)];
   {
     std::lock_guard<TrackedMutex> lock(box.mutex);
@@ -199,6 +342,10 @@ std::size_t World::mailbox_depth(int self) const {
 }
 
 void World::barrier_wait() {
+  if (transport_ != nullptr) {
+    barrier_transport();
+    return;
+  }
   obs::ScopedSpan span(obs::SpanKind::kCollective, "barrier");
   std::unique_lock<TrackedMutex> lock(barrier_mutex_);
   const std::uint64_t generation = barrier_generation_;
@@ -216,6 +363,7 @@ void World::barrier_wait() {
 }
 
 double World::reduce(int rank, double value, bool maximum) {
+  if (transport_ != nullptr) return reduce_transport(value, maximum);
   obs::ScopedSpan span(obs::SpanKind::kCollective, "reduce");
   reduce_slots_[static_cast<std::size_t>(rank)] = value;
   barrier_wait();  // all contributions visible
@@ -230,6 +378,79 @@ double World::reduce(int rank, double value, bool maximum) {
     stats_.reductions += 1;
   }
   return acc;
+}
+
+// Flat gather-to-root barrier over reserved tags: every leaf posts a token
+// to rank 0, which releases them once all have arrived.  Two sequential
+// hops on loopback — fine at the rank counts MG uses (2-8); a tree can
+// replace it without touching callers.
+void World::barrier_transport() {
+  obs::ScopedSpan span(obs::SpanKind::kCollective, "barrier");
+  double token = 0.0;
+  if (local_rank_ == 0) {
+    for (int r = 1; r < ranks_; ++r) {
+      transport_->recv(r, kBarrierGatherTag, std::span<double>(&token, 1));
+    }
+    for (int r = 1; r < ranks_; ++r) {
+      transport_->send(r, kBarrierReleaseTag,
+                       std::span<const double>(&token, 1));
+    }
+  } else {
+    transport_->send(0, kBarrierGatherTag, std::span<const double>(&token, 1));
+    transport_->recv(0, kBarrierReleaseTag, std::span<double>(&token, 1));
+  }
+  std::lock_guard<TrackedMutex> slock(stats_mutex_);
+  stats_.barriers += 1;
+}
+
+double World::reduce_transport(double value, bool maximum) {
+  obs::ScopedSpan span(obs::SpanKind::kCollective, "reduce");
+  double acc = 0.0;
+  if (local_rank_ == 0) {
+    // Fill the slots exactly as the shared-memory reduction does, then
+    // accumulate in rank order with the same formula — floating-point
+    // addition is order-sensitive, and bit-identical norms across the two
+    // substrates are a test invariant (tests/net_world_test.cpp).
+    reduce_slots_[0] = value;
+    for (int r = 1; r < ranks_; ++r) {
+      transport_->recv(
+          r, kReduceContribTag,
+          std::span<double>(&reduce_slots_[static_cast<std::size_t>(r)], 1));
+    }
+    acc = maximum ? reduce_slots_[0] : 0.0;
+    for (int r = 0; r < ranks_; ++r) {
+      const double v = reduce_slots_[static_cast<std::size_t>(r)];
+      acc = maximum ? std::max(acc, v) : acc + v;
+    }
+    for (int r = 1; r < ranks_; ++r) {
+      transport_->send(r, kReduceResultTag, std::span<const double>(&acc, 1));
+    }
+    std::lock_guard<TrackedMutex> slock(stats_mutex_);
+    stats_.reductions += 1;
+  } else {
+    transport_->send(0, kReduceContribTag, std::span<const double>(&value, 1));
+    transport_->recv(0, kReduceResultTag, std::span<double>(&acc, 1));
+  }
+  return acc;
+}
+
+WorldStats World::stats() const {
+  std::lock_guard<TrackedMutex> lock(stats_mutex_);
+  WorldStats s = stats_;
+  if (transport_ != nullptr) {
+    const TransportStats ts = transport_->stats();
+    s.bytes_sent += ts.bytes_sent - stats_base_.bytes_sent;
+    s.bytes_received += ts.bytes_received - stats_base_.bytes_received;
+    s.reconnects += ts.reconnects - stats_base_.reconnects;
+    s.send_blocked += ts.blocked_sends - stats_base_.blocked_sends;
+  }
+  return s;
+}
+
+void World::reset_stats() {
+  std::lock_guard<TrackedMutex> lock(stats_mutex_);
+  stats_ = WorldStats{};
+  if (transport_ != nullptr) stats_base_ = transport_->stats();
 }
 
 // ---------------------------------------------------------------------------
@@ -268,6 +489,8 @@ bool Comm::Request::test() {
   done_ = world_->try_receive(self_, source_, tag_, out_);
   return done_;
 }
+
+void Comm::reset_world_stats() { world_->reset_stats(); }
 
 void Comm::barrier() { world_->barrier_wait(); }
 

@@ -1,0 +1,50 @@
+#pragma once
+// Session specs for the socket transport's message sequences
+// (docs/net.md#session-specs).
+//
+// The session-types reading of MG (Bejleri/Hu/Yoshida, PAPERS.md) treats a
+// rank's legal message sequence as a protocol: the cyclic halo exchange is
+// send/send/recv/recv with both neighbours, an allreduce is a
+// contribute/result pair with the root.  The transport turns every frame it
+// sends or matches into a check::note_channel_event — the event kind is the
+// tag's protocol class below — so a check::SessionMonitor bound to a rank
+// thread (MonitorBinding) validates its traffic against these specs while
+// the solve runs, exactly as serve's wire layer validates SRQ1/SRS1.
+//
+// Events are noted on the rank thread at the frame *boundary it controls*:
+// sends when the frame is committed to a peer's outbound queue, receives
+// when the frame is matched out of the inbox (the epoll thread that drained
+// the socket holds no monitor binding).
+
+#include <cstdint>
+
+#include "sacpp/check/session.hpp"
+
+namespace sacpp::net {
+
+// Protocol alphabet: what a tag means at the frame layer.
+inline constexpr std::uint32_t kEvData = 1;     // application point-to-point
+inline constexpr std::uint32_t kEvBarrier = 2;  // msg barrier token/release
+inline constexpr std::uint32_t kEvReduce = 3;   // msg allreduce leg
+inline constexpr std::uint32_t kEvBcast = 4;    // msg broadcast
+inline constexpr std::uint32_t kEvGather = 5;   // msg gather/scatter block
+inline constexpr std::uint32_t kEvOther = 6;    // unknown reserved tag
+
+// Collapse a msg tag into the protocol alphabet (reserved collective tags
+// are <= -1000; everything >= 0 is application data — mg_mpi's halo planes,
+// coarse-tail gathers, serve's packed frames).
+std::uint32_t classify_tag(int tag) noexcept;
+
+// One halo exchange with both neighbours, repeatable: the rank posts its two
+// plane sends, then matches its two plane receives (order within each pair
+// is immaterial to the spec — both legs carry kEvData).
+//   0 -send(data)-> 1 -send(data)-> 2 -recv(data)-> 3 -recv(data)-> 0
+check::SessionSpec halo_exchange_session_spec();
+
+// A leaf rank's allreduce, repeatable: contribute to the root, read the
+// result back.  The same shape with barrier events covers the barrier.
+//   0 -send(reduce)-> 1 -recv(reduce)-> 0
+check::SessionSpec reduction_session_spec();
+check::SessionSpec barrier_session_spec();
+
+}  // namespace sacpp::net

@@ -1,0 +1,119 @@
+#include "sacpp/net/codec.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "sacpp/common/error.hpp"
+
+namespace sacpp::net {
+
+FrameAssembler::FrameAssembler(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  SACPP_REQUIRE(max_frame_bytes >= 1, "frame assembler needs a positive cap");
+}
+
+void FrameAssembler::feed(std::span<const std::uint8_t> chunk) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+}
+
+FrameResult FrameAssembler::next(std::vector<std::uint8_t>* frame,
+                                 std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = poison_;
+    return FrameResult::kMalformed;
+  }
+  if (buffer_.size() < sizeof(std::uint32_t)) return FrameResult::kNeedMore;
+  const std::uint32_t body = get_u32(buffer_);
+  if (body > max_frame_bytes_) {
+    // A lying length header: there is no honest way to find the next frame
+    // boundary in this stream, so stay malformed forever.
+    poisoned_ = true;
+    poison_ = "net: frame length " + std::to_string(body) +
+              " exceeds the " + std::to_string(max_frame_bytes_) +
+              "-byte cap (lying length header or corrupt stream)";
+    if (error != nullptr) *error = poison_;
+    return FrameResult::kMalformed;
+  }
+  const std::size_t total = sizeof(std::uint32_t) + body;
+  if (buffer_.size() < total) return FrameResult::kNeedMore;
+  frame->assign(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  return FrameResult::kFrame;
+}
+
+std::vector<std::uint8_t> encode_frame(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(sizeof(std::uint32_t) + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in) noexcept {
+  std::uint32_t v = 0;
+  const std::size_t n = std::min(in.size(), sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+bool write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+FdFrameReader::FdFrameReader(int fd, std::size_t max_frame_bytes)
+    : fd_(fd), assembler_(max_frame_bytes) {}
+
+bool FdFrameReader::next(std::vector<std::uint8_t>* frame,
+                         std::string* error) {
+  if (error != nullptr) error->clear();
+  for (;;) {
+    switch (assembler_.next(frame, error)) {
+      case FrameResult::kFrame:
+        return true;
+      case FrameResult::kMalformed:
+        return false;
+      case FrameResult::kNeedMore:
+        break;
+    }
+    std::uint8_t chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      if (assembler_.buffered() != 0 && error != nullptr) {
+        *error = "net: connection closed mid-frame (" +
+                 std::to_string(assembler_.buffered()) +
+                 " bytes of an incomplete frame buffered)";
+      }
+      return false;
+    }
+    assembler_.feed(
+        std::span<const std::uint8_t>(chunk, static_cast<std::size_t>(got)));
+  }
+}
+
+}  // namespace sacpp::net

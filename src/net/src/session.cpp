@@ -1,0 +1,67 @@
+#include "sacpp/net/session.hpp"
+
+#include "sacpp/msg/msg.hpp"
+
+namespace sacpp::net {
+
+std::uint32_t classify_tag(int tag) noexcept {
+  if (tag >= 0) return kEvData;
+  switch (tag) {
+    case msg::kBarrierGatherTag:
+    case msg::kBarrierReleaseTag:
+      return kEvBarrier;
+    case msg::kReduceContribTag:
+    case msg::kReduceResultTag:
+      return kEvReduce;
+    case -1000:  // Comm::broadcast
+      return kEvBcast;
+    case -1001:  // Comm::gather
+    case -1002:  // Comm::scatter
+      return kEvGather;
+    default:
+      return kEvOther;
+  }
+}
+
+check::SessionSpec halo_exchange_session_spec() {
+  using check::Dir;
+  check::SessionSpec spec;
+  spec.name = "net.halo_exchange";
+  spec.start = 0;
+  spec.transitions = {
+      {0, Dir::kSend, kEvData, check::kAnyBranch, 1, "send plane to prev"},
+      {1, Dir::kSend, kEvData, check::kAnyBranch, 2, "send plane to next"},
+      {2, Dir::kRecv, kEvData, check::kAnyBranch, 3, "recv plane"},
+      {3, Dir::kRecv, kEvData, check::kAnyBranch, 0, "recv plane"},
+  };
+  spec.accepting = {0};
+  return spec;
+}
+
+check::SessionSpec reduction_session_spec() {
+  using check::Dir;
+  check::SessionSpec spec;
+  spec.name = "net.reduction";
+  spec.start = 0;
+  spec.transitions = {
+      {0, Dir::kSend, kEvReduce, check::kAnyBranch, 1, "contribute to root"},
+      {1, Dir::kRecv, kEvReduce, check::kAnyBranch, 0, "result from root"},
+  };
+  spec.accepting = {0};
+  return spec;
+}
+
+check::SessionSpec barrier_session_spec() {
+  using check::Dir;
+  check::SessionSpec spec;
+  spec.name = "net.barrier";
+  spec.start = 0;
+  spec.transitions = {
+      {0, Dir::kSend, kEvBarrier, check::kAnyBranch, 1, "token to root"},
+      {1, Dir::kRecv, kEvBarrier, check::kAnyBranch, 0, "release from root"},
+  };
+  spec.accepting = {0};
+  return spec;
+}
+
+}  // namespace sacpp::net

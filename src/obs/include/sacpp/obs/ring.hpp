@@ -37,6 +37,7 @@ enum class SpanKind : std::uint8_t {
   kMsgSend,         // one point-to-point message delivery
   kCollective,      // one msg collective (barrier / allreduce / ...)
   kPhase,           // free-form application phase
+  kNetFrame,        // one wire frame crossing the socket transport
 };
 
 const char* span_kind_name(SpanKind kind) noexcept;

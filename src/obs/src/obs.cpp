@@ -65,6 +65,7 @@ const char* span_kind_name(SpanKind kind) noexcept {
     case SpanKind::kMsgSend: return "msg_send";
     case SpanKind::kCollective: return "collective";
     case SpanKind::kPhase: return "phase";
+    case SpanKind::kNetFrame: return "net_frame";
   }
   return "?";
 }
@@ -87,6 +88,7 @@ const char* hist_name(Hist h) noexcept {
     case Hist::kServeJobNs: return "sacpp_serve_job_duration_ns";
     case Hist::kServeE2eNs: return "sacpp_serve_e2e_latency_ns";
     case Hist::kJitCompileNs: return "sacpp_jit_compile_ns";
+    case Hist::kNetFrameNs: return "sacpp_net_frame_duration_ns";
     case Hist::kCount: break;
   }
   return "?";
@@ -110,6 +112,7 @@ const char* hist_help(Hist h) noexcept {
     case Hist::kServeJobNs: return "solve job execution time";
     case Hist::kServeE2eNs: return "solve request submit-to-done latency";
     case Hist::kJitCompileNs: return "JIT kernel source-to-dlopen latency";
+    case Hist::kNetFrameNs: return "socket transport per-frame send/recv time";
     case Hist::kCount: break;
   }
   return "?";
@@ -136,6 +139,7 @@ Hist duration_hist(SpanKind kind) noexcept {
     case SpanKind::kMsgSend: return Hist::kMsgSendNs;
     case SpanKind::kCollective: return Hist::kCollectiveNs;
     case SpanKind::kPhase: return Hist::kCount;  // no histogram
+    case SpanKind::kNetFrame: return Hist::kNetFrameNs;
   }
   return Hist::kCount;
 }

@@ -1,0 +1,228 @@
+// Tests for the shared length-prefixed frame codec (src/net/codec.hpp):
+// round-trips, arbitrary fragmentation, and the strict malformed-header
+// policy (a lying length prefix poisons the stream — docs/net.md#wire-format).
+
+#include "sacpp/net/codec.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sacpp::net {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<int> bytes) {
+  std::vector<std::uint8_t> out;
+  for (int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+TEST(NetCodec, U32RoundTripIsLittleEndian) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, 0x01020304u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04u);
+  EXPECT_EQ(buf[1], 0x03u);
+  EXPECT_EQ(buf[2], 0x02u);
+  EXPECT_EQ(buf[3], 0x01u);
+  EXPECT_EQ(get_u32(buf), 0x01020304u);
+}
+
+TEST(NetCodec, EncodePrependsBodyLength) {
+  const std::vector<std::uint8_t> body = payload_of({10, 20, 30});
+  const std::vector<std::uint8_t> frame = encode_frame(body);
+  ASSERT_EQ(frame.size(), 4u + body.size());
+  EXPECT_EQ(get_u32(frame), body.size());
+  EXPECT_TRUE(std::equal(body.begin(), body.end(), frame.begin() + 4));
+}
+
+TEST(NetCodec, AssemblerRoundTripsOneFrame) {
+  FrameAssembler a(1024);
+  const std::vector<std::uint8_t> frame = encode_frame(payload_of({1, 2, 3}));
+  a.feed(frame);
+  std::vector<std::uint8_t> got;
+  ASSERT_EQ(a.next(&got), FrameResult::kFrame);
+  EXPECT_EQ(got, frame) << "frames are peeled prefix-included";
+  EXPECT_EQ(a.next(&got), FrameResult::kNeedMore);
+  EXPECT_EQ(a.buffered(), 0u);
+}
+
+TEST(NetCodec, AssemblerHandlesByteAtATimeFragmentation) {
+  // The TCP stream owes the reader nothing about boundaries: reassembly
+  // must work when every chunk is a single byte, including mid-prefix.
+  FrameAssembler a(1024);
+  const std::vector<std::uint8_t> f1 = encode_frame(payload_of({9, 8}));
+  const std::vector<std::uint8_t> f2 =
+      encode_frame(payload_of({7, 6, 5, 4, 3}));
+  std::vector<std::uint8_t> stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  std::vector<std::vector<std::uint8_t>> got;
+  std::vector<std::uint8_t> frame;
+  for (std::uint8_t b : stream) {
+    a.feed({&b, 1});
+    while (a.next(&frame) == FrameResult::kFrame) got.push_back(frame);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], f1);
+  EXPECT_EQ(got[1], f2);
+}
+
+TEST(NetCodec, AssemblerPeelsMultipleFramesFromOneChunk) {
+  FrameAssembler a(1024);
+  std::vector<std::uint8_t> stream;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (int i = 0; i < 5; ++i) {
+    frames.push_back(encode_frame(payload_of({i, i + 1})));
+    stream.insert(stream.end(), frames.back().begin(), frames.back().end());
+  }
+  a.feed(stream);
+  std::vector<std::uint8_t> got;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(a.next(&got), FrameResult::kFrame) << "frame " << i;
+    EXPECT_EQ(got, frames[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(a.next(&got), FrameResult::kNeedMore);
+}
+
+TEST(NetCodec, EmptyPayloadFrameIsLegal) {
+  FrameAssembler a(16);
+  a.feed(encode_frame({}));
+  std::vector<std::uint8_t> got;
+  ASSERT_EQ(a.next(&got), FrameResult::kFrame);
+  EXPECT_EQ(got.size(), 4u);
+  EXPECT_EQ(get_u32(got), 0u);
+}
+
+TEST(NetCodec, LyingLengthHeaderPoisonsTheAssembler) {
+  // A prefix claiming more than the permitted body is a protocol violation
+  // with no resync point: the assembler reports kMalformed forever after,
+  // even for bytes that would otherwise parse.
+  FrameAssembler a(64);
+  std::vector<std::uint8_t> evil;
+  put_u32(evil, 65);  // one past the cap
+  evil.resize(evil.size() + 8, 0);
+  a.feed(evil);
+  std::vector<std::uint8_t> got;
+  std::string error;
+  ASSERT_EQ(a.next(&got, &error), FrameResult::kMalformed);
+  EXPECT_NE(error.find("65"), std::string::npos) << error;
+  EXPECT_NE(error.find("64"), std::string::npos) << error;
+
+  a.feed(encode_frame(payload_of({1})));
+  error.clear();
+  EXPECT_EQ(a.next(&got, &error), FrameResult::kMalformed)
+      << "poisoned assemblers never recover";
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetCodec, MaximumSizedBodyIsAccepted) {
+  FrameAssembler a(8);
+  const std::vector<std::uint8_t> body(8, 0xab);
+  a.feed(encode_frame(body));
+  std::vector<std::uint8_t> got;
+  EXPECT_EQ(a.next(&got), FrameResult::kFrame);
+}
+
+// ---------------------------------------------------------------------------
+// fd-level plumbing over a socketpair
+// ---------------------------------------------------------------------------
+
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void close_writer() {
+    ::close(fds[0]);
+    fds[0] = -1;
+  }
+};
+
+TEST(NetCodec, WriteAllAndFdReaderRoundTrip) {
+  SocketPair sp;
+  const std::vector<std::uint8_t> f1 = encode_frame(payload_of({1, 2, 3}));
+  const std::vector<std::uint8_t> f2 = encode_frame(payload_of({4}));
+  ASSERT_TRUE(write_all(sp.fds[0], f1));
+  ASSERT_TRUE(write_all(sp.fds[0], f2));
+  sp.close_writer();
+
+  FdFrameReader reader(sp.fds[1], 1024);
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  ASSERT_TRUE(reader.next(&frame, &error)) << error;
+  EXPECT_EQ(frame, f1);
+  ASSERT_TRUE(reader.next(&frame, &error)) << error;
+  EXPECT_EQ(frame, f2);
+  EXPECT_FALSE(reader.next(&frame, &error));
+  EXPECT_TRUE(error.empty()) << "EOF at a frame boundary is clean: " << error;
+}
+
+TEST(NetCodec, FdReaderSurvivesDribbledWrites) {
+  SocketPair sp;
+  const std::vector<std::uint8_t> frame =
+      encode_frame(std::vector<std::uint8_t>(300, 0x5a));
+  std::thread writer([&] {
+    for (std::uint8_t b : frame) {
+      ASSERT_TRUE(write_all(sp.fds[0], {&b, 1}));
+      if ((b & 7) == 0) std::this_thread::yield();
+    }
+    sp.close_writer();
+  });
+  FdFrameReader reader(sp.fds[1], 1024);
+  std::vector<std::uint8_t> got;
+  std::string error;
+  ASSERT_TRUE(reader.next(&got, &error)) << error;
+  EXPECT_EQ(got, frame);
+  writer.join();
+}
+
+TEST(NetCodec, FdReaderReportsEofMidFrame) {
+  SocketPair sp;
+  std::vector<std::uint8_t> partial = encode_frame(payload_of({1, 2, 3, 4}));
+  partial.resize(partial.size() - 2);  // truncate inside the body
+  ASSERT_TRUE(write_all(sp.fds[0], partial));
+  sp.close_writer();
+
+  FdFrameReader reader(sp.fds[1], 1024);
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  EXPECT_FALSE(reader.next(&frame, &error));
+  EXPECT_FALSE(error.empty()) << "a mid-frame EOF is not a clean close";
+}
+
+TEST(NetCodec, FdReaderReportsLyingHeader) {
+  SocketPair sp;
+  std::vector<std::uint8_t> evil;
+  put_u32(evil, 1u << 20);  // far past the reader's cap
+  ASSERT_TRUE(write_all(sp.fds[0], evil));
+  sp.close_writer();
+
+  FdFrameReader reader(sp.fds[1], 256);
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  EXPECT_FALSE(reader.next(&frame, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("256"), std::string::npos) << error;
+}
+
+TEST(NetCodec, WriteAllFailsWhenPeerIsGone) {
+  SocketPair sp;
+  ::close(sp.fds[1]);
+  sp.fds[1] = -1;
+  // A couple of kilobytes so the kernel cannot just buffer it all before
+  // noticing the peer is gone; MSG_NOSIGNAL means we get `false`, not
+  // SIGPIPE.
+  const std::vector<std::uint8_t> big(64 * 1024, 0x11);
+  EXPECT_FALSE(write_all(sp.fds[0], encode_frame(big)));
+}
+
+}  // namespace
+}  // namespace sacpp::net
